@@ -1,0 +1,310 @@
+//! CPU availability: the slack the static schedule leaves to FPS tasks.
+//!
+//! FPS tasks "can only be executed in the slack of the SCS schedule
+//! table" (Section 2). This module turns the busy windows of a node into
+//! a queryable availability function that repeats with the hyperperiod.
+
+use flexray_model::Time;
+
+/// The periodic availability of one node: busy windows over one
+/// hyperperiod, repeating forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Availability {
+    horizon: Time,
+    /// Sorted, disjoint busy windows within `[0, horizon)`.
+    windows: Vec<(Time, Time)>,
+}
+
+impl Availability {
+    /// Builds the availability from merged busy windows (as produced by
+    /// [`ScheduleTable::busy_windows`](crate::ScheduleTable::busy_windows)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive or a window exceeds it.
+    #[must_use]
+    pub fn new(horizon: Time, windows: Vec<(Time, Time)>) -> Self {
+        assert!(horizon > Time::ZERO, "horizon must be positive");
+        for &(s, f) in &windows {
+            assert!(Time::ZERO <= s && s <= f && f <= horizon, "window out of range");
+        }
+        debug_assert!(windows.windows(2).all(|w| w[0].1 <= w[1].0), "windows sorted");
+        Availability { horizon, windows }
+    }
+
+    /// A node with no static load.
+    #[must_use]
+    pub fn idle(horizon: Time) -> Self {
+        Availability::new(horizon, Vec::new())
+    }
+
+    /// The repeating period of the availability pattern.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Total busy time per hyperperiod.
+    #[must_use]
+    pub fn busy_per_period(&self) -> Time {
+        self.windows.iter().map(|&(s, f)| f - s).sum()
+    }
+
+    /// Total free time per hyperperiod.
+    #[must_use]
+    pub fn free_per_period(&self) -> Time {
+        self.horizon - self.busy_per_period()
+    }
+
+    /// Whether the instant `t` (taken modulo the horizon) is free.
+    #[must_use]
+    pub fn is_free(&self, t: Time) -> bool {
+        let t = t % self.horizon;
+        let t = if t.is_negative() { t + self.horizon } else { t };
+        !self.windows.iter().any(|&(s, f)| s <= t && t < f)
+    }
+
+    /// Earliest start `s ≥ from` of a contiguous free interval of length
+    /// `len` that ends no later than `deadline_abs` (both absolute times
+    /// within the first hyperperiod; used for non-preemptive SCS
+    /// placement).
+    ///
+    /// Returns `None` if no such gap exists within `[from, deadline_abs]`.
+    #[must_use]
+    pub fn first_gap(&self, from: Time, len: Time, deadline_abs: Time) -> Option<Time> {
+        let mut candidate = from.max(Time::ZERO);
+        for &(s, f) in &self.windows {
+            if f <= candidate {
+                continue;
+            }
+            if candidate + len <= s {
+                break; // fits before this window
+            }
+            candidate = candidate.max(f);
+        }
+        (candidate + len <= deadline_abs).then_some(candidate)
+    }
+
+    /// Completion time of `demand` units of execution started (and
+    /// preemptable) at absolute time `start`, walking the periodic free
+    /// time. Returns `None` if completion would exceed `limit` (divergence
+    /// guard — e.g. a node whose table leaves no slack).
+    #[must_use]
+    pub fn advance(&self, start: Time, demand: Time, limit: Time) -> Option<Time> {
+        if demand <= Time::ZERO {
+            return Some(start);
+        }
+        let mut remaining = demand;
+        let mut t = start;
+        loop {
+            if t > limit {
+                return None;
+            }
+            let period_index = t.div_floor(self.horizon);
+            let base = self.horizon * period_index;
+            let local = t - base;
+            // Find the free stretch at or after `local` within this period.
+            let mut free_from = local;
+            let mut free_until = self.horizon;
+            let mut inside_busy = false;
+            for &(s, f) in &self.windows {
+                if local >= s && local < f {
+                    // inside a busy window: skip to its end
+                    free_from = f;
+                    inside_busy = true;
+                }
+                if !inside_busy && s >= free_from {
+                    free_until = s;
+                    break;
+                }
+                if inside_busy && s > free_from {
+                    free_until = s;
+                    break;
+                }
+            }
+            if inside_busy {
+                t = base + free_from;
+                if t > limit {
+                    return None;
+                }
+                // re-evaluate the stretch from the window end
+                continue;
+            }
+            let available = free_until - free_from;
+            if available >= remaining {
+                return Some(base + free_from + remaining);
+            }
+            remaining -= available;
+            t = base + free_until;
+            // step over the busy window that begins at free_until (or wrap)
+            if free_until == self.horizon {
+                // wrapped to next period start
+                continue;
+            }
+            let (_, f) = self
+                .windows
+                .iter()
+                .find(|&&(s, _)| s == free_until)
+                .copied()
+                .expect("free stretch ends at a busy window");
+            t = base + f;
+        }
+    }
+
+    /// Amount of free (non-SCS) time in the absolute interval `[a, b)`,
+    /// walking the periodic pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < a`.
+    #[must_use]
+    pub fn free_between(&self, a: Time, b: Time) -> Time {
+        assert!(b >= a, "interval end before start");
+        let mut free = Time::ZERO;
+        let mut period_index = a.div_floor(self.horizon);
+        loop {
+            let base = self.horizon * period_index;
+            let lo = a.max(base);
+            let hi = b.min(base + self.horizon);
+            if lo >= b {
+                break;
+            }
+            let mut busy = Time::ZERO;
+            for &(s, f) in &self.windows {
+                let ws = base + s;
+                let wf = base + f;
+                let os = ws.max(lo);
+                let of = wf.min(hi);
+                if of > os {
+                    busy += of - os;
+                }
+            }
+            free += (hi - lo) - busy;
+            period_index += 1;
+        }
+        free
+    }
+
+    /// Candidate critical instants for response-time analysis: the start
+    /// of the table plus every busy-window start and end (the points where
+    /// the slack density changes).
+    #[must_use]
+    pub fn critical_instants(&self) -> Vec<Time> {
+        let mut points = vec![Time::ZERO];
+        for &(s, f) in &self.windows {
+            points.push(s);
+            if f < self.horizon {
+                points.push(f);
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> Time {
+        Time::from_us(v)
+    }
+
+    fn avail() -> Availability {
+        // horizon 100, busy [10,30) and [50,60)
+        Availability::new(us(100.0), vec![(us(10.0), us(30.0)), (us(50.0), us(60.0))])
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let a = avail();
+        assert_eq!(a.busy_per_period(), us(30.0));
+        assert_eq!(a.free_per_period(), us(70.0));
+    }
+
+    #[test]
+    fn is_free_wraps_periodically() {
+        let a = avail();
+        assert!(a.is_free(us(5.0)));
+        assert!(!a.is_free(us(15.0)));
+        assert!(!a.is_free(us(115.0)));
+        assert!(a.is_free(us(135.0)));
+    }
+
+    #[test]
+    fn first_gap_respects_windows() {
+        let a = avail();
+        // a 10-unit gap from 0 fits at 0
+        assert_eq!(a.first_gap(us(0.0), us(10.0), us(100.0)), Some(us(0.0)));
+        // an 11-unit gap from 0 must wait until 30
+        assert_eq!(a.first_gap(us(0.0), us(11.0), us(100.0)), Some(us(30.0)));
+        // a gap starting inside a window starts at its end
+        assert_eq!(a.first_gap(us(12.0), us(5.0), us(100.0)), Some(us(30.0)));
+        // too long to fit before the deadline
+        assert_eq!(a.first_gap(us(60.0), us(41.0), us(100.0)), None);
+    }
+
+    #[test]
+    fn advance_consumes_free_time() {
+        let a = avail();
+        // from 0: 10 free until 10, then busy to 30
+        assert_eq!(a.advance(us(0.0), us(5.0), us(1000.0)), Some(us(5.0)));
+        assert_eq!(a.advance(us(0.0), us(10.0), us(1000.0)), Some(us(10.0)));
+        assert_eq!(a.advance(us(0.0), us(11.0), us(1000.0)), Some(us(31.0)));
+        // starting inside a busy window
+        assert_eq!(a.advance(us(15.0), us(2.0), us(1000.0)), Some(us(32.0)));
+        // crossing the second window
+        assert_eq!(a.advance(us(30.0), us(25.0), us(1000.0)), Some(us(65.0)));
+    }
+
+    #[test]
+    fn advance_wraps_to_next_period() {
+        let a = avail();
+        // 70 free per period; ask for 100 starting at 0:
+        // 70 in period one is done at 100; 30 more in period two:
+        // free [100,110) gives 10, busy to 130, free [130,150) gives 20 -> 150
+        assert_eq!(a.advance(us(0.0), us(100.0), us(10_000.0)), Some(us(150.0)));
+    }
+
+    #[test]
+    fn advance_diverges_on_saturated_node() {
+        let full = Availability::new(us(10.0), vec![(us(0.0), us(10.0))]);
+        assert_eq!(full.advance(us(0.0), us(1.0), us(1000.0)), None);
+    }
+
+    #[test]
+    fn advance_zero_demand_is_identity() {
+        let a = avail();
+        assert_eq!(a.advance(us(42.0), Time::ZERO, us(100.0)), Some(us(42.0)));
+    }
+
+    #[test]
+    fn critical_instants_cover_boundaries() {
+        let a = avail();
+        assert_eq!(
+            a.critical_instants(),
+            vec![us(0.0), us(10.0), us(30.0), us(50.0), us(60.0)]
+        );
+    }
+
+    #[test]
+    fn free_between_counts_slack() {
+        let a = avail();
+        assert_eq!(a.free_between(us(0.0), us(10.0)), us(10.0));
+        assert_eq!(a.free_between(us(0.0), us(30.0)), us(10.0));
+        // [5,55): busy [10,30) and [50,55) -> 25 busy, 25 free
+        assert_eq!(a.free_between(us(5.0), us(55.0)), us(25.0));
+        // across the period boundary: [60,100) free (40) + [100,110) free
+        assert_eq!(a.free_between(us(60.0), us(110.0)), us(50.0));
+        assert_eq!(a.free_between(us(15.0), us(15.0)), Time::ZERO);
+    }
+
+    #[test]
+    fn idle_node_is_trivially_free() {
+        let a = Availability::idle(us(10.0));
+        assert_eq!(a.advance(us(3.0), us(100.0), us(10_000.0)), Some(us(103.0)));
+        assert!(a.is_free(us(7.0)));
+        assert_eq!(a.critical_instants(), vec![Time::ZERO]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The schedulability-degree cost function (Eq. (5) of the paper).
+//!
+//! With `δ_ij = R_ij − D_ij` over all activities:
+//!
+//! * `f1 = Σ max(δ_ij, 0)` — total deadline overshoot; strictly positive
+//!   iff at least one activity misses its deadline;
+//! * `f2 = Σ δ_ij` — total (negative) laxity, used to rank schedulable
+//!   configurations among themselves.
+//!
+//! `Cost = f1` if `f1 > 0`, else `f2`.
+
+use flexray_model::{System, Time};
+
+/// The two-tier cost of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Total deadline overshoot (µs); `> 0` iff unschedulable.
+    pub f1: f64,
+    /// Total laxity (µs); negative when deadlines leave slack.
+    pub f2: f64,
+}
+
+impl Cost {
+    /// A cost for a configuration that could not be analysed at all
+    /// (e.g. invalid bus parameters): worse than everything else.
+    #[must_use]
+    pub fn infeasible() -> Self {
+        Cost {
+            f1: f64::INFINITY,
+            f2: f64::INFINITY,
+        }
+    }
+
+    /// `true` if every activity meets its deadline.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.f1 <= 0.0
+    }
+
+    /// The scalar cost of Eq. (5): overshoot when unschedulable, laxity
+    /// otherwise.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.f1 > 0.0 {
+            self.f1
+        } else {
+            self.f2
+        }
+    }
+
+    /// Strict "is better" ordering: a schedulable configuration beats any
+    /// unschedulable one; within a tier, lower value wins.
+    #[must_use]
+    pub fn better_than(&self, other: &Cost) -> bool {
+        match (self.is_schedulable(), other.is_schedulable()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self.value() < other.value(),
+        }
+    }
+}
+
+/// Evaluates Eq. (5) over the worst-case response times of all
+/// activities (`responses[i]` for activity `i`, relative to graph
+/// activation).
+#[must_use]
+pub fn cost_of(sys: &System, responses: &[Time]) -> Cost {
+    let mut f1 = 0.0;
+    let mut f2 = 0.0;
+    for id in sys.app.ids() {
+        let r = responses[id.index()].as_us();
+        let d = sys.app.deadline_of(id).as_us();
+        let delta = r - d;
+        if delta > 0.0 {
+            f1 += delta;
+        }
+        f2 += delta;
+    }
+    Cost { f1, f2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    fn sys_two_tasks(deadline_us: f64) -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(deadline_us));
+        app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 1);
+        app.add_task(g, "b", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 2);
+        let bus = BusConfig::new(PhyParams::unit());
+        System::validated(Platform::with_nodes(1), app, bus).expect("valid")
+    }
+
+    #[test]
+    fn schedulable_cost_is_negative_laxity() {
+        let sys = sys_two_tasks(50.0);
+        let r = vec![Time::from_us(20.0), Time::from_us(10.0)];
+        let c = cost_of(&sys, &r);
+        assert!(c.is_schedulable());
+        assert_eq!(c.f1, 0.0);
+        assert_eq!(c.f2, (20.0 - 50.0) + (10.0 - 50.0));
+        assert_eq!(c.value(), c.f2);
+    }
+
+    #[test]
+    fn overshoot_dominates() {
+        let sys = sys_two_tasks(15.0);
+        let r = vec![Time::from_us(20.0), Time::from_us(10.0)];
+        let c = cost_of(&sys, &r);
+        assert!(!c.is_schedulable());
+        assert_eq!(c.f1, 5.0);
+        assert_eq!(c.value(), 5.0);
+    }
+
+    #[test]
+    fn ordering_prefers_schedulable() {
+        let sched = Cost { f1: 0.0, f2: -10.0 };
+        let sched_tight = Cost { f1: 0.0, f2: -1.0 };
+        let unsched = Cost { f1: 2.0, f2: 2.0 };
+        assert!(sched.better_than(&unsched));
+        assert!(!unsched.better_than(&sched));
+        assert!(sched.better_than(&sched_tight));
+        assert!(unsched.better_than(&Cost { f1: 7.0, f2: 7.0 }));
+    }
+
+    #[test]
+    fn infeasible_is_worst() {
+        let bad = Cost::infeasible();
+        assert!(!bad.is_schedulable());
+        assert!(Cost { f1: 1e9, f2: 1e9 }.better_than(&bad));
+        assert!(!bad.better_than(&Cost { f1: 1e9, f2: 1e9 }));
+    }
+}

@@ -1,0 +1,516 @@
+//! Worst-case response times of dynamic-segment messages (Section 5.1).
+//!
+//! The response time of a DYN message `m` is
+//! `R_m = J_m + w_m + C_m` (Eq. 2) with
+//! `w_m = σ_m + BusCycles_m · gdCycle + w'_m` (Eq. 3).
+//!
+//! A bus cycle is *filled* (unusable for `m`) when a higher-priority
+//! local message with the same frame identifier (`hp(m)`) occupies the
+//! slot, or when transmissions of lower-identifier messages (`lf(m)`)
+//! plus empty minislots of unused lower identifiers (`ms(m)`) push the
+//! minislot counter past the latest-transmission-start bound before slot
+//! `FrameID_m` begins.
+
+use flexray_model::{ActivityId, MessageClass, System, Time};
+use std::collections::BTreeMap;
+
+/// How the latest-transmission-start check is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatestTxPolicy {
+    /// A frame may start if it itself still fits the remaining dynamic
+    /// segment (`counter ≤ n_minislots − len_m + 1`). This matches the
+    /// behaviour of Fig. 4 of the paper and is the default.
+    #[default]
+    PerMessage,
+    /// The node-level `pLatestTx` derived from the largest dynamic frame
+    /// the node sends, as described in Section 3 — more conservative for
+    /// nodes mixing small and large frames.
+    PerNode,
+}
+
+/// How the set of filled bus cycles is maximised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DynAnalysisMode {
+    /// Largest-first greedy packing per cycle — the polynomial heuristic
+    /// of ref [14].
+    #[default]
+    Greedy,
+    /// Per-cycle optimal packing: a subset-sum DP picks, per cycle, the
+    /// interference subset of minimal total consumption that still fills
+    /// the cycle, which leaves the most interference for later cycles.
+    Exact,
+}
+
+/// Higher-priority local messages sharing the frame identifier of `m`
+/// (the set `hp(m)` — e.g. `hp(m_g) = {m_f}` in Fig. 1.a).
+#[must_use]
+pub fn hp_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
+    let Some(fid) = sys.bus.frame_id_of(m) else {
+        return Vec::new();
+    };
+    let prio = sys.app.activity(m).as_message().expect("message").priority;
+    sys.app
+        .messages_of_class(MessageClass::Dynamic)
+        .filter(|&j| {
+            j != m
+                && sys.bus.frame_id_of(j) == Some(fid)
+                && {
+                    let pj = sys.app.activity(j).as_message().expect("message").priority;
+                    pj > prio || (pj == prio && j.index() < m.index())
+                }
+        })
+        .collect()
+}
+
+/// Messages that may use dynamic slots with lower frame identifiers than
+/// `m` (the set `lf(m)` — e.g. `lf(m_g) = {m_d, m_e}` in Fig. 1.a).
+#[must_use]
+pub fn lf_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
+    let Some(fid) = sys.bus.frame_id_of(m) else {
+        return Vec::new();
+    };
+    sys.app
+        .messages_of_class(MessageClass::Dynamic)
+        .filter(|&j| {
+            j != m && sys.bus.frame_id_of(j).is_some_and(|fj| fj < fid)
+        })
+        .collect()
+}
+
+/// Number of dynamic slots with identifiers lower than `m`'s that carry
+/// no message at all (the always-empty part of `ms(m)`); slots that do
+/// carry messages contribute through `lf(m)` instead.
+#[must_use]
+pub fn unused_lower_slots(sys: &System, m: ActivityId) -> u32 {
+    let Some(fid) = sys.bus.frame_id_of(m) else {
+        return 0;
+    };
+    let used: std::collections::BTreeSet<u16> = sys
+        .bus
+        .frame_ids
+        .values()
+        .map(|f| f.number())
+        .filter(|&n| n < fid.number())
+        .collect();
+    u32::from(fid.number() - 1) - u32::try_from(used.len()).expect("bounded by u16")
+}
+
+/// The latest-transmission-start bound applied to `m`, per policy, in
+/// minislot-counter units.
+#[must_use]
+pub fn latest_tx_bound(sys: &System, m: ActivityId, policy: LatestTxPolicy) -> u32 {
+    match policy {
+        LatestTxPolicy::PerMessage => {
+            let lm = sys.bus.minislots_of(&sys.app, m);
+            sys.bus.n_minislots.saturating_sub(lm) + 1
+        }
+        LatestTxPolicy::PerNode => {
+            let node = sys.app.sender_of(m).expect("validated message has sender");
+            sys.bus.p_latest_tx(&sys.app, node)
+        }
+    }
+}
+
+/// Pending interference pool for the filled-cycles computation: per
+/// lower frame identifier, the (extra-consumption, remaining-instances)
+/// list of its messages, sorted by extra descending.
+#[derive(Debug, Clone)]
+struct LfPool {
+    /// `per_id[i]` = list of (extra minislots beyond the idle one,
+    /// pending instance count) for messages on that identifier.
+    per_id: BTreeMap<u16, Vec<(u32, i64)>>,
+}
+
+impl LfPool {
+    fn build(sys: &System, lf: &[ActivityId], t: Time, jitter: &[Time]) -> Self {
+        let mut per_id: BTreeMap<u16, Vec<(u32, i64)>> = BTreeMap::new();
+        for &j in lf {
+            let fid = sys.bus.frame_id_of(j).expect("lf has frame id").number();
+            let tj = sys.app.period_of(j);
+            let arrivals = (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
+            if arrivals > 0 {
+                let extra = sys.bus.minislots_of(&sys.app, j).saturating_sub(1);
+                per_id.entry(fid).or_default().push((extra, arrivals));
+            }
+        }
+        for list in per_id.values_mut() {
+            list.sort_by(|a, b| b.0.cmp(&a.0));
+        }
+        LfPool { per_id }
+    }
+
+    /// Largest available extra per identifier (one instance each).
+    fn candidates(&self) -> Vec<(u16, u32)> {
+        self.per_id
+            .iter()
+            .filter_map(|(&id, list)| {
+                list.iter().find(|&&(_, n)| n > 0).map(|&(e, _)| (id, e))
+            })
+            .collect()
+    }
+
+    /// All available (id, extra) options, several per identifier.
+    fn options(&self) -> Vec<(u16, u32)> {
+        let mut out = Vec::new();
+        for (&id, list) in &self.per_id {
+            for &(e, n) in list {
+                if n > 0 {
+                    out.push((id, e));
+                }
+            }
+        }
+        out
+    }
+
+    fn consume(&mut self, id: u16, extra: u32) {
+        if let Some(list) = self.per_id.get_mut(&id) {
+            if let Some(slot) = list.iter_mut().find(|(e, n)| *e == extra && *n > 0) {
+                slot.1 -= 1;
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.per_id
+            .values()
+            .all(|list| list.iter().all(|&(_, n)| n == 0))
+    }
+}
+
+/// Tries to fill one cycle: returns the consumed (id, extra) choices, or
+/// `None` if the pool can no longer reach `need_extra`.
+fn fill_one_cycle(pool: &LfPool, need_extra: u32, mode: DynAnalysisMode) -> Option<Vec<(u16, u32)>> {
+    match mode {
+        DynAnalysisMode::Greedy => {
+            let mut cands = pool.candidates();
+            cands.sort_by(|a, b| b.1.cmp(&a.1));
+            let mut chosen = Vec::new();
+            let mut sum = 0u32;
+            for (id, extra) in cands {
+                if sum >= need_extra {
+                    break;
+                }
+                // an idle identifier contributes nothing beyond its base
+                // minislot, so zero-extra instances never help filling
+                if extra == 0 {
+                    continue;
+                }
+                chosen.push((id, extra));
+                sum += extra;
+            }
+            (sum >= need_extra).then_some(chosen)
+        }
+        DynAnalysisMode::Exact => {
+            // Min-total-consumption subset with sum >= need_extra, at most
+            // one option per identifier: DP over identifiers.
+            let mut per_id: BTreeMap<u16, Vec<u32>> = BTreeMap::new();
+            for (id, extra) in pool.options() {
+                if extra > 0 {
+                    per_id.entry(id).or_default().push(extra);
+                }
+            }
+            let cap = need_extra as usize;
+            // best[s] = (total, choices) with accumulated sum min(s, cap)
+            let mut best: Vec<Option<(u32, Vec<(u16, u32)>)>> = vec![None; cap + 1];
+            best[0] = Some((0, Vec::new()));
+            for (&id, extras) in &per_id {
+                let mut next = best.clone();
+                for (s, entry) in best.iter().enumerate() {
+                    let Some((total, choices)) = entry else {
+                        continue;
+                    };
+                    for &e in extras {
+                        let ns = (s + e as usize).min(cap);
+                        let nt = total + e;
+                        let better = match &next[ns] {
+                            Some((t, _)) => nt < *t,
+                            None => true,
+                        };
+                        if better {
+                            let mut c = choices.clone();
+                            c.push((id, e));
+                            next[ns] = Some((nt, c));
+                        }
+                    }
+                }
+                best = next;
+            }
+            best[cap].take().map(|(_, choices)| choices)
+        }
+    }
+}
+
+/// The delay `w_m(t)` of Eq. (3) for the busy window `t`, or `None` if it
+/// exceeds `limit` (the message diverges on this configuration).
+#[must_use]
+pub fn dyn_delay(
+    sys: &System,
+    m: ActivityId,
+    jitter: &[Time],
+    latest_tx: LatestTxPolicy,
+    mode: DynAnalysisMode,
+    limit: Time,
+) -> Option<Time> {
+    let fid = sys.bus.frame_id_of(m).expect("validated dyn message");
+    let gd_cycle = sys.bus.gd_cycle();
+    let st_bus = sys.bus.st_bus();
+    let minislot = sys.bus.phy.gd_minislot;
+    let base = u32::try_from(fid.preceding_slots()).expect("u16 fits");
+    let p_latest = latest_tx_bound(sys, m, latest_tx);
+    // A cycle is filled when base + extra >= p_latest.
+    let need_extra = match p_latest.checked_sub(base) {
+        Some(n) if n > 0 => n,
+        // Even an idle dynamic segment pushes the counter past the bound:
+        // the message can never be sent.
+        _ => return None,
+    };
+    let hp = hp_messages(sys, m);
+    let lf = lf_messages(sys, m);
+
+    // σ_m: the message just misses the earliest occurrence of its slot
+    // and waits out the rest of the cycle.
+    let slot_earliest = st_bus + minislot * i64::from(base);
+    let sigma = (gd_cycle - slot_earliest).clamp_non_negative();
+
+    let mut t = Time::ZERO;
+    for _ in 0..10_000 {
+        // hp(m): each pending instance occupies slot FrameID_m for a cycle.
+        let mut filled: i64 = 0;
+        for &j in &hp {
+            let tj = sys.app.period_of(j);
+            filled += (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
+        }
+        // lf(m)/ms(m): pack transmissions to push the counter past the
+        // bound, cycle by cycle.
+        let mut pool = LfPool::build(sys, &lf, t, jitter);
+        while !pool.is_empty() {
+            match fill_one_cycle(&pool, need_extra, mode) {
+                Some(choices) => {
+                    for (id, extra) in choices {
+                        pool.consume(id, extra);
+                    }
+                    filled += 1;
+                }
+                None => break,
+            }
+        }
+        // Final cycle: leftover lower-identifier traffic delays the start
+        // of slot FrameID_m but cannot block it any more.
+        let leftover: u32 = pool
+            .candidates()
+            .iter()
+            .map(|&(_, e)| e)
+            .sum::<u32>()
+            .min(need_extra.saturating_sub(1));
+        let w_final = st_bus + minislot * i64::from(base + leftover);
+        let w = sigma
+            .saturating_add(gd_cycle.saturating_mul(filled))
+            .saturating_add(w_final);
+        if w > limit {
+            return None;
+        }
+        if w <= t {
+            return Some(w);
+        }
+        t = w;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    /// Builds a system with DYN messages `(size_minislots, frame_id,
+    /// priority, sender_node)`; unit phy, one 8µs ST slot, `n_minislots`.
+    fn dyn_system(specs: &[(u32, u16, u32, usize)], n_minislots: u32) -> (System, Vec<ActivityId>) {
+        let phy = PhyParams {
+            gd_bit: Time::from_ns(50),
+            gd_macrotick: Time::MICROSECOND,
+            gd_minislot: Time::MICROSECOND,
+            frame_overhead_bytes: 0,
+        };
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(1000.0));
+        let mut bus = BusConfig::new(phy);
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        bus.n_minislots = n_minislots;
+        let mut ids = Vec::new();
+        for (i, &(len, fid, prio, node)) in specs.iter().enumerate() {
+            let s = app.add_task(
+                g,
+                &format!("s{i}"),
+                NodeId::new(node),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
+            let r = app.add_task(
+                g,
+                &format!("r{i}"),
+                NodeId::new(1 - node),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
+            // len minislots at 1µs each = len µs = 2*len bytes at 50ns/bit
+            let msg = app.add_message(g, &format!("m{i}"), 2 * len, MessageClass::Dynamic, prio);
+            app.connect(s, msg, r).expect("edges");
+            bus.frame_ids.insert(msg, FrameId::new(fid));
+            ids.push(msg);
+        }
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        (sys, ids)
+    }
+
+    #[test]
+    fn interference_sets_match_fig1() {
+        // Fig 1.a: md(1), me(2), mf(4 hi), mg(4 lo), mh(5); all node 0.
+        let (sys, ids) = dyn_system(
+            &[(1, 1, 0, 0), (1, 2, 0, 0), (2, 4, 9, 0), (2, 4, 1, 0), (1, 5, 0, 0)],
+            20,
+        );
+        let (md, me, mf, mg, _mh) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        assert_eq!(hp_messages(&sys, mg), vec![mf]);
+        assert!(hp_messages(&sys, mf).is_empty());
+        let mut lf = lf_messages(&sys, mg);
+        lf.sort();
+        assert_eq!(lf, vec![md, me]);
+        // ms(mg): ids 1,2,3 lower; 1 and 2 used -> 1 unused (id 3)
+        assert_eq!(unused_lower_slots(&sys, mg), 1);
+        // ms(mf) in the paper counts {3} among 1,2,3: same here
+        assert_eq!(unused_lower_slots(&sys, mf), 1);
+    }
+
+    #[test]
+    fn latest_tx_policies_differ() {
+        // node 0 sends a small (2) and a big (10) frame
+        let (sys, ids) = dyn_system(&[(2, 1, 0, 0), (10, 2, 0, 0)], 20);
+        let small = ids[0];
+        assert_eq!(latest_tx_bound(&sys, small, LatestTxPolicy::PerMessage), 19);
+        assert_eq!(latest_tx_bound(&sys, small, LatestTxPolicy::PerNode), 11);
+    }
+
+    #[test]
+    fn lone_message_delay_is_sigma_plus_stbus() {
+        let (sys, ids) = dyn_system(&[(2, 1, 0, 0)], 10);
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let w = dyn_delay(
+            &sys,
+            ids[0],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            Time::from_us(100_000.0),
+        )
+        .expect("converges");
+        // sigma = cycle(18) - (st 8 + 0) = 10; w' = st = 8
+        assert_eq!(w, Time::from_us(18.0));
+    }
+
+    #[test]
+    fn hp_instance_fills_one_cycle() {
+        let (sys, ids) = dyn_system(&[(2, 1, 9, 0), (2, 1, 1, 0)], 10);
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(100_000.0);
+        let w_hi = dyn_delay(&sys, ids[0], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("hi");
+        let w_lo = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("lo");
+        // the low-priority sibling waits one extra cycle (gdCycle = 18)
+        assert_eq!(w_lo - w_hi, Time::from_us(18.0));
+    }
+
+    #[test]
+    fn lf_traffic_can_fill_cycles() {
+        // m1: 9-minislot frame on id 1; m2: 2 minislots on id 2 with
+        // n_minislots = 10 -> pLatestTx(m2) = 9, base = 1, need_extra = 8;
+        // m1's extra = 8 fills exactly one cycle.
+        let (sys, ids) = dyn_system(&[(9, 1, 0, 0), (2, 2, 0, 1)], 10);
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(100_000.0);
+        let w = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("converges");
+        // sigma = 18 - (8 + 1) = 9; one filled cycle = 18; final = 8 + 1
+        // (base) + leftover 0 -> 9 + 18 + 9 = 36
+        assert_eq!(w, Time::from_us(36.0));
+    }
+
+    #[test]
+    fn small_lf_cannot_fill_but_delays_final_cycle() {
+        // m1 is only 4 minislots: extra 3 < need_extra 8 -> no filled
+        // cycle, but 3 minislots of final-cycle delay.
+        let (sys, ids) = dyn_system(&[(4, 1, 0, 0), (2, 2, 0, 1)], 10);
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(100_000.0);
+        let w = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("converges");
+        // sigma = 9; final = 8 + (1 + 3) = 12 -> 21
+        assert_eq!(w, Time::from_us(21.0));
+    }
+
+    #[test]
+    fn per_node_policy_can_make_a_position_impossible() {
+        // Node 0 sends a 10-minislot frame (id 1) and a 2-minislot frame
+        // (id 10) in an 11-minislot segment. Per-node pLatestTx = 2, but
+        // the small frame's slot starts at counter 10: never transmittable
+        // under the per-node policy, fine under the per-message policy.
+        let (sys, ids) = dyn_system(&[(10, 1, 0, 0), (2, 10, 0, 0)], 11);
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(100_000.0);
+        assert_eq!(
+            dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerNode, DynAnalysisMode::Greedy, limit),
+            None
+        );
+        assert!(dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn exact_mode_converges_on_mixed_sizes() {
+        let (sys, ids) = dyn_system(
+            &[(5, 1, 0, 0), (5, 2, 0, 0), (9, 3, 0, 0), (2, 4, 0, 1)],
+            12,
+        );
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(1_000_000.0);
+        let wg = dyn_delay(&sys, ids[3], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("greedy converges");
+        let we = dyn_delay(&sys, ids[3], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Exact, limit)
+            .expect("exact converges");
+        // both bound the interference-free floor from below
+        let floor = dyn_delay(
+            &dyn_system(&[(2, 4, 0, 1)], 12).0,
+            dyn_system(&[(2, 4, 0, 1)], 12).1[0],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("floor");
+        assert!(wg >= floor);
+        assert!(we >= floor);
+    }
+
+    #[test]
+    fn jitter_adds_arrivals() {
+        let (sys, ids) = dyn_system(&[(9, 1, 0, 0), (2, 2, 0, 1)], 10);
+        let mut jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(10_000_000.0);
+        let w0 = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("w0");
+        jitter[ids[0].index()] = Time::from_us(999.0); // almost one period
+        let w1 = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
+            .expect("w1");
+        assert!(w1 > w0, "{w1} vs {w0}");
+    }
+}

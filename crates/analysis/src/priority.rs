@@ -1,0 +1,151 @@
+//! Modified critical-path priority for the list scheduler.
+//!
+//! The list scheduler of Fig. 2 selects among ready activities with "a
+//! modified critical path metric" (ref [12] of the paper): an activity is
+//! the more urgent the longer the remaining path from it to the graph
+//! sink, relative to how little laxity the graph deadline leaves.
+
+use flexray_model::{ActivityId, System, Time};
+
+/// Longest path (sum of durations) from each activity to any sink of its
+/// graph, including the activity's own duration.
+///
+/// Message durations use the current bus configuration (Eq. (1)), so the
+/// priorities adapt to the configuration under evaluation.
+///
+/// # Panics
+///
+/// Panics if the application contains a cycle (validated systems never
+/// do).
+#[must_use]
+pub fn longest_path_to_sink(sys: &System) -> Vec<Time> {
+    let order = sys
+        .app
+        .topological_order()
+        .expect("validated application is acyclic");
+    let mut lp = vec![Time::ZERO; sys.app.activities().len()];
+    for &id in order.iter().rev() {
+        let own = sys.duration_of(id);
+        let tail = sys
+            .app
+            .succs(id)
+            .iter()
+            .map(|&s| lp[s.index()])
+            .max()
+            .unwrap_or(Time::ZERO);
+        lp[id.index()] = own + tail;
+    }
+    lp
+}
+
+/// Longest path from any source of the graph **to** each activity,
+/// including the activity's own duration.
+///
+/// This is `LP_m` in the criticality metric of Eq. (4)
+/// (`CP_m = D_m − LP_m`): the earliest an activity can possibly finish.
+#[must_use]
+pub fn longest_path_from_source(sys: &System) -> Vec<Time> {
+    let order = sys
+        .app
+        .topological_order()
+        .expect("validated application is acyclic");
+    let mut lp = vec![Time::ZERO; sys.app.activities().len()];
+    for &id in &order {
+        let own = sys.duration_of(id);
+        let head = sys
+            .app
+            .preds(id)
+            .iter()
+            .map(|&p| lp[p.index()])
+            .max()
+            .unwrap_or(Time::ZERO);
+        lp[id.index()] = head + own;
+    }
+    lp
+}
+
+/// Criticality `CP_m = D_m − LP_m` of Eq. (4) for every activity: the
+/// slack between the effective deadline and the earliest possible
+/// completion. Smaller values mean higher criticality.
+#[must_use]
+pub fn criticality(sys: &System) -> Vec<Time> {
+    let lp = longest_path_from_source(sys);
+    sys.app
+        .ids()
+        .map(|id| sys.app.deadline_of(id) - lp[id.index()])
+        .collect()
+}
+
+/// Comparison key for the ready list: higher urgency first.
+///
+/// Activities with a longer remaining critical path are scheduled first;
+/// ties break on smaller id for determinism.
+#[must_use]
+pub fn ready_list_order(lp_to_sink: &[Time], a: ActivityId, b: ActivityId) -> core::cmp::Ordering {
+    lp_to_sink[b.index()]
+        .cmp(&lp_to_sink[a.index()])
+        .then(a.index().cmp(&b.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    fn chain_system() -> (System, ActivityId, ActivityId, ActivityId) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(100.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let m = app.add_message(g, "m", 4, MessageClass::Static, 0);
+        app.connect(a, m, b).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(4.0);
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        (sys, a, b, m)
+    }
+
+    #[test]
+    fn lp_to_sink_accumulates_chain() {
+        let (sys, a, b, m) = chain_system();
+        let lp = longest_path_to_sink(&sys);
+        let cm = sys.comm_time(m);
+        assert_eq!(lp[b.index()], Time::from_us(20.0));
+        assert_eq!(lp[m.index()], Time::from_us(20.0) + cm);
+        assert_eq!(lp[a.index()], Time::from_us(30.0) + cm);
+    }
+
+    #[test]
+    fn lp_from_source_accumulates_chain() {
+        let (sys, a, b, m) = chain_system();
+        let lp = longest_path_from_source(&sys);
+        let cm = sys.comm_time(m);
+        assert_eq!(lp[a.index()], Time::from_us(10.0));
+        assert_eq!(lp[m.index()], Time::from_us(10.0) + cm);
+        assert_eq!(lp[b.index()], Time::from_us(30.0) + cm);
+    }
+
+    #[test]
+    fn criticality_is_deadline_minus_lp() {
+        let (sys, a, _, _) = chain_system();
+        let cp = criticality(&sys);
+        assert_eq!(cp[a.index()], Time::from_us(90.0));
+    }
+
+    #[test]
+    fn ready_order_prefers_long_path() {
+        let (sys, a, b, _) = chain_system();
+        let lp = longest_path_to_sink(&sys);
+        assert_eq!(ready_list_order(&lp, a, b), core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn ready_order_breaks_ties_by_id() {
+        let lp = vec![Time::from_us(5.0), Time::from_us(5.0)];
+        assert_eq!(
+            ready_list_order(&lp, ActivityId::new(0), ActivityId::new(1)),
+            core::cmp::Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,618 @@
+//! List scheduler building the static schedule table (Fig. 2 of the
+//! paper).
+//!
+//! SCS tasks and ST messages are extracted from a ready list ordered by
+//! the modified critical-path priority and placed at the earliest
+//! feasible time: tasks in the first sufficient gap of their node,
+//! messages in the first static-slot instance of their sender node with
+//! enough remaining frame capacity. Frames deliver at slot end, several
+//! messages may share one frame (Fig. 3.c), and instances that cannot be
+//! placed inside the hyperperiod are recorded with synthetic overflow
+//! times so the cost function still grades the configuration.
+
+use crate::availability::Availability;
+use crate::priority::longest_path_to_sink;
+use crate::table::{MessageEntry, ScheduleTable, TaskEntry};
+use flexray_model::{ActivityId, ModelError, SchedPolicy, SlotId, System, Time};
+use std::collections::HashMap;
+
+/// How SCS task instances are placed in the static schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScsPlacement {
+    /// First sufficient gap after the ASAP time — fast, and the
+    /// behaviour most reproductions assume.
+    #[default]
+    Asap,
+    /// Fig. 2, line 11: among the first few feasible gaps, pick the one
+    /// that minimises the worst-case response times of the FPS tasks on
+    /// the node (evaluated with a jitter-free response-time analysis).
+    /// Slower, but recovers slack fragmentation that starves FPS tasks.
+    MinimiseFpsImpact,
+}
+
+/// A single job: the `instance`-th activation of a time-triggered
+/// activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Job {
+    activity: ActivityId,
+    instance: i64,
+}
+
+/// Builds the static schedule table for all SCS tasks and ST messages of
+/// the system over one hyperperiod.
+///
+/// `et_finish_bound` gives, per activity id, the current bound on the
+/// completion (relative to graph activation) of event-triggered
+/// activities; it is consulted when a time-triggered activity depends on
+/// an event-triggered predecessor. Pass the activity durations on the
+/// first holistic iteration.
+///
+/// # Errors
+///
+/// Returns an error if the hyperperiod overflows or the bus cycle is
+/// empty while static messages exist.
+pub fn build_schedule(
+    sys: &System,
+    et_finish_bound: &[Time],
+) -> Result<ScheduleTable, ModelError> {
+    build_schedule_with(sys, et_finish_bound, ScsPlacement::Asap)
+}
+
+/// [`build_schedule`] with an explicit SCS placement policy.
+///
+/// # Errors
+///
+/// See [`build_schedule`].
+pub fn build_schedule_with(
+    sys: &System,
+    et_finish_bound: &[Time],
+    placement: ScsPlacement,
+) -> Result<ScheduleTable, ModelError> {
+    let horizon = sys.hyperperiod()?;
+    let mut table = ScheduleTable::new(horizon);
+    let lp = longest_path_to_sink(sys);
+
+    // Enumerate jobs of all TT activities and count their TT predecessors.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut pending_tt_preds: HashMap<(ActivityId, i64), usize> = HashMap::new();
+    for id in sys.app.ids() {
+        if !sys.app.activity(id).is_time_triggered() {
+            continue;
+        }
+        let period = sys.app.period_of(id);
+        let instances = horizon / period;
+        for k in 0..instances {
+            let tt_preds = sys
+                .app
+                .preds(id)
+                .iter()
+                .filter(|&&p| sys.app.activity(p).is_time_triggered())
+                .count();
+            jobs.push(Job {
+                activity: id,
+                instance: k,
+            });
+            pending_tt_preds.insert((id, k), tt_preds);
+        }
+    }
+
+    // ready(a, k): lower bound on the start, updated as predecessors land.
+    let mut ready: HashMap<(ActivityId, i64), Time> = HashMap::new();
+    for job in &jobs {
+        let a = sys.app.activity(job.activity);
+        let activation = sys.app.period_of(job.activity) * job.instance;
+        let mut r = activation + a.release;
+        for &p in sys.app.preds(job.activity) {
+            if !sys.app.activity(p).is_time_triggered() {
+                r = r.max(activation + et_finish_bound[p.index()]);
+            }
+        }
+        ready.insert((job.activity, job.instance), r);
+    }
+
+    // Per-node busy intervals (sorted) and per-slot-instance frame usage.
+    let mut node_busy: HashMap<usize, Vec<(Time, Time)>> = HashMap::new();
+    let mut slot_usage: HashMap<(i64, SlotId), Time> = HashMap::new();
+    let gd_cycle = sys.bus.gd_cycle();
+    let n_cycles = if gd_cycle > Time::ZERO {
+        horizon.div_ceil(gd_cycle)
+    } else {
+        0
+    };
+
+    let mut unscheduled = jobs.len();
+    let mut scheduled: HashMap<(ActivityId, i64), bool> = HashMap::new();
+    while unscheduled > 0 {
+        // Ready list: jobs whose TT predecessors are all placed.
+        let best = jobs
+            .iter()
+            .filter(|j| {
+                !scheduled.contains_key(&(j.activity, j.instance))
+                    && pending_tt_preds[&(j.activity, j.instance)] == 0
+            })
+            .min_by(|a, b| {
+                crate::priority::ready_list_order(&lp, a.activity, b.activity)
+                    .then(a.instance.cmp(&b.instance))
+            })
+            .copied();
+        let Some(job) = best else {
+            // All remaining jobs are blocked — cannot happen on an acyclic
+            // application, but guard against it.
+            return Err(ModelError::MalformedGraph(
+                "list scheduler deadlocked on blocked jobs".into(),
+            ));
+        };
+        let asap = ready[&(job.activity, job.instance)];
+        let finish = match sys.app.activity(job.activity).as_task() {
+            Some(task) => place_task(
+                sys, &mut table, &mut node_busy, job, task.node, asap, horizon, placement,
+            ),
+            None => place_message(
+                sys,
+                &mut table,
+                &mut slot_usage,
+                job,
+                asap,
+                horizon,
+                n_cycles,
+            )?,
+        };
+        scheduled.insert((job.activity, job.instance), true);
+        unscheduled -= 1;
+        for &s in sys.app.succs(job.activity) {
+            if !sys.app.activity(s).is_time_triggered() {
+                continue;
+            }
+            if let Some(count) = pending_tt_preds.get_mut(&(s, job.instance)) {
+                *count -= 1;
+            }
+            if let Some(r) = ready.get_mut(&(s, job.instance)) {
+                *r = (*r).max(finish);
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Places one SCS task instance on its node and returns its finish
+/// time. Under [`ScsPlacement::Asap`] the earliest gap wins; under
+/// [`ScsPlacement::MinimiseFpsImpact`] a handful of candidate gaps are
+/// scored by the jitter-free response times of the node's FPS tasks.
+#[allow(clippy::too_many_arguments)]
+fn place_task(
+    sys: &System,
+    table: &mut ScheduleTable,
+    node_busy: &mut HashMap<usize, Vec<(Time, Time)>>,
+    job: Job,
+    node: flexray_model::NodeId,
+    asap: Time,
+    horizon: Time,
+    placement: ScsPlacement,
+) -> Time {
+    let wcet = sys
+        .app
+        .activity(job.activity)
+        .as_task()
+        .expect("task job")
+        .wcet;
+    let start = match placement {
+        ScsPlacement::Asap => {
+            first_gap(node_busy.entry(node.index()).or_default(), asap, wcet, horizon)
+        }
+        ScsPlacement::MinimiseFpsImpact => {
+            choose_fps_friendly_start(sys, node_busy, node, asap, wcet, horizon)
+        }
+    };
+    let busy = node_busy.entry(node.index()).or_default();
+    let (start, finish, overflow) = match start {
+        Some(s) => (s, s + wcet, false),
+        None => {
+            // Synthetic placement past the horizon for graded costs.
+            let tail = busy.last().map_or(Time::ZERO, |&(_, f)| f);
+            let s = asap.max(tail).max(horizon);
+            (s, s + wcet, true)
+        }
+    };
+    if overflow {
+        table.mark_overflow(job.activity);
+    } else {
+        let pos = busy.partition_point(|&(s, _)| s < start);
+        busy.insert(pos, (start, finish));
+    }
+    table.push_task(TaskEntry {
+        activity: job.activity,
+        instance: job.instance,
+        node,
+        start,
+        finish,
+    });
+    finish
+}
+
+/// Candidate placements for the FPS-aware policy: the ASAP gap plus the
+/// gaps after each of the next few busy windows; the one minimising the
+/// summed jitter-free FPS response times on the node wins (ties go to
+/// the earlier start).
+fn choose_fps_friendly_start(
+    sys: &System,
+    node_busy: &mut HashMap<usize, Vec<(Time, Time)>>,
+    node: flexray_model::NodeId,
+    asap: Time,
+    wcet: Time,
+    horizon: Time,
+) -> Option<Time> {
+    const MAX_GAPS: usize = 3;
+    let busy = node_busy.entry(node.index()).or_default().clone();
+    // Enumerate start-aligned and end-aligned placements in the first
+    // few feasible gaps.
+    let mut candidates: Vec<Time> = Vec::new();
+    let mut gap_start = Time::ZERO;
+    let mut gaps_seen = 0usize;
+    let mut boundaries: Vec<(Time, Time)> = busy.clone();
+    boundaries.push((horizon, horizon)); // sentinel: final gap ends at the wall
+    for &(ws, wf) in &boundaries {
+        let lo = gap_start.max(asap);
+        let hi = ws; // gap is [gap_start, ws)
+        if hi - lo >= wcet {
+            // start-aligned, mid-gap and end-aligned placements: the
+            // mid-gap option splits the slack symmetrically, which often
+            // wins once the periodic wrap-around is accounted for.
+            candidates.push(lo);
+            let end_aligned = hi - wcet;
+            let mid = lo + (end_aligned - lo) / 2;
+            if mid > lo {
+                candidates.push(mid);
+            }
+            if end_aligned > mid {
+                candidates.push(end_aligned);
+            }
+            gaps_seen += 1;
+            if gaps_seen >= MAX_GAPS {
+                break;
+            }
+        }
+        gap_start = wf;
+    }
+    let fps_tasks: Vec<ActivityId> = sys
+        .app
+        .tasks_with_policy(SchedPolicy::Fps)
+        .filter(|&t| sys.app.activity(t).as_task().map(|s| s.node) == Some(node))
+        .collect();
+    if candidates.len() <= 1 || fps_tasks.is_empty() {
+        return candidates.first().copied();
+    }
+    let zero_jitter = vec![Time::ZERO; sys.app.activities().len()];
+    let limit = horizon.saturating_mul(4);
+    candidates
+        .into_iter()
+        .min_by_key(|&start| {
+            // tentative busy list with the candidate placement
+            let mut tentative = busy.clone();
+            let pos = tentative.partition_point(|&(s, _)| s < start);
+            tentative.insert(pos, (start, start + wcet));
+            let avail = Availability::new(horizon, merge_windows(tentative));
+            let impact: Time = fps_tasks
+                .iter()
+                .map(|&t| {
+                    crate::fps::fps_local_response(sys, &avail, t, &zero_jitter, limit)
+                        .unwrap_or(limit)
+                })
+                .sum();
+            (impact, start)
+        })
+}
+
+/// Merges touching/overlapping sorted windows (tentative placements may
+/// butt against existing ones).
+fn merge_windows(windows: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
+    let mut merged: Vec<(Time, Time)> = Vec::with_capacity(windows.len());
+    for (s, f) in windows {
+        match merged.last_mut() {
+            Some((_, last_f)) if s <= *last_f => *last_f = (*last_f).max(f),
+            _ => merged.push((s, f)),
+        }
+    }
+    merged
+}
+
+/// Earliest start of a contiguous gap of `len` in the sorted busy list,
+/// finishing no later than `wall`.
+fn first_gap(busy: &[(Time, Time)], from: Time, len: Time, wall: Time) -> Option<Time> {
+    let mut candidate = from.max(Time::ZERO);
+    for &(s, f) in busy {
+        if f <= candidate {
+            continue;
+        }
+        if candidate + len <= s {
+            break;
+        }
+        candidate = candidate.max(f);
+    }
+    (candidate + len <= wall).then_some(candidate)
+}
+
+/// Places one ST message instance in the earliest slot instance of its
+/// sender node with room left in the frame; returns the delivery time
+/// (slot end).
+fn place_message(
+    sys: &System,
+    table: &mut ScheduleTable,
+    slot_usage: &mut HashMap<(i64, SlotId), Time>,
+    job: Job,
+    ready: Time,
+    horizon: Time,
+    n_cycles: i64,
+) -> Result<Time, ModelError> {
+    let cm = sys.comm_time(job.activity);
+    let sender = sys.app.sender_of(job.activity).ok_or_else(|| {
+        ModelError::MalformedGraph(format!(
+            "static message '{}' has no sender",
+            sys.app.activity(job.activity).name
+        ))
+    })?;
+    let slots = sys.bus.slots_of(sender);
+    let gd_cycle = sys.bus.gd_cycle();
+    let slot_len = sys.bus.static_slot_len;
+
+    if !slots.is_empty() && gd_cycle > Time::ZERO {
+        let first_cycle = (ready.max(Time::ZERO)).div_floor(gd_cycle);
+        for cycle in first_cycle..n_cycles {
+            for &slot in &slots {
+                let slot_start = gd_cycle * cycle + sys.bus.slot_start(slot);
+                let slot_end = slot_start + slot_len;
+                if slot_start < ready || slot_end > horizon {
+                    continue;
+                }
+                let used = slot_usage.entry((cycle, slot)).or_insert(Time::ZERO);
+                if *used + cm <= slot_len {
+                    let tx_start = slot_start + *used;
+                    *used += cm;
+                    table.push_message(MessageEntry {
+                        activity: job.activity,
+                        instance: job.instance,
+                        cycle,
+                        slot,
+                        tx_start,
+                        tx_end: tx_start + cm,
+                        slot_end,
+                    });
+                    return Ok(slot_end);
+                }
+            }
+        }
+    }
+    // No feasible slot instance: synthetic delivery past the horizon.
+    table.mark_overflow(job.activity);
+    let finish = ready.max(horizon) + gd_cycle.max(cm) + cm;
+    table.push_message(MessageEntry {
+        activity: job.activity,
+        instance: job.instance,
+        cycle: n_cycles,
+        slot: slots.first().copied().unwrap_or_else(|| SlotId::new(1)),
+        tx_start: finish - cm,
+        tx_end: finish,
+        slot_end: finish,
+    });
+    Ok(finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    /// Two SCS tasks on one node plus a static message to another node.
+    fn chain_system(slot_len_us: f64, owners: Vec<NodeId>) -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let m = app.add_message(g, "m", 8, MessageClass::Static, 0); // 4µs on unit phy
+        app.connect(a, m, b).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(slot_len_us);
+        bus.static_slot_owners = owners;
+        System::validated(Platform::with_nodes(2), app, bus).expect("valid")
+    }
+
+    fn bounds(sys: &System) -> Vec<Time> {
+        sys.app.ids().map(|id| sys.duration_of(id)).collect()
+    }
+
+    #[test]
+    fn chain_is_scheduled_in_order() {
+        let sys = chain_system(8.0, vec![NodeId::new(0), NodeId::new(1)]);
+        let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
+        assert!(table.is_feasible());
+        let a = sys.app.find("a").expect("a");
+        let m = sys.app.find("m").expect("m");
+        let b = sys.app.find("b").expect("b");
+        let fa = table.finish_of(a, 0).expect("a scheduled");
+        let fm = table.finish_of(m, 0).expect("m scheduled");
+        let fb = table.finish_of(b, 0).expect("b scheduled");
+        assert_eq!(fa, Time::from_us(10.0));
+        // message waits for a slot-1 instance starting at/after 10:
+        // gdCycle = 16, slot1 of cycle 1 = [16, 24) -> delivery 24
+        assert_eq!(fm, Time::from_us(24.0));
+        assert_eq!(fb, Time::from_us(29.0));
+    }
+
+    #[test]
+    fn message_waits_for_own_nodes_slot() {
+        // node 0 owns only slot 2
+        let sys = chain_system(8.0, vec![NodeId::new(1), NodeId::new(0)]);
+        let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
+        let m = sys.app.find("m").expect("m");
+        // slot2 of cycle 0 = [8, 16): starts < ready(10) -> cycle 1 slot2
+        // = [24, 32): delivery 32
+        assert_eq!(table.finish_of(m, 0), Some(Time::from_us(32.0)));
+    }
+
+    #[test]
+    fn all_instances_of_periodic_graph_are_placed() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(50.0), Time::from_us(50.0));
+        app.add_task(g, "t", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let mut app2 = app.clone();
+        let g2 = app2.add_graph("h", Time::from_us(100.0), Time::from_us(100.0));
+        app2.add_task(g2, "u", NodeId::new(0), Time::from_us(7.0), SchedPolicy::Scs, 0);
+        let bus = BusConfig::new(PhyParams::unit());
+        let sys = System::validated(Platform::with_nodes(1), app2, bus).expect("valid");
+        let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
+        let t = sys.app.find("t").expect("t");
+        // period 50 in hyperperiod 100 => 2 instances
+        assert!(table.finish_of(t, 0).is_some());
+        assert!(table.finish_of(t, 1).is_some());
+        assert!(table.finish_of(t, 1).expect("inst 1") >= Time::from_us(50.0));
+    }
+
+    #[test]
+    fn frame_packing_shares_a_slot() {
+        // Two messages of 4µs from node 0 into a 8µs slot: same frame.
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let c = app.add_task(g, "c", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let m1 = app.add_message(g, "m1", 4, MessageClass::Static, 0); // 4µs
+        let m2 = app.add_message(g, "m2", 4, MessageClass::Static, 0); // 4µs
+        app.connect(a, m1, b).expect("edges");
+        app.connect(a, m2, c).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
+        let e1 = table.messages().iter().find(|e| e.activity == sys.app.find("m1").expect("m1")).expect("entry");
+        let e2 = table.messages().iter().find(|e| e.activity == sys.app.find("m2").expect("m2")).expect("entry");
+        assert_eq!(e1.cycle, e2.cycle);
+        assert_eq!(e1.slot, e2.slot);
+        assert_ne!(e1.tx_start, e2.tx_start);
+        assert_eq!(e1.slot_end, e2.slot_end); // both delivered at slot end
+    }
+
+    #[test]
+    fn infeasible_message_is_marked_overflowed() {
+        // Slot too scarce: node 0 owns one 4µs slot, needs 3 x 4µs in one
+        // cycle of 100µs horizon but period forces them into few cycles.
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(16.0), Time::from_us(16.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let m1 = app.add_message(g, "m1", 4, MessageClass::Static, 0); // 4µs
+        let m2 = app.add_message(g, "m2", 4, MessageClass::Static, 0); // 4µs
+        app.connect(a, m1, b).expect("edges");
+        app.add_edge(a, m2).expect("edge");
+        app.add_edge(m2, b).expect("edge");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(4.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        bus.n_minislots = 8; // cycle 12µs; horizon 16 -> only one full cycle
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
+        assert!(!table.is_feasible());
+        assert!(!table.overflowed().is_empty());
+    }
+
+    /// One SCS hog [0,40) plus a second SCS task and an FPS task on the
+    /// same node: ASAP placement glues the SCS tasks into one block and
+    /// starves the FPS task; the FPS-aware policy moves the second task
+    /// away from the block.
+    fn contended_node() -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        app.add_task(g, "hog", NodeId::new(0), Time::from_us(40.0), SchedPolicy::Scs, 0);
+        app.add_task(g, "second", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        app.add_task(g, "fps", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 1);
+        let bus = BusConfig::new(PhyParams::unit());
+        System::validated(Platform::with_nodes(1), app, bus).expect("valid")
+    }
+
+    #[test]
+    fn fps_aware_placement_avoids_growing_busy_blocks() {
+        let sys = contended_node();
+        let asap_table =
+            build_schedule_with(&sys, &bounds(&sys), ScsPlacement::Asap).expect("asap");
+        let friendly_table =
+            build_schedule_with(&sys, &bounds(&sys), ScsPlacement::MinimiseFpsImpact)
+                .expect("friendly");
+        let second = sys.app.find("second").expect("second");
+        // ASAP glues 'second' to the hog: starts at 40
+        let asap_start = asap_table
+            .tasks()
+            .iter()
+            .find(|e| e.activity == second)
+            .expect("entry")
+            .start;
+        assert_eq!(asap_start, Time::from_us(40.0));
+        // the FPS-aware policy picks a later, slack-preserving start
+        let friendly_start = friendly_table
+            .tasks()
+            .iter()
+            .find(|e| e.activity == second)
+            .expect("entry")
+            .start;
+        assert!(friendly_start > asap_start, "got {friendly_start}");
+        // and the FPS task's worst-case response improves
+        let fps = sys.app.find("fps").expect("fps");
+        let limit = Time::from_us(1000.0);
+        let zero = vec![Time::ZERO; sys.app.activities().len()];
+        let r_asap = crate::fps::fps_local_response(
+            &sys,
+            &Availability::new(asap_table.horizon(), asap_table.busy_windows(NodeId::new(0))),
+            fps,
+            &zero,
+            limit,
+        )
+        .expect("converges");
+        let r_friendly = crate::fps::fps_local_response(
+            &sys,
+            &Availability::new(
+                friendly_table.horizon(),
+                friendly_table.busy_windows(NodeId::new(0)),
+            ),
+            fps,
+            &zero,
+            limit,
+        )
+        .expect("converges");
+        assert!(r_friendly < r_asap, "{r_friendly} !< {r_asap}");
+    }
+
+    #[test]
+    fn placement_policies_agree_without_fps_tasks() {
+        let sys = chain_system(8.0, vec![NodeId::new(0), NodeId::new(1)]);
+        let a = build_schedule_with(&sys, &bounds(&sys), ScsPlacement::Asap).expect("asap");
+        let b = build_schedule_with(&sys, &bounds(&sys), ScsPlacement::MinimiseFpsImpact)
+            .expect("friendly");
+        for e in a.tasks() {
+            let other = b
+                .tasks()
+                .iter()
+                .find(|x| x.activity == e.activity && x.instance == e.instance)
+                .expect("same job set");
+            assert_eq!(e.start, other.start);
+        }
+    }
+
+    #[test]
+    fn tt_task_waits_for_et_bound() {
+        // An FPS task feeds an SCS task via a dynamic message; the SCS
+        // start must respect the provided ET finish bounds.
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let e = app.add_task(g, "e", NodeId::new(0), Time::from_us(3.0), SchedPolicy::Fps, 5);
+        let s = app.add_task(g, "s", NodeId::new(1), Time::from_us(2.0), SchedPolicy::Scs, 0);
+        let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
+        app.connect(e, m, s).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.n_minislots = 10;
+        bus.frame_ids.insert(m, FrameId::new(1));
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let mut et_bound = bounds(&sys);
+        et_bound[m.index()] = Time::from_us(42.0);
+        let table = build_schedule(&sys, &et_bound).expect("schedule");
+        let entry = table.tasks().iter().find(|t| t.activity == s).expect("s entry");
+        assert_eq!(entry.start, Time::from_us(42.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benches for the holistic analysis — the per-evaluation cost
+//! that dominates every optimisation loop (Section 6.2 motivates the
+//! curve-fitting heuristic with exactly this cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexray_analysis::{analyse, AnalysisConfig, DynAnalysisMode};
+use flexray_gen::{generate, GeneratorConfig};
+use flexray_model::{PhyParams, System};
+use flexray_opt::{bbc_skeleton, Evaluator};
+
+fn system_for(n_nodes: usize) -> System {
+    let generated = generate(&GeneratorConfig::paper(n_nodes), 3).expect("generate");
+    let mut bus = bbc_skeleton(&generated.platform, &generated.app, PhyParams::bmw_like());
+    let ev = Evaluator::new(
+        generated.platform.clone(),
+        generated.app.clone(),
+        AnalysisConfig::default(),
+    );
+    if let Some((min, max)) = ev.dyn_bounds(&bus) {
+        bus.n_minislots = (min + max) / 2;
+    }
+    System {
+        platform: generated.platform,
+        app: generated.app,
+        bus,
+    }
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("holistic_analysis");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n_nodes in [2usize, 4, 6] {
+        let sys = system_for(n_nodes);
+        group.bench_with_input(BenchmarkId::new("greedy", n_nodes), &n_nodes, |b, _| {
+            let cfg = AnalysisConfig::default();
+            b.iter(|| analyse(&sys, &cfg).expect("analysis"));
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n_nodes), &n_nodes, |b, _| {
+            let cfg = AnalysisConfig {
+                dyn_mode: DynAnalysisMode::Exact,
+                ..AnalysisConfig::default()
+            };
+            b.iter(|| analyse(&sys, &cfg).expect("analysis"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the four optimisation algorithms — the data
+//! behind the right panel of Fig. 9 (run times) at bench granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexray_gen::{generate, GeneratorConfig};
+use flexray_model::PhyParams;
+use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, SaParams};
+
+fn bench_optimisers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimisers");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let phy = PhyParams::bmw_like();
+    let params = OptParams {
+        max_extra_slots: 4,
+        max_slot_len_steps: 4,
+        max_dyn_candidates: 64,
+        ..OptParams::default()
+    };
+    let sa = SaParams {
+        iterations: 100,
+        ..SaParams::default()
+    };
+    for n_nodes in [2usize, 3] {
+        let generated = generate(&GeneratorConfig::paper(n_nodes), 7).expect("generate");
+        let (p, a) = (generated.platform, generated.app);
+        group.bench_with_input(BenchmarkId::new("bbc", n_nodes), &n_nodes, |b, _| {
+            b.iter(|| bbc(&p, &a, phy, &params));
+        });
+        group.bench_with_input(BenchmarkId::new("obccf", n_nodes), &n_nodes, |b, _| {
+            b.iter(|| obc(&p, &a, phy, &params, DynSearch::CurveFit));
+        });
+        group.bench_with_input(BenchmarkId::new("obcee", n_nodes), &n_nodes, |b, _| {
+            b.iter(|| obc(&p, &a, phy, &params, DynSearch::Exhaustive));
+        });
+        group.bench_with_input(BenchmarkId::new("sa", n_nodes), &n_nodes, |b, _| {
+            b.iter(|| simulated_annealing(&p, &a, phy, &params, &sa));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimisers);
+criterion_main!(benches);

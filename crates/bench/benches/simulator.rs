@@ -1,0 +1,44 @@
+//! Criterion benches for the discrete-event simulator substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexray_gen::cruise_controller;
+use flexray_model::{PhyParams, System};
+use flexray_opt::{obc, DynSearch, OptParams};
+use flexray_sim::{simulate, SimConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    // A schedulable cruise-controller configuration from OBCCF.
+    let (platform, app) = cruise_controller(120.0).expect("cruise model");
+    let result = obc(
+        &platform,
+        &app,
+        PhyParams::bmw_like(),
+        &OptParams::default(),
+        DynSearch::CurveFit,
+    );
+    let sys = System {
+        platform,
+        app,
+        bus: result.bus,
+    };
+    let bounds: Vec<_> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
+    let table = flexray_analysis::build_schedule(&sys, &bounds).expect("schedule");
+
+    for reps in [1i64, 4] {
+        group.bench_with_input(BenchmarkId::new("cruise", reps), &reps, |b, &reps| {
+            let cfg = SimConfig {
+                reps,
+                ..SimConfig::default()
+            };
+            b.iter(|| simulate(&sys, &table, &cfg).expect("simulation"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

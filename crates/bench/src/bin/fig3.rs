@@ -1,0 +1,12 @@
+//! Regenerates Fig. 3 of the paper (ST-segment optimisation example).
+
+fn main() {
+    println!("Fig. 3 — optimisation of the ST segment (response time of m3)");
+    match flexray_bench::fig3::run() {
+        Ok(table) => println!("{table}"),
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

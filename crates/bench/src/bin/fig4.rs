@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4 of the paper (DYN-segment optimisation example).
+
+fn main() {
+    println!("Fig. 4 — optimisation of the DYN segment (response time of m2)");
+    match flexray_bench::fig4::run() {
+        Ok(table) => println!("{table}"),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 9: evaluation of the bus optimisation algorithms.
+//!
+//! Usage: fig9 [apps_per_point] [max_nodes] [fast]
+//! Defaults: 5 applications per node count, nodes 2..=5, full search
+//! parameters. The paper uses 25 applications per point; pass 25 for
+//! the full run (slow: expect tens of minutes in release mode). The
+//! optional third argument `fast` shrinks the search caps for a quick
+//! qualitative run.
+
+use flexray_bench::fig9::{render, run_experiment, Fig9Config};
+use flexray_opt::{OptParams, SaParams};
+
+fn main() {
+    let mut cfg = Fig9Config::default();
+    if let Some(apps) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        cfg.apps_per_point = apps;
+    }
+    if let Some(maxn) = std::env::args().nth(2).and_then(|s| s.parse().ok()) {
+        cfg.node_counts = (2..=maxn).collect();
+    }
+    if std::env::args().nth(3).as_deref() == Some("fast") {
+        cfg.params = OptParams {
+            max_extra_slots: 4,
+            max_slot_len_steps: 6,
+            max_dyn_candidates: 96,
+            dyn_step: 8,
+            ..OptParams::default()
+        };
+        cfg.sa = SaParams {
+            iterations: 400,
+            ..SaParams::default()
+        };
+    }
+    println!(
+        "Fig. 9 — {} applications per point, nodes {:?}",
+        cfg.apps_per_point, cfg.node_counts
+    );
+    match run_experiment(&cfg) {
+        Ok(points) => println!("{}", render(&points)),
+        Err(e) => {
+            eprintln!("fig9 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

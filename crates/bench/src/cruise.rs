@@ -1,0 +1,137 @@
+//! The vehicle cruise-controller case study (Section 7).
+//!
+//! The paper reports: BBC configures in under 5 seconds but the result
+//! is unschedulable; OBCCF (137 s) and OBCEE (29 min) both find
+//! schedulable configurations, with the OBCCF cost within 1.2 % of
+//! OBCEE's.
+
+use flexray_gen::cruise_controller;
+use flexray_model::{ModelError, PhyParams};
+use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+
+/// Default WCET scale making BBC unschedulable but OBC schedulable (see
+/// `flexray-gen::cruise_controller`).
+pub const DEFAULT_WCET_US: f64 = 150.0;
+
+/// Outcome of the case study.
+#[derive(Debug, Clone)]
+pub struct CruiseOutcome {
+    /// Results in order BBC, OBCCF, OBCEE, SA.
+    pub results: Vec<(String, OptResult)>,
+}
+
+impl CruiseOutcome {
+    /// The result of one algorithm by name.
+    #[must_use]
+    pub fn result(&self, name: &str) -> Option<&OptResult> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+    }
+}
+
+/// Runs all four algorithms on the cruise controller.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn run_case_study(
+    wcet_us: f64,
+    params: &OptParams,
+    sa: &SaParams,
+) -> Result<CruiseOutcome, ModelError> {
+    let (platform, app) = cruise_controller(wcet_us)?;
+    let phy = PhyParams::bmw_like();
+    let results = vec![
+        ("BBC".to_owned(), bbc(&platform, &app, phy, params)),
+        (
+            "OBCCF".to_owned(),
+            obc(&platform, &app, phy, params, DynSearch::CurveFit),
+        ),
+        (
+            "OBCEE".to_owned(),
+            obc(&platform, &app, phy, params, DynSearch::Exhaustive),
+        ),
+        (
+            "SA".to_owned(),
+            simulated_annealing(&platform, &app, phy, params, sa),
+        ),
+    ];
+    Ok(CruiseOutcome { results })
+}
+
+/// Renders the case-study table.
+#[must_use]
+pub fn render(outcome: &CruiseOutcome) -> String {
+    let rows: Vec<Vec<String>> = outcome
+        .results
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                if r.is_schedulable() { "yes" } else { "NO" }.to_owned(),
+                format!("{:+.1}", r.cost.value()),
+                format!("{:.2}", r.elapsed.as_secs_f64()),
+                r.evaluations.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["algorithm", "schedulable", "cost (µs)", "time (s)", "analyses"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_params() -> (OptParams, SaParams) {
+        // Default optimiser parameters (the calibration point), short SA.
+        (
+            OptParams::default(),
+            SaParams {
+                iterations: 80,
+                ..SaParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn bbc_unschedulable_obc_schedulable() {
+        let (params, sa) = fast_params();
+        let outcome = run_case_study(DEFAULT_WCET_US, &params, &sa).expect("case study");
+        let bbc_r = outcome.result("BBC").expect("BBC ran");
+        let obccf_r = outcome.result("OBCCF").expect("OBCCF ran");
+        let obcee_r = outcome.result("OBCEE").expect("OBCEE ran");
+        assert!(
+            !bbc_r.is_schedulable(),
+            "BBC should fail at this load: {:?}",
+            bbc_r.cost
+        );
+        assert!(obccf_r.is_schedulable(), "OBCCF cost {:?}", obccf_r.cost);
+        assert!(obcee_r.is_schedulable(), "OBCEE cost {:?}", obcee_r.cost);
+    }
+
+    #[test]
+    fn obccf_close_to_obcee() {
+        let (params, sa) = fast_params();
+        let outcome = run_case_study(DEFAULT_WCET_US, &params, &sa).expect("case study");
+        let cf = outcome.result("OBCCF").expect("ran").cost.value();
+        let ee = outcome.result("OBCEE").expect("ran").cost.value();
+        // the paper reports 1.2%; allow a broad band for the reproduction
+        let dev = (cf - ee).abs() / ee.abs().max(1e-9) * 100.0;
+        assert!(dev < 25.0, "OBCCF deviates {dev:.1}% from OBCEE");
+    }
+
+    #[test]
+    fn render_mentions_all_algorithms() {
+        let (params, sa) = fast_params();
+        let outcome = run_case_study(DEFAULT_WCET_US, &params, &sa).expect("case study");
+        let text = render(&outcome);
+        for name in ["BBC", "OBCCF", "OBCEE", "SA"] {
+            assert!(text.contains(name));
+        }
+    }
+}

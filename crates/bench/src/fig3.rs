@@ -1,0 +1,179 @@
+//! Fig. 3 — optimisation of the ST segment.
+//!
+//! Two nodes; N1 sends m1 (4 time units), N2 sends m2 (3) and m3 (2).
+//! Three static-segment configurations are compared by the response time
+//! of m3 (slot-end delivery):
+//!
+//! * (a) two slots of 4 → m3 waits for the second cycle: R3 = 16;
+//! * (b) three slots of 4, N2 owning slots 2 and 3: R3 = 12;
+//! * (c) two *longer* slots of 5, m2 and m3 sharing N2's frame: R3 = 10.
+
+use flexray_analysis::build_schedule;
+use flexray_model::{
+    Application, BusConfig, MessageClass, ModelError, NodeId, PhyParams, Platform, SchedPolicy,
+    System, Time,
+};
+
+/// One Fig. 3 scenario: slot owners and the slot length (µs ≙ paper time
+/// units).
+#[derive(Debug, Clone)]
+pub struct Fig3Scenario {
+    /// Scenario label: "a", "b" or "c".
+    pub label: &'static str,
+    /// Static slot owners in slot order.
+    pub owners: Vec<NodeId>,
+    /// Slot length in paper time units.
+    pub slot_len: f64,
+    /// The paper's reported response time of m3.
+    pub paper_r3: f64,
+}
+
+/// The three configurations of Fig. 3.
+#[must_use]
+pub fn scenarios() -> Vec<Fig3Scenario> {
+    let n1 = NodeId::new(0);
+    let n2 = NodeId::new(1);
+    vec![
+        Fig3Scenario {
+            label: "a",
+            owners: vec![n1, n2],
+            slot_len: 4.0,
+            paper_r3: 16.0,
+        },
+        Fig3Scenario {
+            label: "b",
+            owners: vec![n1, n2, n2],
+            slot_len: 4.0,
+            paper_r3: 12.0,
+        },
+        Fig3Scenario {
+            label: "c",
+            owners: vec![n1, n2],
+            slot_len: 5.0,
+            paper_r3: 10.0,
+        },
+    ]
+}
+
+/// A physical layer where `2·n` bytes last exactly `n` µs and one
+/// macrotick/minislot is 1 µs — paper time units map to µs.
+#[must_use]
+pub fn paper_unit_phy() -> PhyParams {
+    PhyParams {
+        gd_bit: Time::from_ns(50),
+        gd_macrotick: Time::MICROSECOND,
+        gd_minislot: Time::MICROSECOND,
+        frame_overhead_bytes: 0,
+    }
+}
+
+/// Builds the Fig. 3 application: three ST messages of sizes 4/3/2 time
+/// units, senders as in the figure, receivers on the opposite node.
+///
+/// # Errors
+///
+/// Never fails for the built-in structure.
+pub fn fig3_app() -> Result<Application, ModelError> {
+    let mut app = Application::new();
+    let g = app.add_graph("fig3", Time::from_us(1000.0), Time::from_us(1000.0));
+    // negligible sender/receiver tasks so messages are ready at t ~ 0
+    let sizes = [(0usize, 8u32, "m1"), (1, 6, "m2"), (1, 4, "m3")];
+    for &(node, bytes, name) in &sizes {
+        let s = app.add_task(
+            g,
+            &format!("{name}_src"),
+            NodeId::new(node),
+            Time::from_ns(1),
+            SchedPolicy::Scs,
+            0,
+        );
+        let r = app.add_task(
+            g,
+            &format!("{name}_dst"),
+            NodeId::new(1 - node),
+            Time::from_ns(1),
+            SchedPolicy::Scs,
+            0,
+        );
+        let m = app.add_message(g, name, bytes, MessageClass::Static, 0);
+        app.connect(s, m, r)?;
+    }
+    app.validate()?;
+    Ok(app)
+}
+
+/// The measured response time of m3 under one scenario.
+///
+/// # Errors
+///
+/// Propagates model/scheduling errors.
+pub fn response_of_m3(scenario: &Fig3Scenario) -> Result<Time, ModelError> {
+    let app = fig3_app()?;
+    let mut bus = BusConfig::new(paper_unit_phy());
+    bus.static_slot_len = Time::from_us(scenario.slot_len);
+    bus.static_slot_owners = scenario.owners.clone();
+    let sys = System::validated(Platform::with_nodes(2), app, bus)?;
+    let bounds: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
+    let table = build_schedule(&sys, &bounds)?;
+    let m3 = sys.app.find("m3").expect("m3 exists");
+    table
+        .response_of(m3, sys.app.period_of(m3))
+        .ok_or_else(|| ModelError::MalformedGraph("m3 not scheduled".into()))
+}
+
+/// Runs all three scenarios and renders the comparison table.
+///
+/// # Errors
+///
+/// Propagates model/scheduling errors.
+pub fn run() -> Result<String, ModelError> {
+    let mut rows = Vec::new();
+    for sc in scenarios() {
+        let r3 = response_of_m3(&sc)?;
+        rows.push(vec![
+            sc.label.to_owned(),
+            format!("{} x {}", sc.owners.len(), sc.slot_len),
+            format!("{:.0}", sc.paper_r3),
+            format!("{:.0}", r3.as_us()),
+        ]);
+    }
+    Ok(crate::render_table(
+        &["scenario", "ST layout", "paper R3", "measured R3"],
+        &rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_values_exactly() {
+        for sc in scenarios() {
+            let r3 = response_of_m3(&sc).expect("scenario runs");
+            assert_eq!(
+                r3,
+                Time::from_us(sc.paper_r3),
+                "scenario {}: expected {} got {}",
+                sc.label,
+                sc.paper_r3,
+                r3.as_us()
+            );
+        }
+    }
+
+    #[test]
+    fn longer_slots_beat_more_slots_here() {
+        let scs = scenarios();
+        let ra = response_of_m3(&scs[0]).expect("a");
+        let rb = response_of_m3(&scs[1]).expect("b");
+        let rc = response_of_m3(&scs[2]).expect("c");
+        assert!(ra > rb && rb > rc);
+    }
+
+    #[test]
+    fn table_mentions_all_scenarios() {
+        let t = run().expect("runs");
+        assert!(t.contains("a") && t.contains("b") && t.contains("c"));
+    }
+}

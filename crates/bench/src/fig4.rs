@@ -1,0 +1,195 @@
+//! Fig. 4 — optimisation of the DYN segment.
+//!
+//! Two nodes; N1 sends m1 (7 minislots) and m3 (3), N2 sends m2 (6);
+//! one 8 µs static slot; `priority(m1) > priority(m3)`. Three scenarios
+//! compared by the response time of m2 (simulated, exact):
+//!
+//! * (a) Table A (m1→1, m2→2, m3→1), DYN = 12 minislots: R2 = 37;
+//! * (b) Table B (m1→1, m2→2, m3→3), DYN = 12: R2 = 35;
+//! * (c) Table B with DYN enlarged to 13: R2 = 21.
+
+use crate::fig3::paper_unit_phy;
+use flexray_analysis::{analyse, AnalysisConfig};
+use flexray_model::{
+    ActivityId, Application, BusConfig, FrameId, MessageClass, ModelError, NodeId, Platform,
+    SchedPolicy, System, Time,
+};
+use flexray_sim::simulate_default;
+
+/// One Fig. 4 scenario.
+#[derive(Debug, Clone)]
+pub struct Fig4Scenario {
+    /// Scenario label: "a", "b" or "c".
+    pub label: &'static str,
+    /// Frame identifier of (m1, m2, m3).
+    pub frame_ids: [u16; 3],
+    /// Dynamic-segment length in minislots.
+    pub n_minislots: u32,
+    /// The paper's reported response time of m2 (µs).
+    pub paper_r2: f64,
+}
+
+/// The three configurations of Fig. 4 (Tables A and B).
+#[must_use]
+pub fn scenarios() -> Vec<Fig4Scenario> {
+    vec![
+        Fig4Scenario {
+            label: "a",
+            frame_ids: [1, 2, 1],
+            n_minislots: 12,
+            paper_r2: 37.0,
+        },
+        Fig4Scenario {
+            label: "b",
+            frame_ids: [1, 2, 3],
+            n_minislots: 12,
+            paper_r2: 35.0,
+        },
+        Fig4Scenario {
+            label: "c",
+            frame_ids: [1, 2, 3],
+            n_minislots: 13,
+            paper_r2: 21.0,
+        },
+    ]
+}
+
+/// Builds the Fig. 4 system under one scenario; returns the system and
+/// the ids of (m1, m2, m3).
+///
+/// # Errors
+///
+/// Never fails for the built-in structure.
+pub fn fig4_system(sc: &Fig4Scenario) -> Result<(System, [ActivityId; 3]), ModelError> {
+    let mut app = Application::new();
+    let g = app.add_graph("fig4", Time::from_us(1000.0), Time::from_us(1000.0));
+    let sizes = [14u32, 12, 6]; // 7, 6, 3 minislots at 1 µs each
+    let senders = [0usize, 1, 0];
+    let prios = [9u32, 5, 1]; // priority(m1) > priority(m3)
+    let mut msgs = Vec::new();
+    for i in 0..3 {
+        let s = app.add_task(
+            g,
+            &format!("s{i}"),
+            NodeId::new(senders[i]),
+            Time::from_ns(1),
+            SchedPolicy::Fps,
+            10,
+        );
+        let r = app.add_task(
+            g,
+            &format!("r{i}"),
+            NodeId::new(1 - senders[i]),
+            Time::from_ns(1),
+            SchedPolicy::Fps,
+            10,
+        );
+        let m = app.add_message(
+            g,
+            &format!("m{}", i + 1),
+            sizes[i],
+            MessageClass::Dynamic,
+            prios[i],
+        );
+        app.connect(s, m, r)?;
+        msgs.push(m);
+    }
+    let mut bus = BusConfig::new(paper_unit_phy());
+    bus.static_slot_len = Time::from_us(8.0);
+    bus.static_slot_owners = vec![NodeId::new(0)];
+    bus.n_minislots = sc.n_minislots;
+    for (i, &m) in msgs.iter().enumerate() {
+        bus.frame_ids.insert(m, FrameId::new(sc.frame_ids[i]));
+    }
+    let sys = System::validated(Platform::with_nodes(2), app, bus)?;
+    Ok((sys, [msgs[0], msgs[1], msgs[2]]))
+}
+
+/// Simulated response time of m2 and the analysed worst-case bound.
+///
+/// # Errors
+///
+/// Propagates model/simulation errors.
+pub fn response_of_m2(sc: &Fig4Scenario) -> Result<(Time, Time), ModelError> {
+    let (sys, [_, m2, _]) = fig4_system(sc)?;
+    let report = simulate_default(&sys)?;
+    let simulated = report
+        .response(m2)
+        .ok_or_else(|| ModelError::MalformedGraph("m2 never delivered".into()))?;
+    let analysis = analyse(&sys, &AnalysisConfig::default())?;
+    Ok((simulated, analysis.response(m2)))
+}
+
+/// Runs all three scenarios and renders the comparison table.
+///
+/// # Errors
+///
+/// Propagates model/simulation errors.
+pub fn run() -> Result<String, ModelError> {
+    let mut rows = Vec::new();
+    for sc in scenarios() {
+        let (sim, wcrt) = response_of_m2(&sc)?;
+        rows.push(vec![
+            sc.label.to_owned(),
+            format!("{:?}", sc.frame_ids),
+            sc.n_minislots.to_string(),
+            format!("{:.0}", sc.paper_r2),
+            format!("{:.0}", sim.as_us()),
+            format!("{:.0}", wcrt.as_us()),
+        ]);
+    }
+    Ok(crate::render_table(
+        &[
+            "scenario",
+            "FrameIDs(m1,m2,m3)",
+            "DYN(ms)",
+            "paper R2",
+            "simulated R2",
+            "analysed WCRT",
+        ],
+        &rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_paper_exactly() {
+        for sc in scenarios() {
+            let (sim, _) = response_of_m2(&sc).expect("scenario runs");
+            assert_eq!(
+                sim,
+                Time::from_us(sc.paper_r2),
+                "scenario {}: paper {} vs simulated {}",
+                sc.label,
+                sc.paper_r2,
+                sim.as_us()
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_bounds_simulation() {
+        for sc in scenarios() {
+            let (sim, wcrt) = response_of_m2(&sc).expect("scenario runs");
+            assert!(
+                wcrt >= sim,
+                "scenario {}: WCRT {} < simulated {}",
+                sc.label,
+                wcrt.as_us(),
+                sim.as_us()
+            );
+        }
+    }
+
+    #[test]
+    fn separate_ids_and_longer_segment_help() {
+        let scs = scenarios();
+        let (ra, _) = response_of_m2(&scs[0]).expect("a");
+        let (rb, _) = response_of_m2(&scs[1]).expect("b");
+        let (rc, _) = response_of_m2(&scs[2]).expect("c");
+        assert!(ra > rb && rb > rc);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fig. 7 — influence of the DYN segment length on message response
+//! times.
+//!
+//! The 45-task / 10 ST / 20 DYN workload of `flexray-gen` is analysed
+//! for a range of dynamic-segment lengths with the static segment fixed
+//! (the paper fixes STbus = 1286 µs and sweeps DYNbus from 2285.4 to
+//! 13000 µs). The paper's observation — both very short and very long
+//! bus cycles inflate response times, with a sweet spot in between — is
+//! what the harness (and its tests) check.
+
+use flexray_analysis::{analyse, AnalysisConfig};
+use flexray_gen::fig7_system;
+use flexray_model::{
+    ActivityId, BusConfig, MessageClass, ModelError, NodeId, PhyParams, System, Time,
+};
+use flexray_opt::assign_frame_ids_by_criticality;
+
+/// One sweep sample: dynamic-segment length and the response times of
+/// the tracked messages.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Dynamic-segment length (µs).
+    pub dyn_bus_us: f64,
+    /// Bus cycle length (µs).
+    pub gd_cycle_us: f64,
+    /// Response time (µs) per tracked message.
+    pub responses_us: Vec<f64>,
+}
+
+/// The swept system with its fixed static layout.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fig7_bus_template() -> Result<(System, Vec<ActivityId>), ModelError> {
+    let (platform, app) = fig7_system()?;
+    let phy = PhyParams::bmw_like(); // 2 µs minislots, 1 µs macroticks
+    let mut bus = BusConfig::new(phy);
+    // STbus ~ 1286 µs over 5 slots (one per node): 258 µs slots.
+    bus.static_slot_len = Time::from_us(258.0);
+    bus.static_slot_owners = (0..platform.len()).map(NodeId::new).collect();
+    bus.frame_ids = assign_frame_ids_by_criticality(&platform, &app, &bus);
+    bus.n_minislots = 1200;
+    let sys = System::validated(platform, app, bus)?;
+    let tracked: Vec<ActivityId> = sys
+        .app
+        .messages_of_class(MessageClass::Dynamic)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .step_by(4)
+        .collect();
+    Ok((sys, tracked))
+}
+
+/// Sweeps the dynamic-segment length over `n_points` between `min_us`
+/// and `max_us` (paper: 2285.4–13000 µs).
+///
+/// # Errors
+///
+/// Propagates model/analysis errors.
+pub fn sweep(min_us: f64, max_us: f64, n_points: usize) -> Result<Vec<SweepPoint>, ModelError> {
+    let (mut sys, tracked) = fig7_bus_template()?;
+    let minislot_us = sys.bus.phy.gd_minislot.as_us();
+    let cfg = AnalysisConfig::default();
+    let mut out = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let frac = i as f64 / (n_points.saturating_sub(1).max(1)) as f64;
+        // geometric spacing like the paper's x-axis
+        let dyn_us = min_us * (max_us / min_us).powf(frac);
+        let n_minislots = (dyn_us / minislot_us).round() as u32;
+        sys.bus.n_minislots = n_minislots;
+        if sys.bus.validate_for(&sys.app, sys.platform.len()).is_err() {
+            continue;
+        }
+        let analysis = analyse(&sys, &cfg)?;
+        out.push(SweepPoint {
+            dyn_bus_us: f64::from(n_minislots) * minislot_us,
+            gd_cycle_us: sys.bus.gd_cycle().as_us(),
+            responses_us: tracked
+                .iter()
+                .map(|&m| analysis.response(m).as_us())
+                .collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the paper's sweep and renders the series table.
+///
+/// # Errors
+///
+/// Propagates model/analysis errors.
+pub fn run(n_points: usize) -> Result<String, ModelError> {
+    let points = sweep(2285.4, 13_000.0, n_points)?;
+    let n_msgs = points.first().map_or(0, |p| p.responses_us.len());
+    let mut headers: Vec<String> = vec!["DYNbus(µs)".into(), "gdCycle(µs)".into()];
+    headers.extend((0..n_msgs).map(|i| format!("R(msg{i})µs")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{:.1}", p.dyn_bus_us), format!("{:.1}", p.gd_cycle_us)];
+            row.extend(p.responses_us.iter().map(|r| format!("{r:.0}")));
+            row
+        })
+        .collect();
+    Ok(crate::render_table(&header_refs, &rows))
+}
+
+/// Checks the paper's qualitative claim on a sweep: at least one tracked
+/// message has a strict interior optimum (U-shape).
+#[must_use]
+pub fn has_u_shape(points: &[SweepPoint]) -> bool {
+    let n_msgs = points.first().map_or(0, |p| p.responses_us.len());
+    (0..n_msgs).any(|m| {
+        let series: Vec<f64> = points.iter().map(|p| p.responses_us[m]).collect();
+        let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let first = *series.first().expect("non-empty");
+        let last = *series.last().expect("non-empty");
+        min < first && min < last
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_points() {
+        let points = sweep(2285.4, 13_000.0, 6).expect("sweep");
+        assert!(points.len() >= 5);
+        assert!(points[0].dyn_bus_us < points[points.len() - 1].dyn_bus_us);
+        // cycle = ST + DYN
+        for p in &points {
+            assert!((p.gd_cycle_us - p.dyn_bus_us - 1290.0).abs() < 5.0);
+        }
+    }
+
+    #[test]
+    fn responses_show_u_shape() {
+        let points = sweep(2285.4, 13_000.0, 8).expect("sweep");
+        assert!(
+            has_u_shape(&points),
+            "expected an interior optimum; series: {points:?}"
+        );
+    }
+
+    #[test]
+    fn long_cycles_inflate_responses() {
+        let points = sweep(2285.4, 13_000.0, 6).expect("sweep");
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        // on average, the longest cycle is worse than the best point
+        let avg = |p: &SweepPoint| {
+            p.responses_us.iter().sum::<f64>() / p.responses_us.len() as f64
+        };
+        let best = points.iter().map(avg).fold(f64::INFINITY, f64::min);
+        assert!(avg(last) > best);
+        let _ = first;
+    }
+}

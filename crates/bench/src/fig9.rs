@@ -1,0 +1,227 @@
+//! Fig. 9 — evaluation of the bus optimisation algorithms.
+//!
+//! Synthetic systems of 2–7 nodes (sets of applications per node count)
+//! are optimised with BBC, OBCCF, OBCEE and SA. The left chart of Fig. 9
+//! reports the average percentage deviation of the cost function from
+//! the SA reference; the right chart reports run times.
+//!
+//! Expected shape (the paper's claims): BBC runs in near-zero time but
+//! stops finding schedulable configurations as systems grow; OBCCF and
+//! OBCEE stay within a few percent of SA; OBCCF is much faster than
+//! OBCEE.
+
+use flexray_gen::{generate, GeneratorConfig};
+use flexray_model::{ModelError, PhyParams};
+use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+
+/// Scale of the Fig. 9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Node counts to sweep (the paper generates sets for 2–7 and plots
+    /// 2–5).
+    pub node_counts: Vec<usize>,
+    /// Applications per node count (the paper uses 25).
+    pub apps_per_point: usize,
+    /// Optimiser parameters.
+    pub params: OptParams,
+    /// SA baseline parameters.
+    pub sa: SaParams,
+    /// Base RNG seed; application `i` of point `n` uses
+    /// `seed0 + 1000·n + i`.
+    pub seed0: u64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            node_counts: vec![2, 3, 4, 5],
+            apps_per_point: 5,
+            params: OptParams::default(),
+            sa: SaParams::default(),
+            seed0: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of one algorithm on one node-count set.
+#[derive(Debug, Clone, Default)]
+pub struct AlgoStats {
+    /// Number of applications solved schedulably.
+    pub schedulable: usize,
+    /// Applications evaluated.
+    pub total: usize,
+    /// Mean percentage deviation of the cost from SA, over applications
+    /// where both the algorithm and SA found schedulable configurations.
+    pub avg_deviation_pct: f64,
+    /// Mean wall-clock seconds per application.
+    pub avg_time_s: f64,
+    /// Mean number of full analyses per application.
+    pub avg_evaluations: f64,
+}
+
+/// All four algorithms on one node-count set.
+#[derive(Debug, Clone, Default)]
+pub struct PointStats {
+    /// Node count of the set.
+    pub n_nodes: usize,
+    /// Per-algorithm stats in order BBC, OBCCF, OBCEE, SA.
+    pub algos: Vec<(String, AlgoStats)>,
+}
+
+/// Percentage deviation of a cost from the SA reference.
+fn deviation_pct(alg: &OptResult, sa: &OptResult) -> Option<f64> {
+    if !(alg.is_schedulable() && sa.is_schedulable()) {
+        return None;
+    }
+    let a = alg.cost.value();
+    let s = sa.cost.value();
+    if s.abs() < f64::EPSILON {
+        return None;
+    }
+    // costs are negative laxities: less negative = worse
+    Some((a - s) / s.abs() * 100.0)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn run_experiment(cfg: &Fig9Config) -> Result<Vec<PointStats>, ModelError> {
+    let phy = PhyParams::bmw_like();
+    let mut out = Vec::new();
+    for &n in &cfg.node_counts {
+        let gen_cfg = GeneratorConfig::paper(n);
+        let mut results: Vec<Vec<OptResult>> = vec![Vec::new(); 4];
+        for i in 0..cfg.apps_per_point {
+            let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
+            let generated = generate(&gen_cfg, seed)?;
+            let (p, a) = (&generated.platform, &generated.app);
+            results[0].push(bbc(p, a, phy, &cfg.params));
+            results[1].push(obc(p, a, phy, &cfg.params, DynSearch::CurveFit));
+            results[2].push(obc(p, a, phy, &cfg.params, DynSearch::Exhaustive));
+            results[3].push(simulated_annealing(p, a, phy, &cfg.params, &cfg.sa));
+        }
+        let names = ["BBC", "OBCCF", "OBCEE", "SA"];
+        let sa_results = results[3].clone();
+        let algos = names
+            .iter()
+            .zip(&results)
+            .map(|(name, rs)| {
+                let mut stats = AlgoStats {
+                    total: rs.len(),
+                    ..AlgoStats::default()
+                };
+                let mut devs = Vec::new();
+                for (r, sa_r) in rs.iter().zip(&sa_results) {
+                    if r.is_schedulable() {
+                        stats.schedulable += 1;
+                    }
+                    if let Some(d) = deviation_pct(r, sa_r) {
+                        devs.push(d);
+                    }
+                    stats.avg_time_s += r.elapsed.as_secs_f64() / rs.len() as f64;
+                    stats.avg_evaluations += r.evaluations as f64 / rs.len() as f64;
+                }
+                if !devs.is_empty() {
+                    stats.avg_deviation_pct = devs.iter().sum::<f64>() / devs.len() as f64;
+                }
+                ((*name).to_owned(), stats)
+            })
+            .collect();
+        out.push(PointStats { n_nodes: n, algos });
+    }
+    Ok(out)
+}
+
+/// Renders the two Fig. 9 panels as text tables.
+#[must_use]
+pub fn render(points: &[PointStats]) -> String {
+    let mut rows_left = Vec::new();
+    let mut rows_right = Vec::new();
+    for p in points {
+        for (name, s) in &p.algos {
+            rows_left.push(vec![
+                p.n_nodes.to_string(),
+                name.clone(),
+                format!("{}/{}", s.schedulable, s.total),
+                format!("{:+.2}", s.avg_deviation_pct),
+            ]);
+            rows_right.push(vec![
+                p.n_nodes.to_string(),
+                name.clone(),
+                format!("{:.3}", s.avg_time_s),
+                format!("{:.0}", s.avg_evaluations),
+            ]);
+        }
+    }
+    format!(
+        "Fig. 9 (left): schedulability degree (% deviation vs SA)\n{}\n\
+         Fig. 9 (right): run times\n{}",
+        crate::render_table(
+            &["nodes", "algorithm", "schedulable", "avg %dev vs SA"],
+            &rows_left
+        ),
+        crate::render_table(
+            &["nodes", "algorithm", "avg time (s)", "avg analyses"],
+            &rows_right
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake(schedulable: bool, value: f64) -> OptResult {
+        OptResult {
+            bus: flexray_model::BusConfig::new(PhyParams::bmw_like()),
+            cost: if schedulable {
+                flexray_analysis::Cost { f1: 0.0, f2: value }
+            } else {
+                flexray_analysis::Cost {
+                    f1: value,
+                    f2: value,
+                }
+            },
+            evaluations: 1,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn deviation_requires_both_schedulable() {
+        let sa = fake(true, -100.0);
+        assert_eq!(deviation_pct(&fake(false, 5.0), &sa), None);
+        // -96 laxity vs -100: 4% worse
+        let d = deviation_pct(&fake(true, -96.0), &sa).expect("defined");
+        assert!((d - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let cfg = Fig9Config {
+            node_counts: vec![2],
+            apps_per_point: 1,
+            params: OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            },
+            sa: flexray_opt::SaParams {
+                iterations: 30,
+                ..flexray_opt::SaParams::default()
+            },
+            seed0: 7,
+        };
+        let points = run_experiment(&cfg).expect("experiment runs");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].algos.len(), 4);
+        let text = render(&points);
+        assert!(text.contains("OBCCF"));
+        assert!(text.contains("BBC"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # flexray-bench
+//!
+//! Experiment harnesses regenerating every figure of the DATE'07
+//! evaluation:
+//!
+//! * [`fig3`] — ST-segment optimisation example (R3 = 16/12/10);
+//! * [`fig4`] — DYN-segment optimisation example (R2 = 37/35/21);
+//! * [`fig7`] — response time vs dynamic-segment length (U-shape);
+//! * [`fig9`] — BBC/OBCCF/OBCEE/SA comparison over synthetic sets;
+//! * [`cruise`] — the vehicle cruise-controller case study;
+//! * [`ablation`] — ablations of the reproduction's design choices.
+//!
+//! Each module has a `run`-style entry point used by the corresponding
+//! binary (`cargo run -p flexray-bench --bin fig3`, ...) and asserts the
+//! paper's qualitative claims in its tests.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablation;
+pub mod cruise;
+pub mod fig3;
+pub mod fig4;
+pub mod fig7;
+pub mod fig9;
+mod table;
+
+pub use table::render_table;

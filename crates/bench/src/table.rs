@@ -1,0 +1,76 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+/// Renders a padded text table: header row, separator, data rows.
+///
+/// # Examples
+///
+/// ```
+/// use flexray_bench::render_table;
+///
+/// let t = render_table(
+///     &["algo", "cost"],
+///     &[vec!["BBC".into(), "12.0".into()], vec!["OBC".into(), "-3.5".into()]],
+/// );
+/// assert!(t.contains("BBC"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // all rows same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let t = render_table(&["x"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! The Basic Bus Configuration (BBC) algorithm — Fig. 5 of the paper.
+//!
+//! BBC derives a configuration from the minimal bandwidth requirements:
+//! unique frame identifiers ordered by criticality, one static slot per
+//! static-sender node sized for the largest ST frame, and a sweep of the
+//! dynamic-segment length keeping the best cost.
+
+use crate::evaluator::Evaluator;
+use crate::frame_assign::assign_frame_ids_by_criticality;
+use crate::params::{OptParams, OptResult};
+use flexray_model::{Application, BusConfig, PhyParams, Platform, Time};
+use std::time::Instant;
+
+/// Builds the BBC bus skeleton (frame ids, minimal static segment) for a
+/// platform/application pair; the dynamic-segment length is left at
+/// zero.
+#[must_use]
+pub fn bbc_skeleton(platform: &Platform, app: &Application, phy: PhyParams) -> BusConfig {
+    let mut bus = BusConfig::new(phy);
+    bus.frame_ids = assign_frame_ids_by_criticality(platform, app, &bus);
+
+    // One slot per static-sender node, round robin (Fig. 5 lines 2-4).
+    let sys = flexray_model::System {
+        platform: platform.clone(),
+        app: app.clone(),
+        bus: bus.clone(),
+    };
+    let senders = sys.st_sender_nodes();
+    bus.static_slot_owners = senders;
+
+    // Slot sized for the largest static frame (Fig. 5 line 3).
+    bus.static_slot_len = sys
+        .app
+        .messages_of_class(flexray_model::MessageClass::Static)
+        .map(|m| bus.comm_time(&sys.app, m))
+        .max()
+        .map(|c| c.round_up_to(bus.phy.gd_macrotick).max(bus.phy.gd_macrotick))
+        .unwrap_or(Time::ZERO);
+    bus
+}
+
+/// Runs the BBC algorithm.
+///
+/// The dynamic-segment sweep covers `[DYNbus_min, DYNbus_max]` with the
+/// configured step (Fig. 5 lines 5–12); the best-cost configuration is
+/// returned whether or not it is schedulable.
+#[must_use]
+pub fn bbc(platform: &Platform, app: &Application, phy: PhyParams, params: &OptParams) -> OptResult {
+    let start = Instant::now();
+    let mut ev = Evaluator::new(platform.clone(), app.clone(), params.analysis);
+    let template = bbc_skeleton(platform, app, phy);
+
+    let mut best_bus = template.clone();
+    let best_cost;
+    // Fig. 5 lines 5-12: sweep the dynamic-segment length exhaustively
+    // over the same grid the OBC searches use (gdCycle < 16 ms is
+    // enforced by validation inside the evaluator, line 7).
+    match crate::dyn_search::determine_dyn_length(
+        &mut ev,
+        &template,
+        params,
+        crate::dyn_search::DynSearch::Exhaustive,
+    ) {
+        Some(choice) => {
+            best_cost = choice.cost;
+            best_bus.n_minislots = choice.n_minislots;
+        }
+        None => {
+            // No dynamic messages: evaluate the static-only configuration.
+            let (cost, _) = ev.evaluate(&template);
+            best_cost = cost;
+        }
+    }
+
+    OptResult {
+        bus: best_bus,
+        cost: best_cost,
+        evaluations: ev.evaluations(),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::*;
+
+    fn two_node_mixed() -> (Platform, Application) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(4000.0), Time::from_us(3000.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
+        app.connect(a, st, b).expect("edges");
+        let c = app.add_task(g, "c", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Fps, 5);
+        let d = app.add_task(g, "d", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 5);
+        let dy = app.add_message(g, "dy", 8, MessageClass::Dynamic, 1);
+        app.connect(c, dy, d).expect("edges");
+        (Platform::with_nodes(2), app)
+    }
+
+    #[test]
+    fn skeleton_has_one_slot_per_st_sender() {
+        let (p, a) = two_node_mixed();
+        let bus = bbc_skeleton(&p, &a, PhyParams::bmw_like());
+        // only node 0 sends static messages
+        assert_eq!(bus.static_slot_owners, vec![NodeId::new(0)]);
+        assert_eq!(bus.frame_ids.len(), 1);
+        assert!(bus.static_slot_len >= bus.phy.frame_duration(8));
+        assert!((bus.static_slot_len % bus.phy.gd_macrotick).is_zero());
+    }
+
+    #[test]
+    fn bbc_finds_schedulable_config_on_easy_system() {
+        let (p, a) = two_node_mixed();
+        let result = bbc(&p, &a, PhyParams::bmw_like(), &OptParams::default());
+        assert!(result.is_schedulable(), "cost {:?}", result.cost);
+        assert!(result.evaluations > 0);
+        assert!(result.bus.n_minislots > 0);
+    }
+
+    #[test]
+    fn bbc_config_validates() {
+        let (p, a) = two_node_mixed();
+        let result = bbc(&p, &a, PhyParams::bmw_like(), &OptParams::default());
+        result.bus.validate_for(&a, p.len()).expect("valid best bus");
+    }
+
+    #[test]
+    fn bbc_without_dynamic_messages() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(900.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
+        app.connect(a, st, b).expect("edges");
+        let p = Platform::with_nodes(2);
+        let result = bbc(&p, &app, PhyParams::bmw_like(), &OptParams::default());
+        assert!(result.is_schedulable(), "cost {:?}", result.cost);
+        assert_eq!(result.bus.n_minislots, 0);
+    }
+}

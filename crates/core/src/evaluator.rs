@@ -1,0 +1,200 @@
+//! Configuration evaluation: one full scheduling + schedulability
+//! analysis per candidate bus configuration.
+
+use flexray_analysis::{analyse, Analysis, AnalysisConfig, Cost};
+use flexray_model::{Application, BusConfig, MessageClass, Platform, System, Time};
+use std::cell::Cell;
+
+/// Evaluates candidate bus configurations against one fixed platform and
+/// application, counting evaluations (the dominant cost of every
+/// optimiser).
+#[derive(Debug)]
+pub struct Evaluator {
+    sys: System,
+    analysis_cfg: AnalysisConfig,
+    evals: Cell<usize>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator. The initial bus configuration of `sys` is
+    /// irrelevant; candidates replace it wholesale.
+    #[must_use]
+    pub fn new(platform: Platform, app: Application, analysis_cfg: AnalysisConfig) -> Self {
+        let phy = flexray_model::PhyParams::default();
+        Evaluator {
+            sys: System {
+                platform,
+                app,
+                bus: BusConfig::new(phy),
+            },
+            analysis_cfg,
+            evals: Cell::new(0),
+        }
+    }
+
+    /// The application under optimisation.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.sys.app
+    }
+
+    /// The platform under optimisation.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.sys.platform
+    }
+
+    /// Number of full analyses performed so far.
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evals.get()
+    }
+
+    /// Evaluates one bus configuration: validation, global scheduling and
+    /// holistic schedulability analysis. Invalid configurations get
+    /// [`Cost::infeasible`] and no analysis.
+    #[must_use]
+    pub fn evaluate(&mut self, bus: &BusConfig) -> (Cost, Option<Analysis>) {
+        if bus
+            .validate_for(&self.sys.app, self.sys.platform.len())
+            .is_err()
+        {
+            return (Cost::infeasible(), None);
+        }
+        self.evals.set(self.evals.get() + 1);
+        self.sys.bus = bus.clone();
+        match analyse(&self.sys, &self.analysis_cfg) {
+            Ok(analysis) => (analysis.cost, Some(analysis)),
+            Err(_) => (Cost::infeasible(), None),
+        }
+    }
+
+    /// Applies the cost function of Eq. (5) to an (interpolated)
+    /// response-time vector without running the analysis — the cheap
+    /// inner step of the curve-fitting heuristic.
+    #[must_use]
+    pub fn cost_from_responses(&self, responses: &[Time]) -> Cost {
+        flexray_analysis::cost_of(&self.sys, responses)
+    }
+
+    /// Communication time of the largest static message (the minimal
+    /// `gdStaticSlot` of Fig. 5 line 3), rounded up to whole macroticks
+    /// of `phy`. `None` if the application has no static messages.
+    #[must_use]
+    pub fn min_static_slot_len(&self, phy: &flexray_model::PhyParams) -> Option<Time> {
+        self.sys
+            .app
+            .messages_of_class(MessageClass::Static)
+            .map(|m| {
+                let spec = self.sys.app.activity(m).as_message().expect("message");
+                phy.frame_duration(spec.size_bytes)
+            })
+            .max()
+            .map(|c| c.round_up_to(phy.gd_macrotick).max(phy.gd_macrotick))
+    }
+
+    /// Bounds of the dynamic-segment sweep in minislots for a given
+    /// frame-identifier assignment and static-segment layout:
+    /// `[DYNbus_min, DYNbus_max]` of Fig. 5 line 5. Returns `None` when
+    /// no dynamic segment is needed (no dynamic messages) or the static
+    /// segment already exceeds the 16 ms cycle budget.
+    #[must_use]
+    pub fn dyn_bounds(&self, bus: &BusConfig) -> Option<(u32, u32)> {
+        if bus.frame_ids.is_empty() {
+            return None;
+        }
+        let min = bus.min_minislots(&self.sys.app).max(1);
+        let budget = flexray_model::MAX_CYCLE - bus.st_bus();
+        if budget <= Time::ZERO {
+            return None;
+        }
+        let fit = u32::try_from(budget / bus.phy.gd_minislot).unwrap_or(u32::MAX);
+        let max = fit.min(flexray_model::MAX_MINISLOTS);
+        (min <= max).then_some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_analysis::AnalysisConfig;
+    use flexray_model::*;
+
+    fn small_app() -> (Platform, Application) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(500.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
+        app.connect(a, st, b).expect("edges");
+        let c = app.add_task(g, "c", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let d = app.add_task(g, "d", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let dy = app.add_message(g, "dy", 4, MessageClass::Dynamic, 1);
+        app.connect(c, dy, d).expect("edges");
+        (Platform::with_nodes(2), app)
+    }
+
+    fn valid_bus(app: &Application) -> BusConfig {
+        let mut bus = BusConfig::new(PhyParams::bmw_like());
+        bus.static_slot_len = Time::from_us(20.0);
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+        bus.n_minislots = 40;
+        let dy = app.find("dy").expect("dy");
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus
+    }
+
+    #[test]
+    fn evaluate_counts_and_scores() {
+        let (p, a) = small_app();
+        let bus = valid_bus(&a);
+        let mut ev = Evaluator::new(p, a, AnalysisConfig::default());
+        assert_eq!(ev.evaluations(), 0);
+        let (cost, analysis) = ev.evaluate(&bus);
+        assert_eq!(ev.evaluations(), 1);
+        assert!(analysis.is_some());
+        assert!(cost.is_schedulable(), "cost {cost:?}");
+    }
+
+    #[test]
+    fn invalid_bus_is_infeasible_without_eval() {
+        let (p, a) = small_app();
+        let mut bus = valid_bus(&a);
+        bus.static_slot_owners.clear(); // ST sender loses its slot
+        let mut ev = Evaluator::new(p, a, AnalysisConfig::default());
+        let (cost, analysis) = ev.evaluate(&bus);
+        assert!(!cost.is_schedulable());
+        assert!(analysis.is_none());
+        assert_eq!(ev.evaluations(), 0);
+    }
+
+    #[test]
+    fn min_static_slot_covers_largest_frame() {
+        let (p, a) = small_app();
+        let ev = Evaluator::new(p, a, AnalysisConfig::default());
+        let phy = PhyParams::bmw_like();
+        let len = ev.min_static_slot_len(&phy).expect("has ST messages");
+        assert!(len >= phy.frame_duration(8));
+        assert!((len % phy.gd_macrotick).is_zero());
+    }
+
+    #[test]
+    fn dyn_bounds_cover_assignment() {
+        let (p, a) = small_app();
+        let bus = valid_bus(&a);
+        let ev = Evaluator::new(p, a, AnalysisConfig::default());
+        let (min, max) = ev.dyn_bounds(&bus).expect("bounds");
+        assert!(min >= 1);
+        assert!(max > min);
+        assert!(max <= MAX_MINISLOTS);
+    }
+
+    #[test]
+    fn dyn_bounds_none_without_dyn_messages() {
+        let (p, a) = small_app();
+        let mut bus = valid_bus(&a);
+        bus.frame_ids.clear();
+        let ev = Evaluator::new(p, a, AnalysisConfig::default());
+        assert!(ev.dyn_bounds(&bus).is_none());
+    }
+}

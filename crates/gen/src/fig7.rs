@@ -1,0 +1,123 @@
+//! The workload behind Fig. 7 of the paper: 45 tasks communicating
+//! through 10 static and 20 dynamic messages.
+//!
+//! Fig. 7 fixes the static segment and sweeps the dynamic-segment
+//! length, plotting the response times of several dynamic messages. The
+//! paper gives only the census of the system, so this module builds a
+//! deterministic workload with exactly that census: five TT pipelines of
+//! three tasks (2 ST messages each) and ten ET pipelines of three tasks
+//! (2 DYN messages each), spread over five nodes.
+
+use flexray_model::{
+    Application, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
+};
+
+/// Number of processing nodes in the Fig. 7 system.
+pub const FIG7_NODES: usize = 5;
+
+/// Builds the Fig. 7 workload: 45 tasks, 10 ST messages, 20 DYN
+/// messages over 5 nodes.
+///
+/// # Errors
+///
+/// Surfaces model validation (never fails for the built-in structure).
+pub fn fig7_system() -> Result<(Platform, Application), ModelError> {
+    let mut app = Application::new();
+
+    // Five time-triggered pipelines: 3 tasks, 2 static messages each.
+    for i in 0..5 {
+        let g = app.add_graph(
+            &format!("tt{i}"),
+            Time::from_us(40_000.0),
+            Time::from_us(40_000.0),
+        );
+        let nodes = [i % 5, (i + 1) % 5, (i + 2) % 5];
+        let mut prev = None;
+        for (j, &n) in nodes.iter().enumerate() {
+            let t = app.add_task(
+                g,
+                &format!("tt{i}_t{j}"),
+                NodeId::new(n),
+                Time::from_us(300.0 + 50.0 * j as f64),
+                SchedPolicy::Scs,
+                0,
+            );
+            if let Some(p) = prev {
+                let m = app.add_message(
+                    g,
+                    &format!("tt{i}_m{j}"),
+                    8,
+                    MessageClass::Static,
+                    0,
+                );
+                app.connect(p, m, t)?;
+            }
+            prev = Some(t);
+        }
+    }
+
+    // Ten event-triggered pipelines: 3 tasks, 2 dynamic messages each.
+    for i in 0..10 {
+        let g = app.add_graph(
+            &format!("et{i}"),
+            Time::from_us(40_000.0),
+            Time::from_us(40_000.0),
+        );
+        let nodes = [(i + 2) % 5, i % 5, (i + 3) % 5];
+        let mut prev = None;
+        for (j, &n) in nodes.iter().enumerate() {
+            let t = app.add_task(
+                g,
+                &format!("et{i}_t{j}"),
+                NodeId::new(n),
+                Time::from_us(250.0 + 40.0 * ((i + j) % 4) as f64),
+                SchedPolicy::Fps,
+                u32::try_from(10 + i).expect("small"),
+            );
+            if let Some(p) = prev {
+                let m = app.add_message(
+                    g,
+                    &format!("et{i}_m{j}"),
+                    u32::try_from(160 + 16 * (i % 6)).expect("small"),
+                    MessageClass::Dynamic,
+                    u32::try_from(20 + i).expect("small"),
+                );
+                app.connect(p, m, t)?;
+            }
+            prev = Some(t);
+        }
+    }
+
+    app.validate()?;
+    Ok((Platform::with_nodes(FIG7_NODES), app))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_fig7() {
+        let (platform, app) = fig7_system().expect("builds");
+        assert_eq!(platform.len(), 5);
+        let tasks = app.ids().filter(|&id| app.activity(id).as_task().is_some()).count();
+        assert_eq!(tasks, 45);
+        assert_eq!(app.messages_of_class(MessageClass::Static).count(), 10);
+        assert_eq!(app.messages_of_class(MessageClass::Dynamic).count(), 20);
+    }
+
+    #[test]
+    fn every_node_hosts_tasks() {
+        let (_, app) = fig7_system().expect("builds");
+        for n in 0..FIG7_NODES {
+            assert!(app.tasks_on(NodeId::new(n)).count() > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = fig7_system().expect("builds");
+        let (_, b) = fig7_system().expect("builds");
+        assert_eq!(a, b);
+    }
+}

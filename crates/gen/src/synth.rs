@@ -1,0 +1,311 @@
+//! Seeded synthetic application generator.
+//!
+//! Follows the recipe of Section 7: tasks are grouped into random DAGs
+//! of fixed size, mapped evenly onto the nodes, cross-node edges become
+//! messages (static for time-triggered graphs, dynamic for
+//! event-triggered ones), and execution/transmission times are scaled to
+//! hit per-node and bus utilisation targets drawn from the configured
+//! ranges.
+
+use crate::GeneratorConfig;
+use flexray_model::{
+    Application, ActivityId, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A generated benchmark instance: platform and application (the bus
+/// configuration is left to the optimisers).
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The processing nodes.
+    pub platform: Platform,
+    /// The task graphs.
+    pub app: Application,
+    /// The seed it was generated from (for reporting).
+    pub seed: u64,
+}
+
+/// Generates one synthetic application.
+///
+/// The output is deterministic in `(cfg, seed)`.
+///
+/// # Errors
+///
+/// Returns an error if the generated application fails validation
+/// (a generator bug — surfaced rather than hidden).
+pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = Application::new();
+
+    let n_graphs = cfg.n_graphs();
+    let n_tt = (n_graphs as f64 * cfg.tt_fraction).round() as usize;
+
+    // Balanced mapping pool: each node appears `tasks_per_node` times.
+    let mut node_pool: Vec<NodeId> = (0..cfg.n_nodes)
+        .flat_map(|n| std::iter::repeat(NodeId::new(n)).take(cfg.tasks_per_node))
+        .collect();
+    node_pool.shuffle(&mut rng);
+
+    // Per-graph periods and kinds.
+    let mut task_ids: Vec<Vec<ActivityId>> = Vec::with_capacity(n_graphs);
+    let mut graph_is_tt: Vec<bool> = Vec::with_capacity(n_graphs);
+    let mut pool_cursor = 0usize;
+    for gi in 0..n_graphs {
+        let period_us = *cfg
+            .period_pool_us
+            .get(rng.gen_range(0..cfg.period_pool_us.len()))
+            .expect("non-empty period pool");
+        let period = Time::from_us(period_us);
+        let is_tt = gi < n_tt;
+        let factor = if is_tt {
+            cfg.tt_deadline_factor
+        } else {
+            cfg.et_deadline_factor
+        };
+        let deadline = Time::from_us(period_us * factor);
+        let g = app.add_graph(
+            &format!("{}{gi}", if is_tt { "tt" } else { "et" }),
+            period,
+            deadline,
+        );
+        graph_is_tt.push(is_tt);
+        // Remaining tasks may not fill a whole graph at the tail.
+        let size = cfg
+            .graph_size
+            .min(cfg.total_tasks().saturating_sub(pool_cursor))
+            .max(1);
+        let policy = if is_tt { SchedPolicy::Scs } else { SchedPolicy::Fps };
+        let mut ids = Vec::with_capacity(size);
+        for ti in 0..size {
+            let node = node_pool[pool_cursor % node_pool.len()];
+            pool_cursor += 1;
+            // Raw WCET, rescaled later per node.
+            let raw = rng.gen_range(10..100);
+            let prio = rng.gen_range(1..1000);
+            let id = app.add_task(
+                g,
+                &format!("g{gi}_t{ti}"),
+                node,
+                Time::from_us(f64::from(raw)),
+                policy,
+                prio,
+            );
+            ids.push(id);
+        }
+        task_ids.push(ids);
+    }
+
+    // Random DAG edges within each graph; cross-node edges get messages.
+    for (gi, ids) in task_ids.iter().enumerate() {
+        let g = app.activity(ids[0]).graph;
+        let class = if graph_is_tt[gi] {
+            MessageClass::Static
+        } else {
+            MessageClass::Dynamic
+        };
+        for ti in 1..ids.len() {
+            let mut preds = vec![rng.gen_range(0..ti)];
+            if ti >= 2 && rng.gen_bool(cfg.fan_in_prob) {
+                let second = rng.gen_range(0..ti);
+                if !preds.contains(&second) {
+                    preds.push(second);
+                }
+            }
+            for &pi in &preds {
+                let from = ids[pi];
+                let to = ids[ti];
+                let node_from = app.activity(from).as_task().expect("task").node;
+                let node_to = app.activity(to).as_task().expect("task").node;
+                if node_from == node_to {
+                    app.add_edge(from, to)?;
+                } else {
+                    let raw_bytes = 2 * rng.gen_range(1..=8u32);
+                    let prio = rng.gen_range(1..1000);
+                    let m = app.add_message(
+                        g,
+                        &format!("g{gi}_m{pi}_{ti}"),
+                        raw_bytes,
+                        class,
+                        prio,
+                    );
+                    app.connect(from, m, to)?;
+                }
+            }
+        }
+    }
+
+    scale_node_utilisation(&mut app, cfg, &mut rng);
+    scale_bus_utilisation(&mut app, cfg, &mut rng);
+
+    app.validate()?;
+    Ok(Generated {
+        platform: Platform::with_nodes(cfg.n_nodes),
+        app,
+        seed,
+    })
+}
+
+/// Rescales task WCETs so each node's utilisation lands at a target
+/// drawn from `cfg.node_util`.
+fn scale_node_utilisation(app: &mut Application, cfg: &GeneratorConfig, rng: &mut StdRng) {
+    for n in 0..cfg.n_nodes {
+        let node = NodeId::new(n);
+        let target = rng.gen_range(cfg.node_util.0..=cfg.node_util.1);
+        let current: f64 = app
+            .tasks_on(node)
+            .map(|id| {
+                let wcet = app.activity(id).as_task().expect("task").wcet;
+                wcet.as_ns() as f64 / app.period_of(id).as_ns() as f64
+            })
+            .sum();
+        if current <= 0.0 {
+            continue;
+        }
+        let factor = target / current;
+        let ids: Vec<ActivityId> = app.tasks_on(node).collect();
+        for id in ids {
+            let old = app.activity(id).as_task().expect("task").wcet;
+            let scaled = Time::from_ns(((old.as_ns() as f64 * factor) as i64).max(1_000));
+            set_wcet(app, id, scaled);
+        }
+    }
+}
+
+/// Rescales message sizes so total bus demand lands at a target drawn
+/// from `cfg.bus_util` (sizes stay even and within the 2–254-byte
+/// payload range, so extreme targets are matched best-effort).
+fn scale_bus_utilisation(app: &mut Application, cfg: &GeneratorConfig, rng: &mut StdRng) {
+    let Ok(h) = app.hyperperiod() else { return };
+    let target = rng.gen_range(cfg.bus_util.0..=cfg.bus_util.1);
+    let demand_of = |app: &Application| -> f64 {
+        let mut demand = 0.0;
+        for id in app.ids() {
+            if let Some(m) = app.activity(id).as_message() {
+                let c = cfg.phy.frame_duration(m.size_bytes);
+                let inst = h / app.period_of(id);
+                demand += c.as_ns() as f64 * inst as f64;
+            }
+        }
+        demand / h.as_ns() as f64
+    };
+    let current = demand_of(app);
+    if current <= 0.0 {
+        return;
+    }
+    let factor = target / current;
+    let ids: Vec<ActivityId> = app
+        .ids()
+        .filter(|&id| app.activity(id).as_message().is_some())
+        .collect();
+    for id in ids {
+        let old = app.activity(id).as_message().expect("message").size_bytes;
+        let scaled = ((old as f64 * factor) as u32).clamp(2, 254);
+        let scaled = (scaled / 2) * 2; // keep the 2-byte granularity
+        set_size(app, id, scaled.max(2));
+    }
+}
+
+/// Replaces the WCET of a task (generator-internal mutation).
+fn set_wcet(app: &mut Application, id: ActivityId, wcet: Time) {
+    let graph = app.activity(id).graph;
+    let name = app.activity(id).name.clone();
+    let spec = app.activity(id).as_task().expect("task").clone();
+    // Application has no public mutator for wcet; rebuild via internal
+    // representation would be invasive, so we go through a tiny
+    // clone-and-replace helper exposed for generators.
+    app.replace_task_spec(
+        id,
+        flexray_model::TaskSpec { wcet, ..spec },
+    );
+    let _ = (graph, name);
+}
+
+/// Replaces the payload size of a message (generator-internal mutation).
+fn set_size(app: &mut Application, id: ActivityId, size_bytes: u32) {
+    let spec = app.activity(id).as_message().expect("message").clone();
+    app.replace_message_spec(
+        id,
+        flexray_model::MessageSpec { size_bytes, ..spec },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::small(3);
+        let a = generate(&cfg, 7).expect("generate");
+        let b = generate(&cfg, 7).expect("generate");
+        assert_eq!(a.app, b.app);
+        let c = generate(&cfg, 8).expect("generate");
+        assert_ne!(a.app, c.app);
+    }
+
+    #[test]
+    fn census_matches_config() {
+        let cfg = GeneratorConfig::paper(4);
+        let g = generate(&cfg, 1).expect("generate");
+        let tasks = g
+            .app
+            .ids()
+            .filter(|&id| g.app.activity(id).as_task().is_some())
+            .count();
+        assert_eq!(tasks, 40);
+        assert_eq!(g.platform.len(), 4);
+        assert_eq!(g.app.graphs().len(), 8);
+        // per-node task balance
+        for n in 0..4 {
+            assert_eq!(g.app.tasks_on(NodeId::new(n)).count(), 10);
+        }
+    }
+
+    #[test]
+    fn half_the_graphs_are_time_triggered() {
+        let cfg = GeneratorConfig::paper(4);
+        let g = generate(&cfg, 2).expect("generate");
+        let tt = g.app.graphs().iter().filter(|gr| gr.name.starts_with("tt")).count();
+        assert_eq!(tt, 4);
+        // TT graphs contain SCS tasks and static messages only
+        for id in g.app.ids() {
+            let a = g.app.activity(id);
+            let is_tt_graph = g.app.graphs()[a.graph.index()].name.starts_with("tt");
+            assert_eq!(a.is_time_triggered(), is_tt_graph, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn node_utilisation_within_range() {
+        let cfg = GeneratorConfig::paper(3);
+        let g = generate(&cfg, 3).expect("generate");
+        for (_, u) in g.app.node_utilisation() {
+            assert!(u > 0.25 && u < 0.65, "utilisation {u}");
+        }
+    }
+
+    #[test]
+    fn applications_validate() {
+        for seed in 0..10 {
+            let cfg = GeneratorConfig::paper(2 + (seed as usize % 5));
+            let g = generate(&cfg, seed).expect("generate");
+            g.app.validate().expect("valid application");
+        }
+    }
+
+    #[test]
+    fn messages_only_on_cross_node_edges() {
+        let cfg = GeneratorConfig::paper(5);
+        let g = generate(&cfg, 11).expect("generate");
+        for id in g.app.ids() {
+            if g.app.activity(id).as_message().is_some() {
+                let sender = g.app.sender_of(id).expect("sender");
+                for r in g.app.receivers_of(id) {
+                    assert_ne!(sender, r);
+                }
+            }
+        }
+    }
+}

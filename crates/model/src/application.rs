@@ -1,0 +1,743 @@
+//! Application model: polar acyclic task graphs of tasks and messages.
+//!
+//! Following Section 4 of the paper, an application is a set of directed
+//! acyclic graphs. Graph nodes are *activities*: computation tasks mapped
+//! to processing nodes, or messages inserted on every edge that crosses a
+//! node boundary. All activities of a graph share the graph's period and
+//! deadline; individual release times and deadlines may be attached on
+//! top.
+
+use crate::{ActivityId, GraphId, ModelError, NodeId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Scheduling policy of a task (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Static cyclic scheduling: non-preemptable, start times fixed
+    /// off-line in the schedule table.
+    Scs,
+    /// Fixed-priority preemptive scheduling in the slack of the SCS table.
+    Fps,
+}
+
+/// Transmission class of a message (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// Sent in the static (TDMA) segment, from the off-line schedule table.
+    Static,
+    /// Sent in the dynamic (FTDMA) segment, arbitrated by frame identifier
+    /// and local priority.
+    Dynamic,
+}
+
+/// A computation task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Node the task is mapped to.
+    pub node: NodeId,
+    /// Worst-case execution time on that node.
+    pub wcet: Time,
+    /// SCS or FPS.
+    pub policy: SchedPolicy,
+    /// Priority for FPS tasks (higher value = higher priority). Ignored
+    /// for SCS tasks.
+    pub priority: u32,
+}
+
+/// A message exchanged between tasks on different nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Payload size in bytes; converted to bus time via
+    /// [`PhyParams::frame_duration`](crate::PhyParams::frame_duration).
+    pub size_bytes: u32,
+    /// Static or dynamic segment.
+    pub class: MessageClass,
+    /// Priority among dynamic messages sharing a frame identifier on the
+    /// same node (higher value = higher priority). Ignored for static
+    /// messages.
+    pub priority: u32,
+}
+
+/// What an activity is: a task or a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// A computation task.
+    Task(TaskSpec),
+    /// A communication task (message) on an inter-node edge.
+    Message(MessageSpec),
+}
+
+/// One node of a task graph: a task or a message, plus its timing
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Human-readable name (unique within the application by convention,
+    /// not enforced).
+    pub name: String,
+    /// Owning task graph.
+    pub graph: GraphId,
+    /// Task or message payload.
+    pub kind: ActivityKind,
+    /// Release offset relative to the graph activation (0 for most).
+    pub release: Time,
+    /// Individual deadline relative to the graph activation; falls back
+    /// to the graph deadline when `None`.
+    pub deadline: Option<Time>,
+}
+
+impl Activity {
+    /// The task spec, if this activity is a task.
+    #[must_use]
+    pub fn as_task(&self) -> Option<&TaskSpec> {
+        match &self.kind {
+            ActivityKind::Task(t) => Some(t),
+            ActivityKind::Message(_) => None,
+        }
+    }
+
+    /// The message spec, if this activity is a message.
+    #[must_use]
+    pub fn as_message(&self) -> Option<&MessageSpec> {
+        match &self.kind {
+            ActivityKind::Message(m) => Some(m),
+            ActivityKind::Task(_) => None,
+        }
+    }
+
+    /// `true` if this activity is time-triggered (an SCS task or a static
+    /// message).
+    #[must_use]
+    pub fn is_time_triggered(&self) -> bool {
+        match &self.kind {
+            ActivityKind::Task(t) => t.policy == SchedPolicy::Scs,
+            ActivityKind::Message(m) => m.class == MessageClass::Static,
+        }
+    }
+}
+
+/// A task graph: a polar DAG of activities sharing one period and
+/// deadline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// Name for reporting.
+    pub name: String,
+    /// Activation period `T_Gi`.
+    pub period: Time,
+    /// End-to-end deadline `D_Gi` relative to activation.
+    pub deadline: Time,
+    /// Members, in insertion order.
+    pub members: Vec<ActivityId>,
+}
+
+/// The application: all task graphs plus the global precedence relation.
+///
+/// Activities are stored in one flat arena indexed by [`ActivityId`];
+/// edges are kept both as a list and as per-activity adjacency for O(1)
+/// predecessor/successor queries.
+///
+/// # Examples
+///
+/// ```
+/// use flexray_model::*;
+///
+/// let mut app = Application::new();
+/// let g = app.add_graph("control", Time::from_us(100.0), Time::from_us(100.0));
+/// let sense = app.add_task(g, "sense", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+/// let act = app.add_task(g, "act", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+/// let msg = app.add_message(g, "m", 4, MessageClass::Static, 0);
+/// app.add_edge(sense, msg)?;
+/// app.add_edge(msg, act)?;
+/// app.validate()?;
+/// assert_eq!(app.sender_of(msg), Some(NodeId::new(0)));
+/// # Ok::<(), ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    activities: Vec<Activity>,
+    graphs: Vec<TaskGraph>,
+    edges: Vec<(ActivityId, ActivityId)>,
+    preds: Vec<Vec<ActivityId>>,
+    succs: Vec<Vec<ActivityId>>,
+}
+
+impl Application {
+    /// Creates an empty application.
+    #[must_use]
+    pub fn new() -> Self {
+        Application::default()
+    }
+
+    /// Adds a task graph with the given period and end-to-end deadline.
+    pub fn add_graph(&mut self, name: &str, period: Time, deadline: Time) -> GraphId {
+        let id = GraphId::new(self.graphs.len());
+        self.graphs.push(TaskGraph {
+            name: name.to_owned(),
+            period,
+            deadline,
+            members: Vec::new(),
+        });
+        id
+    }
+
+    fn push_activity(&mut self, activity: Activity) -> ActivityId {
+        let id = ActivityId::new(self.activities.len());
+        self.graphs[activity.graph.index()].members.push(id);
+        self.activities.push(activity);
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Adds a computation task to `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not exist.
+    pub fn add_task(
+        &mut self,
+        graph: GraphId,
+        name: &str,
+        node: NodeId,
+        wcet: Time,
+        policy: SchedPolicy,
+        priority: u32,
+    ) -> ActivityId {
+        assert!(graph.index() < self.graphs.len(), "unknown graph {graph}");
+        self.push_activity(Activity {
+            name: name.to_owned(),
+            graph,
+            kind: ActivityKind::Task(TaskSpec {
+                node,
+                wcet,
+                policy,
+                priority,
+            }),
+            release: Time::ZERO,
+            deadline: None,
+        })
+    }
+
+    /// Adds a message to `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not exist.
+    pub fn add_message(
+        &mut self,
+        graph: GraphId,
+        name: &str,
+        size_bytes: u32,
+        class: MessageClass,
+        priority: u32,
+    ) -> ActivityId {
+        assert!(graph.index() < self.graphs.len(), "unknown graph {graph}");
+        self.push_activity(Activity {
+            name: name.to_owned(),
+            graph,
+            kind: ActivityKind::Message(MessageSpec {
+                size_bytes,
+                class,
+                priority,
+            }),
+            release: Time::ZERO,
+            deadline: None,
+        })
+    }
+
+    /// Adds a precedence edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, the endpoints live
+    /// in different graphs, or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: ActivityId, to: ActivityId) -> Result<(), ModelError> {
+        let a = self
+            .activities
+            .get(from.index())
+            .ok_or(ModelError::UnknownActivity(from))?;
+        let b = self
+            .activities
+            .get(to.index())
+            .ok_or(ModelError::UnknownActivity(to))?;
+        if a.graph != b.graph {
+            return Err(ModelError::MalformedGraph(format!(
+                "edge {from}->{to} crosses graphs {} and {}",
+                a.graph, b.graph
+            )));
+        }
+        if from == to {
+            return Err(ModelError::MalformedGraph(format!("self-loop on {from}")));
+        }
+        self.edges.push((from, to));
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Convenience: wires `sender → message → receiver` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Application::add_edge`].
+    pub fn connect(
+        &mut self,
+        sender: ActivityId,
+        message: ActivityId,
+        receiver: ActivityId,
+    ) -> Result<(), ModelError> {
+        self.add_edge(sender, message)?;
+        self.add_edge(message, receiver)
+    }
+
+    /// Sets an individual release offset on an activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activity does not exist.
+    pub fn set_release(&mut self, id: ActivityId, release: Time) {
+        self.activities[id.index()].release = release;
+    }
+
+    /// Sets an individual deadline (relative to graph activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activity does not exist.
+    pub fn set_deadline(&mut self, id: ActivityId, deadline: Time) {
+        self.activities[id.index()].deadline = Some(deadline);
+    }
+
+    /// All activities, indexable by [`ActivityId::index`].
+    #[must_use]
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// All task graphs, indexable by [`GraphId::index`].
+    #[must_use]
+    pub fn graphs(&self) -> &[TaskGraph] {
+        &self.graphs
+    }
+
+    /// All precedence edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(ActivityId, ActivityId)] {
+        &self.edges
+    }
+
+    /// The activity with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn activity(&self, id: ActivityId) -> &Activity {
+        &self.activities[id.index()]
+    }
+
+    /// The graph an activity belongs to.
+    #[must_use]
+    pub fn graph_of(&self, id: ActivityId) -> &TaskGraph {
+        &self.graphs[self.activities[id.index()].graph.index()]
+    }
+
+    /// Direct predecessors of an activity.
+    #[must_use]
+    pub fn preds(&self, id: ActivityId) -> &[ActivityId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors of an activity.
+    #[must_use]
+    pub fn succs(&self, id: ActivityId) -> &[ActivityId] {
+        &self.succs[id.index()]
+    }
+
+    /// Period of the graph the activity belongs to.
+    #[must_use]
+    pub fn period_of(&self, id: ActivityId) -> Time {
+        self.graph_of(id).period
+    }
+
+    /// Effective deadline of an activity: its individual deadline if set,
+    /// otherwise the graph deadline.
+    #[must_use]
+    pub fn deadline_of(&self, id: ActivityId) -> Time {
+        let a = &self.activities[id.index()];
+        a.deadline.unwrap_or(self.graphs[a.graph.index()].deadline)
+    }
+
+    /// The node that executes the sender task of a message, i.e. the node
+    /// that transmits the message. `None` for tasks or unconnected
+    /// messages.
+    #[must_use]
+    pub fn sender_of(&self, message: ActivityId) -> Option<NodeId> {
+        self.activities[message.index()].as_message()?;
+        self.preds(message)
+            .iter()
+            .find_map(|&p| self.activities[p.index()].as_task().map(|t| t.node))
+    }
+
+    /// The nodes that receive a message (nodes of its successor tasks).
+    #[must_use]
+    pub fn receivers_of(&self, message: ActivityId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .succs(message)
+            .iter()
+            .filter_map(|&s| self.activities[s.index()].as_task().map(|t| t.node))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Iterator over ids of all activities.
+    pub fn ids(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        (0..self.activities.len()).map(ActivityId::new)
+    }
+
+    /// Ids of all messages of the given class.
+    pub fn messages_of_class(&self, class: MessageClass) -> impl Iterator<Item = ActivityId> + '_ {
+        self.ids()
+            .filter(move |&id| self.activities[id.index()].as_message().map(|m| m.class) == Some(class))
+    }
+
+    /// Ids of all tasks with the given policy.
+    pub fn tasks_with_policy(&self, policy: SchedPolicy) -> impl Iterator<Item = ActivityId> + '_ {
+        self.ids()
+            .filter(move |&id| self.activities[id.index()].as_task().map(|t| t.policy) == Some(policy))
+    }
+
+    /// Ids of all tasks mapped to `node`.
+    pub fn tasks_on(&self, node: NodeId) -> impl Iterator<Item = ActivityId> + '_ {
+        self.ids()
+            .filter(move |&id| self.activities[id.index()].as_task().map(|t| t.node) == Some(node))
+    }
+
+    /// A topological order of all activities (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedGraph`] if the precedence relation
+    /// has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<ActivityId>, ModelError> {
+        let n = self.activities.len();
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: VecDeque<ActivityId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(ActivityId::new)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &s in &self.succs[id.index()] {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(ModelError::MalformedGraph(
+                "precedence relation contains a cycle".into(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Hyperperiod: the least common multiple of all graph periods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::HyperperiodOverflow`] if the LCM overflows,
+    /// and [`ModelError::NonPositiveTime`] if any period is non-positive.
+    pub fn hyperperiod(&self) -> Result<Time, ModelError> {
+        let mut h = Time::from_ns(1);
+        for g in &self.graphs {
+            if g.period <= Time::ZERO {
+                return Err(ModelError::NonPositiveTime {
+                    what: format!("period of graph '{}'", g.name),
+                    value: g.period,
+                });
+            }
+            h = h.lcm(g.period).ok_or(ModelError::HyperperiodOverflow)?;
+        }
+        Ok(h)
+    }
+
+    /// Validates the structural invariants of the application:
+    ///
+    /// * the precedence relation is acyclic;
+    /// * every message has at least one predecessor and one successor,
+    ///   all of which are tasks (messages never chain directly);
+    /// * all sender tasks of a message are on one node, and no receiver
+    ///   task is on the sender node (inter-node communication only);
+    /// * WCETs, sizes, periods and deadlines are positive;
+    /// * releases and deadlines fit inside the graph period/deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.topological_order()?;
+        self.hyperperiod()?;
+        for g in &self.graphs {
+            if g.deadline <= Time::ZERO {
+                return Err(ModelError::NonPositiveTime {
+                    what: format!("deadline of graph '{}'", g.name),
+                    value: g.deadline,
+                });
+            }
+        }
+        for id in self.ids() {
+            let a = &self.activities[id.index()];
+            match &a.kind {
+                ActivityKind::Task(t) => {
+                    if t.wcet <= Time::ZERO {
+                        return Err(ModelError::NonPositiveTime {
+                            what: format!("wcet of task '{}'", a.name),
+                            value: t.wcet,
+                        });
+                    }
+                }
+                ActivityKind::Message(m) => {
+                    if m.size_bytes == 0 {
+                        return Err(ModelError::MalformedGraph(format!(
+                            "message '{}' has zero size",
+                            a.name
+                        )));
+                    }
+                    let preds = self.preds(id);
+                    let succs = self.succs(id);
+                    if preds.is_empty() || succs.is_empty() {
+                        return Err(ModelError::MalformedGraph(format!(
+                            "message '{}' must connect a sender and a receiver",
+                            a.name
+                        )));
+                    }
+                    let mut sender_nodes = HashSet::new();
+                    for &p in preds {
+                        match self.activities[p.index()].as_task() {
+                            Some(t) => {
+                                sender_nodes.insert(t.node);
+                            }
+                            None => {
+                                return Err(ModelError::MalformedGraph(format!(
+                                    "message '{}' has a message predecessor",
+                                    a.name
+                                )))
+                            }
+                        }
+                    }
+                    if sender_nodes.len() != 1 {
+                        return Err(ModelError::MalformedGraph(format!(
+                            "message '{}' has senders on {} nodes",
+                            a.name,
+                            sender_nodes.len()
+                        )));
+                    }
+                    let sender = *sender_nodes.iter().next().expect("one sender");
+                    for &s in succs {
+                        match self.activities[s.index()].as_task() {
+                            Some(t) if t.node == sender => {
+                                return Err(ModelError::MalformedGraph(format!(
+                                    "message '{}' is local to node {sender}; intra-node \
+                                     communication is part of the task wcet",
+                                    a.name
+                                )))
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(ModelError::MalformedGraph(format!(
+                                    "message '{}' has a message successor",
+                                    a.name
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+            if a.release < Time::ZERO {
+                return Err(ModelError::NonPositiveTime {
+                    what: format!("release of '{}'", a.name),
+                    value: a.release,
+                });
+            }
+            if let Some(d) = a.deadline {
+                if d <= Time::ZERO {
+                    return Err(ModelError::NonPositiveTime {
+                        what: format!("deadline of '{}'", a.name),
+                        value: d,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the specification of a task (used by generators to
+    /// rescale execution times to utilisation targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a task.
+    pub fn replace_task_spec(&mut self, id: ActivityId, spec: TaskSpec) {
+        match &mut self.activities[id.index()].kind {
+            ActivityKind::Task(t) => *t = spec,
+            ActivityKind::Message(_) => panic!("{id} is a message, not a task"),
+        }
+    }
+
+    /// Replaces the specification of a message (used by generators to
+    /// rescale payload sizes to bus-utilisation targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a message.
+    pub fn replace_message_spec(&mut self, id: ActivityId, spec: MessageSpec) {
+        match &mut self.activities[id.index()].kind {
+            ActivityKind::Message(m) => *m = spec,
+            ActivityKind::Task(_) => panic!("{id} is a task, not a message"),
+        }
+    }
+
+    /// Looks up an activity by name (linear scan; intended for tests and
+    /// examples).
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<ActivityId> {
+        self.ids().find(|&id| self.activities[id.index()].name == name)
+    }
+
+    /// Per-node utilisation of all tasks: `Σ C_i / T_i` grouped by node.
+    #[must_use]
+    pub fn node_utilisation(&self) -> HashMap<NodeId, f64> {
+        let mut u = HashMap::new();
+        for id in self.ids() {
+            if let Some(t) = self.activities[id.index()].as_task() {
+                let period = self.period_of(id);
+                *u.entry(t.node).or_insert(0.0) +=
+                    t.wcet.as_ns() as f64 / period.as_ns() as f64;
+            }
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_app() -> (Application, ActivityId, ActivityId, ActivityId) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(80.0));
+        let t1 = app.add_task(g, "t1", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let t2 = app.add_task(g, "t2", NodeId::new(1), Time::from_us(7.0), SchedPolicy::Fps, 3);
+        let m = app.add_message(g, "m", 8, MessageClass::Dynamic, 1);
+        app.connect(t1, m, t2).expect("valid edges");
+        (app, t1, t2, m)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (app, t1, t2, m) = two_node_app();
+        assert!(app.validate().is_ok());
+        assert_eq!(app.sender_of(m), Some(NodeId::new(0)));
+        assert_eq!(app.receivers_of(m), vec![NodeId::new(1)]);
+        assert_eq!(app.preds(m), &[t1]);
+        assert_eq!(app.succs(m), &[t2]);
+        assert_eq!(app.deadline_of(t2), Time::from_us(80.0));
+        assert_eq!(app.period_of(t1), Time::from_us(100.0));
+    }
+
+    #[test]
+    fn individual_deadline_overrides_graph() {
+        let (mut app, _, t2, _) = two_node_app();
+        app.set_deadline(t2, Time::from_us(50.0));
+        assert_eq!(app.deadline_of(t2), Time::from_us(50.0));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (app, t1, t2, m) = two_node_app();
+        let order = app.topological_order().expect("acyclic");
+        let pos = |id: ActivityId| order.iter().position(|&x| x == id).expect("present");
+        assert!(pos(t1) < pos(m));
+        assert!(pos(m) < pos(t2));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let (mut app, t1, t2, _) = two_node_app();
+        // close a cycle t2 -> t1
+        app.add_edge(t2, t1).expect("edge insert");
+        assert!(matches!(
+            app.validate(),
+            Err(ModelError::MalformedGraph(_))
+        ));
+    }
+
+    #[test]
+    fn cross_graph_edge_is_rejected() {
+        let mut app = Application::new();
+        let g1 = app.add_graph("g1", Time::from_us(10.0), Time::from_us(10.0));
+        let g2 = app.add_graph("g2", Time::from_us(20.0), Time::from_us(20.0));
+        let a = app.add_task(g1, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g2, "b", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        assert!(app.add_edge(a, b).is_err());
+    }
+
+    #[test]
+    fn local_message_is_rejected() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(10.0), Time::from_us(10.0));
+        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let b = app.add_task(g, "b", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let m = app.add_message(g, "m", 2, MessageClass::Static, 0);
+        app.connect(a, m, b).expect("edges");
+        assert!(matches!(app.validate(), Err(ModelError::MalformedGraph(_))));
+    }
+
+    #[test]
+    fn dangling_message_is_rejected() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(10.0), Time::from_us(10.0));
+        let _m = app.add_message(g, "m", 2, MessageClass::Static, 0);
+        assert!(matches!(app.validate(), Err(ModelError::MalformedGraph(_))));
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm_of_periods() {
+        let mut app = Application::new();
+        app.add_graph("a", Time::from_us(6.0), Time::from_us(6.0));
+        app.add_graph("b", Time::from_us(4.0), Time::from_us(4.0));
+        assert_eq!(app.hyperperiod().expect("lcm"), Time::from_us(12.0));
+    }
+
+    #[test]
+    fn class_and_policy_filters() {
+        let (app, t1, t2, m) = two_node_app();
+        let dyns: Vec<_> = app.messages_of_class(MessageClass::Dynamic).collect();
+        assert_eq!(dyns, vec![m]);
+        let scs: Vec<_> = app.tasks_with_policy(SchedPolicy::Scs).collect();
+        assert_eq!(scs, vec![t1]);
+        let fps: Vec<_> = app.tasks_with_policy(SchedPolicy::Fps).collect();
+        assert_eq!(fps, vec![t2]);
+        assert_eq!(app.tasks_on(NodeId::new(1)).collect::<Vec<_>>(), vec![t2]);
+    }
+
+    #[test]
+    fn utilisation_accumulates_per_node() {
+        let (app, ..) = two_node_app();
+        let u = app.node_utilisation();
+        assert!((u[&NodeId::new(0)] - 0.05).abs() < 1e-9);
+        assert!((u[&NodeId::new(1)] - 0.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (app, t1, ..) = two_node_app();
+        assert_eq!(app.find("t1"), Some(t1));
+        assert_eq!(app.find("nope"), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! FlexRay bus configuration: the design variables of the optimisation.
+//!
+//! A bus configuration fixes, per Section 6 of the paper:
+//! (1) the length of a static slot, (2) the number of static slots,
+//! (3) their assignment to nodes, (4) the length of the dynamic segment,
+//! and (5)–(6) the assignment of dynamic slots (frame identifiers) to
+//! nodes and messages.
+
+use crate::{
+    Application, ActivityId, FrameId, MessageClass, ModelError, NodeId, PhyParams, SlotId, Time,
+    MAX_CYCLE, MAX_MINISLOTS, MAX_STATIC_SLOTS, MAX_STATIC_SLOT_MACROTICKS,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete FlexRay bus configuration.
+///
+/// Fields are public: the optimisers in `flexray-opt` mutate
+/// configurations in tight loops. [`BusConfig::validate_for`] checks the
+/// protocol limits and the consistency with a given application; the
+/// analysis crates call it once per evaluated configuration.
+///
+/// # Examples
+///
+/// ```
+/// use flexray_model::*;
+///
+/// let phy = PhyParams::unit();
+/// let mut bus = BusConfig::new(phy);
+/// bus.static_slot_len = Time::from_us(8.0);
+/// bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+/// bus.n_minislots = 10;
+/// assert_eq!(bus.st_bus(), Time::from_us(16.0));
+/// assert_eq!(bus.gd_cycle(), Time::from_us(26.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Physical-layer parameters (bit time, macrotick, minislot).
+    pub phy: PhyParams,
+    /// Length of one static slot (`gdStaticSlot`); must be a positive
+    /// whole number of macroticks when static slots exist.
+    pub static_slot_len: Time,
+    /// Owner of each static slot; index 0 is slot 1. The same node may
+    /// own several slots.
+    pub static_slot_owners: Vec<NodeId>,
+    /// Length of the dynamic segment in minislots
+    /// (`gNumberOfMinislots`).
+    pub n_minislots: u32,
+    /// Frame identifier of every dynamic message. Messages of the same
+    /// node may share a frame identifier (arbitrated by priority);
+    /// messages of different nodes must not.
+    pub frame_ids: BTreeMap<ActivityId, FrameId>,
+}
+
+impl BusConfig {
+    /// An empty configuration (no slots, no dynamic segment) over the
+    /// given physical layer.
+    #[must_use]
+    pub fn new(phy: PhyParams) -> Self {
+        BusConfig {
+            phy,
+            static_slot_len: Time::ZERO,
+            static_slot_owners: Vec::new(),
+            n_minislots: 0,
+            frame_ids: BTreeMap::new(),
+        }
+    }
+
+    /// Number of static slots per cycle (`gdNumberOfStaticSlots`).
+    #[must_use]
+    pub fn static_slot_count(&self) -> usize {
+        self.static_slot_owners.len()
+    }
+
+    /// Length of the static segment (`STbus`).
+    #[must_use]
+    pub fn st_bus(&self) -> Time {
+        self.static_slot_len * self.static_slot_count() as i64
+    }
+
+    /// Length of the dynamic segment (`DYNbus`).
+    #[must_use]
+    pub fn dyn_bus(&self) -> Time {
+        self.phy.gd_minislot * i64::from(self.n_minislots)
+    }
+
+    /// Communication cycle length (`gdCycle = STbus + DYNbus`).
+    #[must_use]
+    pub fn gd_cycle(&self) -> Time {
+        self.st_bus() + self.dyn_bus()
+    }
+
+    /// The static slots owned by `node`, in slot order.
+    #[must_use]
+    pub fn slots_of(&self, node: NodeId) -> Vec<SlotId> {
+        self.static_slot_owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &owner)| owner == node)
+            .map(|(i, _)| SlotId::new(u16::try_from(i + 1).expect("validated slot count")))
+            .collect()
+    }
+
+    /// Owner of a static slot.
+    #[must_use]
+    pub fn owner_of(&self, slot: SlotId) -> Option<NodeId> {
+        self.static_slot_owners.get(slot.offset()).copied()
+    }
+
+    /// Start offset of a static slot within the cycle.
+    #[must_use]
+    pub fn slot_start(&self, slot: SlotId) -> Time {
+        self.static_slot_len * slot.offset() as i64
+    }
+
+    /// Frame identifier assigned to a dynamic message.
+    #[must_use]
+    pub fn frame_id_of(&self, message: ActivityId) -> Option<FrameId> {
+        self.frame_ids.get(&message).copied()
+    }
+
+    /// Number of dynamic slots per cycle: the largest assigned frame
+    /// identifier (the dynamic slot counter runs at least this far).
+    #[must_use]
+    pub fn dyn_slot_count(&self) -> u16 {
+        self.frame_ids.values().map(|f| f.number()).max().unwrap_or(0)
+    }
+
+    /// Transmission time `C_m` of a message on this bus (Eq. (1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message` is not a message of `app`.
+    #[must_use]
+    pub fn comm_time(&self, app: &Application, message: ActivityId) -> Time {
+        let spec = app
+            .activity(message)
+            .as_message()
+            .expect("comm_time of a task");
+        self.phy.frame_duration(spec.size_bytes)
+    }
+
+    /// Number of minislots the dynamic frame of `message` occupies.
+    #[must_use]
+    pub fn minislots_of(&self, app: &Application, message: ActivityId) -> u32 {
+        self.phy.minislots_for(self.comm_time(app, message))
+    }
+
+    /// `pLatestTx` for `node`: the largest minislot-counter value at which
+    /// the node may still start a transmission, fixed at design time from
+    /// the largest dynamic frame the node sends (Section 3).
+    ///
+    /// A node that sends no dynamic message gets `n_minislots` (it never
+    /// transmits anyway).
+    #[must_use]
+    pub fn p_latest_tx(&self, app: &Application, node: NodeId) -> u32 {
+        let largest = self
+            .frame_ids
+            .keys()
+            .filter(|&&m| app.sender_of(m) == Some(node))
+            .map(|&m| self.minislots_of(app, m))
+            .max();
+        match largest {
+            Some(l) => self.n_minislots.saturating_sub(l) + 1,
+            None => self.n_minislots,
+        }
+    }
+
+    /// Smallest dynamic-segment length (in minislots) on which every
+    /// dynamic message of `app` can be transmitted at all under the
+    /// current frame-identifier assignment: slot `FrameID_m` must still
+    /// begin early enough for the whole frame to fit
+    /// (`(FrameID_m − 1) + len_m ≤ n_minislots` in the empty-bus case),
+    /// and the segment must have at least one minislot per dynamic slot.
+    #[must_use]
+    pub fn min_minislots(&self, app: &Application) -> u32 {
+        let mut need = u32::from(self.dyn_slot_count());
+        for (&m, &fid) in &self.frame_ids {
+            let lm = self.minislots_of(app, m);
+            need = need.max(u32::try_from(fid.preceding_slots()).expect("u16 fits") + lm);
+        }
+        need
+    }
+
+    /// Validates the configuration against the protocol limits and an
+    /// application.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::ProtocolLimit`] — slot count/length, minislot
+    ///   count or cycle length out of specification;
+    /// * [`ModelError::MissingStaticSlot`] — a node sends static messages
+    ///   but owns no slot;
+    /// * [`ModelError::FrameTooLarge`] — a static frame exceeds the slot
+    ///   or a dynamic frame cannot fit the dynamic segment;
+    /// * [`ModelError::FrameAssignment`] / [`ModelError::Conflict`] —
+    ///   missing or cross-node frame identifiers;
+    /// * [`ModelError::UnknownNode`] — a slot owner outside the platform.
+    pub fn validate_for(&self, app: &Application, n_nodes: usize) -> Result<(), ModelError> {
+        self.phy.validate()?;
+        if self.static_slot_count() > usize::from(MAX_STATIC_SLOTS) {
+            return Err(ModelError::ProtocolLimit(format!(
+                "{} static slots exceed the maximum of {MAX_STATIC_SLOTS}",
+                self.static_slot_count()
+            )));
+        }
+        if self.n_minislots > MAX_MINISLOTS {
+            return Err(ModelError::ProtocolLimit(format!(
+                "{} minislots exceed the maximum of {MAX_MINISLOTS}",
+                self.n_minislots
+            )));
+        }
+        if self.gd_cycle() > MAX_CYCLE {
+            return Err(ModelError::ProtocolLimit(format!(
+                "gdCycle {} exceeds the 16 ms maximum",
+                self.gd_cycle()
+            )));
+        }
+        for &owner in &self.static_slot_owners {
+            if owner.index() >= n_nodes {
+                return Err(ModelError::UnknownNode(owner));
+            }
+        }
+        if self.static_slot_count() > 0 {
+            if self.static_slot_len <= Time::ZERO {
+                return Err(ModelError::ProtocolLimit(
+                    "static slots exist but gdStaticSlot is zero".into(),
+                ));
+            }
+            if !(self.static_slot_len % self.phy.gd_macrotick).is_zero() {
+                return Err(ModelError::ProtocolLimit(format!(
+                    "gdStaticSlot {} is not a whole number of macroticks",
+                    self.static_slot_len
+                )));
+            }
+            let macroticks = self.static_slot_len / self.phy.gd_macrotick;
+            if macroticks > i64::from(MAX_STATIC_SLOT_MACROTICKS) {
+                return Err(ModelError::ProtocolLimit(format!(
+                    "gdStaticSlot of {macroticks} macroticks exceeds the maximum of \
+                     {MAX_STATIC_SLOT_MACROTICKS}"
+                )));
+            }
+        }
+
+        // Static messages: sender owns a slot, frame fits the slot.
+        for m in app.messages_of_class(MessageClass::Static) {
+            let sender = app.sender_of(m).ok_or_else(|| {
+                ModelError::MalformedGraph(format!(
+                    "static message '{}' has no sender",
+                    app.activity(m).name
+                ))
+            })?;
+            if self.slots_of(sender).is_empty() {
+                return Err(ModelError::MissingStaticSlot(sender));
+            }
+            if self.comm_time(app, m) > self.static_slot_len {
+                return Err(ModelError::FrameTooLarge {
+                    message: m,
+                    context: format!("static slot of length {}", self.static_slot_len),
+                });
+            }
+        }
+
+        // Dynamic messages: assigned, single node per frame id, fits.
+        let mut frame_nodes: BTreeMap<FrameId, NodeId> = BTreeMap::new();
+        for m in app.messages_of_class(MessageClass::Dynamic) {
+            let fid = self.frame_id_of(m).ok_or_else(|| {
+                ModelError::FrameAssignment(format!(
+                    "dynamic message '{}' has no frame identifier",
+                    app.activity(m).name
+                ))
+            })?;
+            let sender = app.sender_of(m).ok_or_else(|| {
+                ModelError::MalformedGraph(format!(
+                    "dynamic message '{}' has no sender",
+                    app.activity(m).name
+                ))
+            })?;
+            if let Some(&other) = frame_nodes.get(&fid) {
+                if other != sender {
+                    return Err(ModelError::Conflict {
+                        frame: fid,
+                        detail: format!("assigned to both {other} and {sender}"),
+                    });
+                }
+            } else {
+                frame_nodes.insert(fid, sender);
+            }
+            let lm = self.minislots_of(app, m);
+            let need = u32::try_from(fid.preceding_slots()).expect("u16 fits") + lm;
+            if need > self.n_minislots {
+                return Err(ModelError::FrameTooLarge {
+                    message: m,
+                    context: format!(
+                        "dynamic segment of {} minislots (needs {need})",
+                        self.n_minislots
+                    ),
+                });
+            }
+        }
+        for (&m, _) in &self.frame_ids {
+            if app
+                .activities()
+                .get(m.index())
+                .and_then(|a| a.as_message())
+                .map(|s| s.class)
+                != Some(MessageClass::Dynamic)
+            {
+                return Err(ModelError::FrameAssignment(format!(
+                    "frame identifier assigned to non-dynamic activity {m}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedPolicy;
+
+    fn app_with_messages() -> (Application, ActivityId, ActivityId) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(1000.0));
+        let t1 = app.add_task(g, "t1", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let t2 = app.add_task(g, "t2", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let t3 = app.add_task(g, "t3", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 1);
+        let t4 = app.add_task(g, "t4", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 1);
+        let st = app.add_message(g, "st", 4, MessageClass::Static, 0);
+        let dy = app.add_message(g, "dy", 4, MessageClass::Dynamic, 1);
+        app.connect(t1, st, t2).expect("edges");
+        app.connect(t3, dy, t4).expect("edges");
+        app.validate().expect("valid app");
+        (app, st, dy)
+    }
+
+    fn unit_bus() -> BusConfig {
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+        bus.n_minislots = 10;
+        bus
+    }
+
+    #[test]
+    fn segment_lengths() {
+        let bus = unit_bus();
+        assert_eq!(bus.st_bus(), Time::from_us(16.0));
+        assert_eq!(bus.dyn_bus(), Time::from_us(10.0));
+        assert_eq!(bus.gd_cycle(), Time::from_us(26.0));
+        assert_eq!(bus.static_slot_count(), 2);
+    }
+
+    #[test]
+    fn slot_queries() {
+        let bus = unit_bus();
+        assert_eq!(bus.slots_of(NodeId::new(0)), vec![SlotId::new(1)]);
+        assert_eq!(bus.owner_of(SlotId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(bus.owner_of(SlotId::new(3)), None);
+        assert_eq!(bus.slot_start(SlotId::new(2)), Time::from_us(8.0));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_config() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus.validate_for(&app, 2).expect("valid config");
+    }
+
+    #[test]
+    fn missing_frame_id_is_rejected() {
+        let (app, _, _) = app_with_messages();
+        let bus = unit_bus();
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::FrameAssignment(_))
+        ));
+    }
+
+    #[test]
+    fn cross_node_frame_sharing_is_rejected() {
+        let (mut app, _, dy) = app_with_messages();
+        // add a second dynamic message from node 0
+        let g = app.graphs()[0].members[0];
+        let graph = app.activity(g).graph;
+        let t1 = app.find("t1").expect("t1");
+        let t3 = app.find("t3").expect("t3");
+        let dy2 = app.add_message(graph, "dy2", 4, MessageClass::Dynamic, 2);
+        app.connect(t1, dy2, t3).expect("edges");
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1)); // sender node 1
+        bus.frame_ids.insert(dy2, FrameId::new(1)); // sender node 0
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::Conflict { .. })
+        ));
+    }
+
+    #[test]
+    fn st_frame_must_fit_slot() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus.static_slot_len = Time::from_us(1.0); // 4-byte frame needs 2µs
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn dyn_frame_must_fit_segment() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(10));
+        bus.n_minislots = 5; // frame id 10 can never start
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn protocol_limits_enforced() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus.n_minislots = MAX_MINISLOTS + 1;
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::ProtocolLimit(_))
+        ));
+
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus.static_slot_len = Time::from_us(8000.0); // cycle over 16ms
+        assert!(bus.validate_for(&app, 2).is_err());
+    }
+
+    #[test]
+    fn missing_static_slot_detected() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        bus.static_slot_owners = vec![NodeId::new(1)]; // node 0 sends 'st'
+        assert!(matches!(
+            bus.validate_for(&app, 2),
+            Err(ModelError::MissingStaticSlot(n)) if n == NodeId::new(0)
+        ));
+    }
+
+    #[test]
+    fn p_latest_tx_accounts_for_largest_frame() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        // 'dy' is 4 bytes => 2 granules * 20 bits * 100ns = 4µs = 4 minislots
+        let lm = bus.minislots_of(&app, dy);
+        assert_eq!(bus.p_latest_tx(&app, NodeId::new(1)), 10 - lm + 1);
+        // node 0 sends no dynamic messages
+        assert_eq!(bus.p_latest_tx(&app, NodeId::new(0)), 10);
+    }
+
+    #[test]
+    fn min_minislots_covers_position_and_length() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        bus.frame_ids.insert(dy, FrameId::new(3));
+        let lm = bus.minislots_of(&app, dy);
+        assert_eq!(bus.min_minislots(&app), 2 + lm);
+    }
+
+    #[test]
+    fn dyn_slot_count_is_max_frame_id() {
+        let (app, _, dy) = app_with_messages();
+        let mut bus = unit_bus();
+        assert_eq!(bus.dyn_slot_count(), 0);
+        bus.frame_ids.insert(dy, FrameId::new(5));
+        assert_eq!(bus.dyn_slot_count(), 5);
+        let _ = app;
+    }
+}

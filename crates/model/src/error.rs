@@ -1,0 +1,117 @@
+//! Model validation errors.
+
+use crate::{ActivityId, FrameId, NodeId, Time};
+use core::fmt;
+
+/// Errors reported while constructing or validating the system model.
+///
+/// Every constructor that can reject its input returns this type, so a
+/// malformed system is caught once at the model boundary and the
+/// analysis/optimisation crates can assume well-formed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A physical-layer parameter set is inconsistent.
+    InvalidPhy(String),
+    /// A bus-configuration parameter violates the FlexRay specification
+    /// (slot counts, minislot counts, cycle length, slot length).
+    ProtocolLimit(String),
+    /// An activity id does not exist in the application.
+    UnknownActivity(ActivityId),
+    /// A node id does not exist in the platform.
+    UnknownNode(NodeId),
+    /// The task-graph structure is malformed (cycles, cross-graph edges,
+    /// messages without sender/receiver, task on the wrong side of a
+    /// message, ...).
+    MalformedGraph(String),
+    /// A period, deadline or execution time is non-positive.
+    NonPositiveTime {
+        /// Which quantity was rejected.
+        what: String,
+        /// The offending value.
+        value: Time,
+    },
+    /// A dynamic message lacks a frame identifier, or a frame identifier
+    /// is assigned inconsistently (shared across nodes).
+    FrameAssignment(String),
+    /// A static message's sender node owns no static slot.
+    MissingStaticSlot(NodeId),
+    /// A frame does not fit its slot or segment.
+    FrameTooLarge {
+        /// The offending message.
+        message: ActivityId,
+        /// Where it was supposed to fit.
+        context: String,
+    },
+    /// Two activities conflict (e.g. duplicate frame identifier on
+    /// different nodes).
+    Conflict {
+        /// Frame identifier both messages claim.
+        frame: FrameId,
+        /// Explanation.
+        detail: String,
+    },
+    /// The application hyperperiod cannot be represented.
+    HyperperiodOverflow,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidPhy(msg) => write!(f, "invalid physical-layer parameters: {msg}"),
+            ModelError::ProtocolLimit(msg) => write!(f, "flexray protocol limit violated: {msg}"),
+            ModelError::UnknownActivity(id) => write!(f, "unknown activity {id}"),
+            ModelError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ModelError::MalformedGraph(msg) => write!(f, "malformed task graph: {msg}"),
+            ModelError::NonPositiveTime { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            ModelError::FrameAssignment(msg) => write!(f, "frame identifier assignment: {msg}"),
+            ModelError::MissingStaticSlot(node) => {
+                write!(f, "node {node} sends static messages but owns no static slot")
+            }
+            ModelError::FrameTooLarge { message, context } => {
+                write!(f, "message {message} does not fit {context}")
+            }
+            ModelError::Conflict { frame, detail } => {
+                write!(f, "conflicting use of {frame}: {detail}")
+            }
+            ModelError::HyperperiodOverflow => {
+                write!(f, "application hyperperiod overflows the time range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ModelError::NonPositiveTime {
+            what: "period".into(),
+            value: Time::ZERO,
+        };
+        let s = e.to_string();
+        assert!(s.contains("period"));
+        assert!(s.contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn conflict_mentions_frame() {
+        let e = ModelError::Conflict {
+            frame: FrameId::new(4),
+            detail: "two nodes".into(),
+        };
+        assert!(e.to_string().contains("FrameID 4"));
+    }
+}

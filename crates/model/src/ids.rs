@@ -1,0 +1,204 @@
+//! Typed identifiers.
+//!
+//! Every entity of the system model — processing nodes, task graphs,
+//! activities (tasks and messages), static slots and dynamic frame
+//! identifiers — gets its own index newtype, so the analysis code cannot
+//! accidentally index the wrong table.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! index_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Wraps a raw zero-based index.
+            #[must_use]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw zero-based index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// A processing node (CPU + FlexRay communication controller).
+    NodeId,
+    "N"
+);
+index_newtype!(
+    /// A task graph within the application.
+    GraphId,
+    "G"
+);
+index_newtype!(
+    /// An activity — a task or a message — within the application.
+    ///
+    /// Activity ids are global across graphs (they index
+    /// [`Application::activities`](crate::Application::activities)).
+    ActivityId,
+    "a"
+);
+
+/// A static-segment slot number.
+///
+/// FlexRay numbers static slots starting from 1; the model keeps that
+/// convention (`SlotId::new(1)` is the first slot of the cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotId(u16);
+
+impl SlotId {
+    /// Wraps a 1-based static slot number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is zero (FlexRay slot counting starts at 1).
+    #[must_use]
+    pub fn new(number: u16) -> Self {
+        assert!(number >= 1, "static slot numbers start at 1");
+        SlotId(number)
+    }
+
+    /// The 1-based slot number.
+    #[must_use]
+    pub const fn number(self) -> u16 {
+        self.0
+    }
+
+    /// The zero-based position of the slot within the static segment.
+    #[must_use]
+    pub const fn offset(self) -> usize {
+        self.0 as usize - 1
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// A dynamic-segment frame identifier.
+///
+/// Frame identifiers are 1-based, as in the FlexRay specification: the
+/// dynamic slot counter starts at 1 at the beginning of the dynamic
+/// segment and each dynamic slot carries the frame whose identifier
+/// matches the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameId(u16);
+
+impl FrameId {
+    /// Wraps a 1-based frame identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is zero.
+    #[must_use]
+    pub fn new(number: u16) -> Self {
+        assert!(number >= 1, "frame identifiers start at 1");
+        FrameId(number)
+    }
+
+    /// The 1-based identifier value.
+    #[must_use]
+    pub const fn number(self) -> u16 {
+        self.0
+    }
+
+    /// Number of dynamic slots that precede this one in a cycle.
+    #[must_use]
+    pub const fn preceding_slots(self) -> usize {
+        self.0 as usize - 1
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FrameID {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let n = NodeId::new(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(usize::from(n), 3);
+        assert_eq!(NodeId::from(3), n);
+        assert_eq!(n.to_string(), "N3");
+    }
+
+    #[test]
+    fn activity_and_graph_display() {
+        assert_eq!(ActivityId::new(7).to_string(), "a7");
+        assert_eq!(GraphId::new(0).to_string(), "G0");
+    }
+
+    #[test]
+    fn slot_id_is_one_based() {
+        let s = SlotId::new(1);
+        assert_eq!(s.number(), 1);
+        assert_eq!(s.offset(), 0);
+        assert_eq!(SlotId::new(4).offset(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn slot_zero_rejected() {
+        let _ = SlotId::new(0);
+    }
+
+    #[test]
+    fn frame_id_is_one_based() {
+        let f = FrameId::new(2);
+        assert_eq!(f.number(), 2);
+        assert_eq!(f.preceding_slots(), 1);
+        assert_eq!(f.to_string(), "FrameID 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn frame_zero_rejected() {
+        let _ = FrameId::new(0);
+    }
+
+    #[test]
+    fn ordering_matches_numbers() {
+        assert!(FrameId::new(1) < FrameId::new(2));
+        assert!(SlotId::new(2) < SlotId::new(3));
+        assert!(NodeId::new(0) < NodeId::new(1));
+    }
+}

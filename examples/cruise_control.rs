@@ -1,0 +1,89 @@
+//! The vehicle cruise-controller case study of Section 7 as a library
+//! walk-through: build the 54-task model, run all four optimisers,
+//! inspect the winning configuration, and replay it on the simulator.
+//!
+//! Run with: `cargo run --release --example cruise_control`
+
+use flexray::gen::cruise_controller;
+use flexray::*;
+
+fn main() -> Result<(), ModelError> {
+    let (platform, app) = cruise_controller(150.0)?;
+    println!(
+        "cruise controller: {} nodes, {} graphs, {} activities",
+        platform.len(),
+        app.graphs().len(),
+        app.activities().len()
+    );
+
+    let phy = PhyParams::bmw_like();
+    let params = OptParams::default();
+    let sa_params = SaParams {
+        iterations: 300,
+        ..SaParams::default()
+    };
+
+    let runs = vec![
+        ("BBC", bbc(&platform, &app, phy, &params)),
+        ("OBCCF", obc(&platform, &app, phy, &params, DynSearch::CurveFit)),
+        ("OBCEE", obc(&platform, &app, phy, &params, DynSearch::Exhaustive)),
+        ("SA", simulated_annealing(&platform, &app, phy, &params, &sa_params)),
+    ];
+    println!("\nalgorithm  schedulable  cost(µs)      time     analyses");
+    for (name, r) in &runs {
+        println!(
+            "{name:<10} {:<12} {:>12.1} {:>9.2?} {:>8}",
+            r.is_schedulable(),
+            r.cost.value(),
+            r.elapsed,
+            r.evaluations
+        );
+    }
+
+    // Pick the best schedulable configuration and replay it.
+    let best = runs
+        .iter()
+        .filter(|(_, r)| r.is_schedulable())
+        .min_by(|a, b| {
+            a.1.cost
+                .value()
+                .partial_cmp(&b.1.cost.value())
+                .expect("finite costs")
+        });
+    let Some((winner, result)) = best else {
+        println!("\nno algorithm found a schedulable configuration");
+        return Ok(());
+    };
+    println!(
+        "\nwinner: {winner} — {} static slots × {}, DYN {} minislots, gdCycle {}",
+        result.bus.static_slot_count(),
+        result.bus.static_slot_len,
+        result.bus.n_minislots,
+        result.bus.gd_cycle()
+    );
+
+    let sys = System::validated(platform, app, result.bus.clone())?;
+    let report = simulate_default(&sys)?;
+    println!(
+        "simulation: {}/{} jobs completed, {} violations",
+        report.completed_jobs,
+        report.total_jobs,
+        report.violations.len()
+    );
+    let analysis = analyse(&sys, &AnalysisConfig::default())?;
+    let worst = sys
+        .app
+        .ids()
+        .map(|id| {
+            let margin = sys.app.deadline_of(id) - analysis.response(id);
+            (margin, sys.app.activity(id).name.clone())
+        })
+        .min()
+        .expect("non-empty app");
+    println!(
+        "tightest activity: '{}' with {:.0} µs of margin",
+        worst.1,
+        worst.0.as_us()
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Design-space exploration: how the dynamic-segment length shapes the
+//! response times of dynamic messages (the Fig. 7 phenomenon), and how
+//! the curve-fitting heuristic exploits it.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use flexray::gen::fig7_system;
+use flexray::opt::{assign_frame_ids_by_criticality, determine_dyn_length, Evaluator};
+use flexray::*;
+
+fn main() -> Result<(), ModelError> {
+    let (platform, app) = fig7_system()?;
+    let phy = PhyParams::bmw_like();
+
+    // Fixed static segment, like the paper's Fig. 7 setup.
+    let mut bus = BusConfig::new(phy);
+    bus.static_slot_len = Time::from_us(258.0);
+    bus.static_slot_owners = platform.nodes().collect();
+    bus.frame_ids = assign_frame_ids_by_criticality(&platform, &app, &bus);
+
+    // Sweep the dynamic-segment length and print the mean response of
+    // the dynamic messages.
+    println!("DYNbus(µs)  gdCycle(µs)  mean DYN response (µs)");
+    let mut sys = System {
+        platform: platform.clone(),
+        app: app.clone(),
+        bus: bus.clone(),
+    };
+    let dyn_msgs: Vec<_> = app.messages_of_class(MessageClass::Dynamic).collect();
+    let cfg = AnalysisConfig::default();
+    let mut best = (f64::INFINITY, 0u32);
+    for n_minislots in (600..=6000).step_by(600) {
+        sys.bus.n_minislots = n_minislots;
+        if sys.bus.validate_for(&sys.app, sys.platform.len()).is_err() {
+            continue;
+        }
+        let analysis = analyse(&sys, &cfg)?;
+        let mean: f64 = dyn_msgs
+            .iter()
+            .map(|&m| analysis.response(m).as_us())
+            .sum::<f64>()
+            / dyn_msgs.len() as f64;
+        if mean < best.0 {
+            best = (mean, n_minislots);
+        }
+        println!(
+            "{:>9.0} {:>12.0} {:>18.0}",
+            sys.bus.dyn_bus().as_us(),
+            sys.bus.gd_cycle().as_us(),
+            mean
+        );
+    }
+    println!(
+        "\nsweet spot around {} minislots ({} µs) — both shorter and longer segments inflate delays",
+        best.1,
+        f64::from(best.1) * phy.gd_minislot.as_us()
+    );
+
+    // Now let the curve-fitting heuristic find it with a few analyses.
+    let mut ev = Evaluator::new(platform, app, AnalysisConfig::default());
+    let params = OptParams {
+        dyn_step: 8,
+        ..OptParams::default()
+    };
+    let choice = determine_dyn_length(&mut ev, &bus, &params, DynSearch::CurveFit)
+        .expect("system has dynamic messages");
+    println!(
+        "curve fitting picked {} minislots with {} full analyses (cost {:+.1})",
+        choice.n_minislots,
+        ev.evaluations(),
+        choice.cost.value()
+    );
+    Ok(())
+}

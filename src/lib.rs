@@ -1,0 +1,56 @@
+//! # flexray
+//!
+//! Facade crate for the reproduction of *Pop, Pop, Eles, Peng — "Bus
+//! Access Optimisation for FlexRay-based Distributed Embedded Systems",
+//! DATE 2007*.
+//!
+//! The implementation is split over five crates, re-exported here as
+//! modules:
+//!
+//! * [`model`] — system/application/bus-configuration model (Sections
+//!   2–4 of the paper);
+//! * [`analysis`] — holistic scheduling and schedulability analysis
+//!   (Section 5);
+//! * [`sim`] — discrete-event simulator of the FlexRay MAC and node
+//!   CPUs (substitutes for the authors' testbed);
+//! * [`gen`] — seeded benchmark generation (Section 7's synthetic sets,
+//!   the cruise-controller case study and the Fig. 7 workload);
+//! * [`opt`] — the paper's contribution: BBC, OBCCF, OBCEE and the SA
+//!   baseline (Section 6).
+//!
+//! The most common items are re-exported at the crate root.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flexray::*;
+//!
+//! // Model a two-node system with one static and one dynamic message.
+//! let mut app = Application::new();
+//! let g = app.add_graph("control", Time::from_us(4000.0), Time::from_us(3000.0));
+//! let sense = app.add_task(g, "sense", NodeId::new(0), Time::from_us(20.0), SchedPolicy::Scs, 0);
+//! let plan = app.add_task(g, "plan", NodeId::new(1), Time::from_us(30.0), SchedPolicy::Scs, 0);
+//! let m = app.add_message(g, "m", 8, MessageClass::Static, 0);
+//! app.connect(sense, m, plan)?;
+//!
+//! // Let the Basic Bus Configuration derive a bus layout and check it.
+//! let result = bbc(&Platform::with_nodes(2), &app, PhyParams::bmw_like(), &OptParams::default());
+//! assert!(result.is_schedulable());
+//! # Ok::<(), ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use flexray_analysis as analysis;
+pub use flexray_gen as gen;
+pub use flexray_model as model;
+pub use flexray_opt as opt;
+pub use flexray_sim as sim;
+
+pub use flexray_analysis::{analyse, Analysis, AnalysisConfig, Cost, ScheduleTable};
+pub use flexray_model::{
+    Application, BusConfig, FrameId, MessageClass, ModelError, NodeId, PhyParams, Platform,
+    SchedPolicy, SlotId, System, Time,
+};
+pub use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+pub use flexray_sim::{simulate, simulate_default, SimConfig, SimReport};

@@ -1,0 +1,157 @@
+//! End-to-end pipeline tests: generator → optimiser → analysis →
+//! simulator, spanning all five crates.
+
+use flexray::gen::{generate, GeneratorConfig};
+use flexray::*;
+
+/// Fast-but-meaningful optimiser parameters for test budgets.
+fn test_params() -> OptParams {
+    OptParams {
+        max_extra_slots: 3,
+        max_slot_len_steps: 4,
+        max_dyn_candidates: 48,
+        dyn_step: 8,
+        ..OptParams::default()
+    }
+}
+
+#[test]
+fn generated_systems_round_trip_through_the_whole_stack() {
+    for seed in [1u64, 2, 3] {
+        let generated = generate(&GeneratorConfig::small(2), seed).expect("generator");
+        let result = obc(
+            &generated.platform,
+            &generated.app,
+            PhyParams::bmw_like(),
+            &test_params(),
+            DynSearch::CurveFit,
+        );
+        // The optimiser must always return a protocol-valid configuration.
+        result
+            .bus
+            .validate_for(&generated.app, generated.platform.len())
+            .expect("optimiser emitted a valid bus configuration");
+
+        let sys = System::validated(
+            generated.platform.clone(),
+            generated.app.clone(),
+            result.bus.clone(),
+        )
+        .expect("system validates");
+        let analysis = analyse(&sys, &AnalysisConfig::default()).expect("analysis runs");
+        let report = simulate_default(&sys).expect("simulation runs");
+
+        if result.is_schedulable() {
+            // Analysis says schedulable: the simulator must agree on
+            // every observed instance.
+            assert!(report.violations.is_empty(), "seed {seed}: {:?}", report.violations);
+            for id in sys.app.ids() {
+                if let Some(observed) = report.response(id) {
+                    assert!(
+                        observed <= analysis.response(id),
+                        "seed {seed}: '{}' observed {} > WCRT {}",
+                        sys.app.activity(id).name,
+                        observed,
+                        analysis.response(id)
+                    );
+                    assert!(
+                        observed <= sys.app.deadline_of(id),
+                        "seed {seed}: '{}' misses its deadline in simulation",
+                        sys.app.activity(id).name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimiser_ranking_is_consistent() {
+    // On any input: OBCEE >= OBCCF is not guaranteed, but SA and OBCEE
+    // must both be at least as good as BBC (they explore supersets /
+    // start from its result).
+    let generated = generate(&GeneratorConfig::small(3), 11).expect("generator");
+    let phy = PhyParams::bmw_like();
+    let params = test_params();
+    let bbc_r = bbc(&generated.platform, &generated.app, phy, &params);
+    let ee = obc(
+        &generated.platform,
+        &generated.app,
+        phy,
+        &params,
+        DynSearch::Exhaustive,
+    );
+    let sa = simulated_annealing(
+        &generated.platform,
+        &generated.app,
+        phy,
+        &params,
+        &SaParams {
+            iterations: 50,
+            ..SaParams::default()
+        },
+    );
+    assert!(
+        !bbc_r.cost.better_than(&ee.cost),
+        "BBC {:?} beat OBCEE {:?}",
+        bbc_r.cost,
+        ee.cost
+    );
+    assert!(
+        !bbc_r.cost.better_than(&sa.cost),
+        "BBC {:?} beat SA {:?}",
+        bbc_r.cost,
+        sa.cost
+    );
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let generated = generate(&GeneratorConfig::small(2), 5).expect("generator");
+    let result = bbc(
+        &generated.platform,
+        &generated.app,
+        PhyParams::bmw_like(),
+        &test_params(),
+    );
+    let sys = System::validated(generated.platform, generated.app, result.bus)
+        .expect("system validates");
+    let a1 = analyse(&sys, &AnalysisConfig::default()).expect("first run");
+    let a2 = analyse(&sys, &AnalysisConfig::default()).expect("second run");
+    assert_eq!(a1.responses, a2.responses);
+    assert_eq!(a1.cost, a2.cost);
+}
+
+#[test]
+fn exact_dyn_mode_also_bounds_the_simulation() {
+    use flexray::analysis::DynAnalysisMode;
+    let generated = generate(&GeneratorConfig::small(3), 9).expect("generator");
+    let result = bbc(
+        &generated.platform,
+        &generated.app,
+        PhyParams::bmw_like(),
+        &test_params(),
+    );
+    let sys = System::validated(generated.platform, generated.app, result.bus)
+        .expect("system validates");
+    let exact = analyse(
+        &sys,
+        &AnalysisConfig {
+            dyn_mode: DynAnalysisMode::Exact,
+            ..AnalysisConfig::default()
+        },
+    )
+    .expect("exact");
+    let report = simulate_default(&sys).expect("simulation");
+    for m in sys.app.messages_of_class(MessageClass::Dynamic) {
+        if let Some(observed) = report.response(m) {
+            assert!(
+                exact.response(m) >= observed,
+                "'{}': exact WCRT {} < observed {}",
+                sys.app.activity(m).name,
+                exact.response(m),
+                observed
+            );
+        }
+    }
+}

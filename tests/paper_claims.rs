@@ -1,0 +1,41 @@
+//! The paper's quantitative and qualitative claims, checked end-to-end
+//! through the figure harnesses of `flexray-bench`.
+
+use flexray_bench::{fig3, fig4, fig7};
+use flexray_model::Time;
+
+#[test]
+fn fig3_st_segment_example_matches_paper() {
+    // R3 = 16 / 12 / 10 for the three static-segment layouts.
+    for sc in fig3::scenarios() {
+        let r3 = fig3::response_of_m3(&sc).expect("scenario runs");
+        assert_eq!(r3, Time::from_us(sc.paper_r3), "scenario {}", sc.label);
+    }
+}
+
+#[test]
+fn fig4_dyn_segment_example_matches_paper() {
+    // R2 = 37 / 35 / 21 for Tables A/B and the enlarged segment.
+    for sc in fig4::scenarios() {
+        let (sim, wcrt) = fig4::response_of_m2(&sc).expect("scenario runs");
+        assert_eq!(sim, Time::from_us(sc.paper_r2), "scenario {}", sc.label);
+        assert!(wcrt >= sim, "analysis bound below simulation");
+    }
+}
+
+#[test]
+fn fig7_response_times_are_u_shaped_in_dyn_length() {
+    let points = fig7::sweep(2285.4, 13_000.0, 8).expect("sweep");
+    assert!(points.len() >= 6);
+    assert!(fig7::has_u_shape(&points));
+}
+
+#[test]
+fn unique_frame_ids_beat_shared_ones_on_fig4() {
+    // Scenario a (m1 and m3 share FrameID 1) vs scenario b (unique):
+    // the paper's argument for the BBC assignment rule.
+    let scs = fig4::scenarios();
+    let (ra, _) = fig4::response_of_m2(&scs[0]).expect("a");
+    let (rb, _) = fig4::response_of_m2(&scs[1]).expect("b");
+    assert!(rb < ra);
+}

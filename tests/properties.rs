@@ -1,0 +1,193 @@
+//! Property-based tests on the core invariants of the reproduction.
+//!
+//! The headline property is the soundness cross-check between the two
+//! independent implementations of FlexRay semantics: for any random
+//! small system, the worst-case response times of `flexray-analysis`
+//! must bound the response times observed by `flexray-sim`.
+
+use flexray::analysis::build_schedule;
+use flexray::*;
+use proptest::prelude::*;
+
+/// A random chain application over 2 nodes: `n` stages alternating
+/// nodes, policy and message class chosen per graph, sizes/wcets drawn
+/// small.
+fn chain_system(
+    tt: bool,
+    wcets_us: Vec<u32>,
+    size_granules: u32,
+    period_us: u32,
+    pad_minislots: u32,
+) -> Option<System> {
+    let mut app = Application::new();
+    let period = Time::from_us(f64::from(period_us));
+    let g = app.add_graph("g", period, period);
+    let policy = if tt { SchedPolicy::Scs } else { SchedPolicy::Fps };
+    let class = if tt {
+        MessageClass::Static
+    } else {
+        MessageClass::Dynamic
+    };
+    let mut prev: Option<flexray::model::ActivityId> = None;
+    let mut msgs = Vec::new();
+    for (i, &w) in wcets_us.iter().enumerate() {
+        let node = NodeId::new(i % 2);
+        let t = app.add_task(
+            g,
+            &format!("t{i}"),
+            node,
+            Time::from_us(f64::from(w.max(1))),
+            policy,
+            10 + u32::try_from(i).expect("small"),
+        );
+        if let Some(p) = prev {
+            let m = app.add_message(
+                g,
+                &format!("m{i}"),
+                2 * size_granules.max(1),
+                class,
+                u32::try_from(i).expect("small"),
+            );
+            app.connect(p, m, t).ok()?;
+            msgs.push(m);
+        }
+        prev = Some(t);
+    }
+    let phy = PhyParams {
+        gd_bit: Time::from_ns(50),
+        gd_macrotick: Time::MICROSECOND,
+        gd_minislot: Time::MICROSECOND,
+        frame_overhead_bytes: 0,
+    };
+    let mut bus = BusConfig::new(phy);
+    if tt {
+        bus.static_slot_len = Time::from_us(f64::from(size_granules.max(1)));
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+    } else {
+        for (i, &m) in msgs.iter().enumerate() {
+            bus.frame_ids
+                .insert(m, FrameId::new(u16::try_from(i + 1).expect("small")));
+        }
+        bus.n_minislots = bus.min_minislots(&app) + pad_minislots;
+    }
+    System::validated(Platform::with_nodes(2), app, bus).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The analysis bounds the simulator on random chains.
+    #[test]
+    fn analysis_bounds_simulation(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        period in prop::sample::select(vec![500u32, 1000, 2000]),
+        pad in 0u32..30,
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, period, pad) else {
+            // invalid combination (e.g. frame larger than slot): skip
+            return Ok(());
+        };
+        let analysis = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        let report = simulate_default(&sys).expect("simulation");
+        for id in sys.app.ids() {
+            if let Some(observed) = report.response(id) {
+                prop_assert!(
+                    observed <= analysis.response(id),
+                    "'{}': observed {} > WCRT {}",
+                    sys.app.activity(id).name,
+                    observed,
+                    analysis.response(id)
+                );
+            }
+        }
+    }
+
+    /// Eq. (5): the cost sign characterises schedulability.
+    #[test]
+    fn cost_sign_matches_deadline_satisfaction(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pad in 0u32..30,
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, pad) else {
+            return Ok(());
+        };
+        let analysis = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        let any_miss = sys
+            .app
+            .ids()
+            .any(|id| analysis.response(id) > sys.app.deadline_of(id));
+        prop_assert_eq!(analysis.cost.f1 > 0.0, any_miss);
+    }
+
+    /// The static schedule table respects precedence and periods.
+    #[test]
+    fn schedule_table_respects_precedence(
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+    ) {
+        let Some(sys) = chain_system(true, wcets, size, 2000, 0) else {
+            return Ok(());
+        };
+        let bounds: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
+        let table = build_schedule(&sys, &bounds).expect("schedule");
+        for (from, to) in sys.app.edges() {
+            let f_from = table.finish_of(*from, 0);
+            let f_to = table.finish_of(*to, 0);
+            if let (Some(a), Some(b)) = (f_from, f_to) {
+                prop_assert!(a <= b, "edge violated: {a} > {b}");
+            }
+        }
+        // SCS tasks never overlap on a node
+        for node in sys.platform.nodes() {
+            let windows = table.busy_windows(node);
+            for pair in windows.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0);
+            }
+        }
+    }
+
+    /// Time arithmetic invariants used throughout the analysis.
+    #[test]
+    fn time_div_ceil_floor_consistent(a in 0i64..1_000_000, b in 1i64..10_000) {
+        let t = Time::from_ns(a);
+        let u = Time::from_ns(b);
+        let ceil = t.div_ceil(u);
+        let floor = t.div_floor(u);
+        prop_assert!(ceil >= floor);
+        prop_assert!(ceil - floor <= 1);
+        prop_assert!(u * ceil >= t);
+        prop_assert!(u * floor <= t);
+        prop_assert_eq!(t.round_up_to(u), u * ceil);
+    }
+
+    /// LCM divides evenly and bounds both operands.
+    #[test]
+    fn time_lcm_properties(a in 1i64..100_000, b in 1i64..100_000) {
+        let ta = Time::from_ns(a);
+        let tb = Time::from_ns(b);
+        let l = ta.lcm(tb).expect("small values cannot overflow");
+        prop_assert!((l % ta).is_zero());
+        prop_assert!((l % tb).is_zero());
+        prop_assert!(l >= ta && l >= tb);
+    }
+
+    /// Frame padding keeps the 2-byte granularity and monotonicity.
+    #[test]
+    fn frame_duration_monotone(bytes_a in 0u32..250, bytes_b in 0u32..250) {
+        let phy = PhyParams::bmw_like();
+        let (lo, hi) = if bytes_a <= bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
+        prop_assert!(phy.frame_duration(lo) <= phy.frame_duration(hi));
+        // padded payload is even and >= input
+        let p = PhyParams::padded_payload(lo);
+        prop_assert_eq!(p % 2, 0);
+        prop_assert!(p >= lo);
+    }
+}
