@@ -1,0 +1,223 @@
+//! Minimal, dependency-free stand-in for the subset of `criterion`
+//! this workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`).
+//!
+//! The container has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim times each benchmark with plain
+//! wall-clock measurement — warm-up, then as many iterations as fit in
+//! the measurement window — and prints mean time per iteration. No
+//! outlier analysis, no plots, no HTML reports; enough to compare
+//! optimiser implementations on the same machine.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, as in `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver, as in `criterion::Bencher`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            hint::black_box(routine());
+        }
+        // Measurement: count iterations inside the window.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.result_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its sample by
+    /// the measurement window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as benchmark `id` with `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.effective_warm_up(),
+            measurement: self.effective_measurement(),
+            result_ns: 0.0,
+            iters: 0,
+        };
+        routine(&mut b, input);
+        println!(
+            "{}/{}: {:>12} per iter ({} iters)",
+            self.name,
+            id.name,
+            format_ns(b.result_ns),
+            b.iters
+        );
+        self
+    }
+
+    /// Runs `routine` as benchmark `id` (no input).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.effective_warm_up(),
+            measurement: self.effective_measurement(),
+            result_ns: 0.0,
+            iters: 0,
+        };
+        routine(&mut b);
+        println!(
+            "{}/{}: {:>12} per iter ({} iters)",
+            self.name,
+            id.into(),
+            format_ns(b.result_ns),
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn effective_warm_up(&self) -> Duration {
+        if self.criterion.test_mode {
+            Duration::ZERO
+        } else {
+            self.warm_up
+        }
+    }
+
+    fn effective_measurement(&self) -> Duration {
+        if self.criterion.test_mode {
+            // One-shot: just check the routine runs.
+            Duration::ZERO
+        } else {
+            self.measurement
+        }
+    }
+}
+
+/// Benchmark manager, as in `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` passes `--test`: run every routine
+        // once instead of timing it.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            criterion: self,
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, as in `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, as in `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

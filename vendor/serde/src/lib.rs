@@ -1,0 +1,29 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The container has no crates.io access, so the real `serde` cannot be
+//! fetched. The workspace only ever *derives* `Serialize`/`Deserialize`
+//! (no serialisation is performed anywhere outside a feature-gated
+//! round-trip test in `flexray-model`), so this shim provides:
+//!
+//! * marker traits [`Serialize`] and [`Deserialize`] with blanket
+//!   implementations, satisfying any `T: Serialize` bound; and
+//! * no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//!   (from the sibling `serde_derive` shim) so the seed's derive lists
+//!   compile unchanged.
+//!
+//! When a real serialisation backend is vendored later, this crate can
+//! be replaced without touching any call site.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types. Blanket-implemented: every type
+/// satisfies `T: Serialize` under this shim.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types. Blanket-implemented: every type
+/// satisfies `T: Deserialize<'de>` under this shim.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
