@@ -88,7 +88,9 @@ pub fn simulated_annealing(
 
     let mut temp = sa.initial_temp.max(f64::MIN_POSITIVE);
     for _ in 0..sa.iterations {
-        let candidate = propose(&state, &st_counts, &dyn_msgs, &mut ev, &mut rng, params, phy);
+        let candidate = propose(
+            &state, &st_counts, &dyn_msgs, &mut ev, &mut rng, params, phy,
+        );
         let (cand_cost, _) = ev.evaluate(&candidate);
         let delta = scalar(&cand_cost) - scalar(&state_cost);
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
@@ -143,7 +145,7 @@ fn propose(
                 if rng.gen_bool(0.25) {
                     bus.n_minislots = rng.gen_range(min..=max);
                 } else {
-                    let span = i64::from(params.dyn_step.max(1)) * rng.gen_range(1..=8);
+                    let span = i64::from(params.dyn_step.max(1)) * rng.gen_range(1..=8i64);
                     let delta = if rng.gen_bool(0.5) { span } else { -span };
                     let n = i64::from(bus.n_minislots) + delta;
                     bus.n_minislots =
@@ -170,8 +172,7 @@ fn propose(
         }
         // Add a static slot.
         2 => {
-            if !st_counts.is_empty()
-                && bus.static_slot_owners.len() < usize::from(MAX_STATIC_SLOTS)
+            if !st_counts.is_empty() && bus.static_slot_owners.len() < usize::from(MAX_STATIC_SLOTS)
             {
                 bus.static_slot_owners =
                     assign_slots_round_robin(bus.static_slot_owners.len() + 1, st_counts);
@@ -243,8 +244,22 @@ mod tests {
     fn mixed_system() -> (Platform, Application) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(4000.0), Time::from_us(1500.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(20.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
         app.connect(a, st, b).expect("edges");
         for i in 0..3 {
@@ -280,7 +295,13 @@ mod tests {
     #[test]
     fn sa_finds_schedulable_config() {
         let (p, a) = mixed_system();
-        let result = simulated_annealing(&p, &a, PhyParams::bmw_like(), &OptParams::default(), &fast_sa());
+        let result = simulated_annealing(
+            &p,
+            &a,
+            PhyParams::bmw_like(),
+            &OptParams::default(),
+            &fast_sa(),
+        );
         assert!(result.is_schedulable(), "cost {:?}", result.cost);
         result.bus.validate_for(&a, p.len()).expect("valid bus");
     }
