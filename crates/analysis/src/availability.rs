@@ -26,9 +26,15 @@ impl Availability {
     pub fn new(horizon: Time, windows: Vec<(Time, Time)>) -> Self {
         assert!(horizon > Time::ZERO, "horizon must be positive");
         for &(s, f) in &windows {
-            assert!(Time::ZERO <= s && s <= f && f <= horizon, "window out of range");
+            assert!(
+                Time::ZERO <= s && s <= f && f <= horizon,
+                "window out of range"
+            );
         }
-        debug_assert!(windows.windows(2).all(|w| w[0].1 <= w[1].0), "windows sorted");
+        debug_assert!(
+            windows.windows(2).all(|w| w[0].1 <= w[1].0),
+            "windows sorted"
+        );
         Availability { horizon, windows }
     }
 

@@ -87,8 +87,22 @@ mod tests {
     fn sys_two_tasks(deadline_us: f64) -> System {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(deadline_us));
-        app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 1);
-        app.add_task(g, "b", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 2);
+        app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        app.add_task(
+            g,
+            "b",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Fps,
+            2,
+        );
         let bus = BusConfig::new(PhyParams::unit());
         System::validated(Platform::with_nodes(1), app, bus).expect("valid")
     }

@@ -52,12 +52,10 @@ pub fn hp_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
     sys.app
         .messages_of_class(MessageClass::Dynamic)
         .filter(|&j| {
-            j != m
-                && sys.bus.frame_id_of(j) == Some(fid)
-                && {
-                    let pj = sys.app.activity(j).as_message().expect("message").priority;
-                    pj > prio || (pj == prio && j.index() < m.index())
-                }
+            j != m && sys.bus.frame_id_of(j) == Some(fid) && {
+                let pj = sys.app.activity(j).as_message().expect("message").priority;
+                pj > prio || (pj == prio && j.index() < m.index())
+            }
         })
         .collect()
 }
@@ -71,9 +69,7 @@ pub fn lf_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
     };
     sys.app
         .messages_of_class(MessageClass::Dynamic)
-        .filter(|&j| {
-            j != m && sys.bus.frame_id_of(j).is_some_and(|fj| fj < fid)
-        })
+        .filter(|&j| j != m && sys.bus.frame_id_of(j).is_some_and(|fj| fj < fid))
         .collect()
 }
 
@@ -134,7 +130,7 @@ impl LfPool {
             }
         }
         for list in per_id.values_mut() {
-            list.sort_by(|a, b| b.0.cmp(&a.0));
+            list.sort_by_key(|&(extra, _)| core::cmp::Reverse(extra));
         }
         LfPool { per_id }
     }
@@ -143,9 +139,7 @@ impl LfPool {
     fn candidates(&self) -> Vec<(u16, u32)> {
         self.per_id
             .iter()
-            .filter_map(|(&id, list)| {
-                list.iter().find(|&&(_, n)| n > 0).map(|&(e, _)| (id, e))
-            })
+            .filter_map(|(&id, list)| list.iter().find(|&&(_, n)| n > 0).map(|&(e, _)| (id, e)))
             .collect()
     }
 
@@ -177,13 +171,21 @@ impl LfPool {
     }
 }
 
+/// DP state of the exact filler: total extra consumed plus the chosen
+/// `(frame id, extra)` options that reach it.
+type DpEntry = (u32, Vec<(u16, u32)>);
+
 /// Tries to fill one cycle: returns the consumed (id, extra) choices, or
 /// `None` if the pool can no longer reach `need_extra`.
-fn fill_one_cycle(pool: &LfPool, need_extra: u32, mode: DynAnalysisMode) -> Option<Vec<(u16, u32)>> {
+fn fill_one_cycle(
+    pool: &LfPool,
+    need_extra: u32,
+    mode: DynAnalysisMode,
+) -> Option<Vec<(u16, u32)>> {
     match mode {
         DynAnalysisMode::Greedy => {
             let mut cands = pool.candidates();
-            cands.sort_by(|a, b| b.1.cmp(&a.1));
+            cands.sort_by_key(|&(_, extra)| core::cmp::Reverse(extra));
             let mut chosen = Vec::new();
             let mut sum = 0u32;
             for (id, extra) in cands {
@@ -211,7 +213,7 @@ fn fill_one_cycle(pool: &LfPool, need_extra: u32, mode: DynAnalysisMode) -> Opti
             }
             let cap = need_extra as usize;
             // best[s] = (total, choices) with accumulated sum min(s, cap)
-            let mut best: Vec<Option<(u32, Vec<(u16, u32)>)>> = vec![None; cap + 1];
+            let mut best: Vec<Option<DpEntry>> = vec![None; cap + 1];
             best[0] = Some((0, Vec::new()));
             for (&id, extras) in &per_id {
                 let mut next = best.clone();
@@ -369,7 +371,13 @@ mod tests {
     fn interference_sets_match_fig1() {
         // Fig 1.a: md(1), me(2), mf(4 hi), mg(4 lo), mh(5); all node 0.
         let (sys, ids) = dyn_system(
-            &[(1, 1, 0, 0), (1, 2, 0, 0), (2, 4, 9, 0), (2, 4, 1, 0), (1, 5, 0, 0)],
+            &[
+                (1, 1, 0, 0),
+                (1, 2, 0, 0),
+                (2, 4, 9, 0),
+                (2, 4, 1, 0),
+                (1, 5, 0, 0),
+            ],
             20,
         );
         let (md, me, mf, mg, _mh) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
@@ -415,10 +423,24 @@ mod tests {
         let (sys, ids) = dyn_system(&[(2, 1, 9, 0), (2, 1, 1, 0)], 10);
         let jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(100_000.0);
-        let w_hi = dyn_delay(&sys, ids[0], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("hi");
-        let w_lo = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("lo");
+        let w_hi = dyn_delay(
+            &sys,
+            ids[0],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("hi");
+        let w_lo = dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("lo");
         // the low-priority sibling waits one extra cycle (gdCycle = 18)
         assert_eq!(w_lo - w_hi, Time::from_us(18.0));
     }
@@ -431,8 +453,15 @@ mod tests {
         let (sys, ids) = dyn_system(&[(9, 1, 0, 0), (2, 2, 0, 1)], 10);
         let jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(100_000.0);
-        let w = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("converges");
+        let w = dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("converges");
         // sigma = 18 - (8 + 1) = 9; one filled cycle = 18; final = 8 + 1
         // (base) + leftover 0 -> 9 + 18 + 9 = 36
         assert_eq!(w, Time::from_us(36.0));
@@ -445,8 +474,15 @@ mod tests {
         let (sys, ids) = dyn_system(&[(4, 1, 0, 0), (2, 2, 0, 1)], 10);
         let jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(100_000.0);
-        let w = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("converges");
+        let w = dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("converges");
         // sigma = 9; final = 8 + (1 + 3) = 12 -> 21
         assert_eq!(w, Time::from_us(21.0));
     }
@@ -461,7 +497,14 @@ mod tests {
         let jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(100_000.0);
         assert_eq!(
-            dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerNode, DynAnalysisMode::Greedy, limit),
+            dyn_delay(
+                &sys,
+                ids[1],
+                &jitter,
+                LatestTxPolicy::PerNode,
+                DynAnalysisMode::Greedy,
+                limit
+            ),
             None
         );
         assert!(dyn_delay(
@@ -483,10 +526,24 @@ mod tests {
         );
         let jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(1_000_000.0);
-        let wg = dyn_delay(&sys, ids[3], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("greedy converges");
-        let we = dyn_delay(&sys, ids[3], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Exact, limit)
-            .expect("exact converges");
+        let wg = dyn_delay(
+            &sys,
+            ids[3],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("greedy converges");
+        let we = dyn_delay(
+            &sys,
+            ids[3],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Exact,
+            limit,
+        )
+        .expect("exact converges");
         // both bound the interference-free floor from below
         let floor = dyn_delay(
             &dyn_system(&[(2, 4, 0, 1)], 12).0,
@@ -506,11 +563,25 @@ mod tests {
         let (sys, ids) = dyn_system(&[(9, 1, 0, 0), (2, 2, 0, 1)], 10);
         let mut jitter = vec![Time::ZERO; sys.app.activities().len()];
         let limit = Time::from_us(10_000_000.0);
-        let w0 = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("w0");
+        let w0 = dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("w0");
         jitter[ids[0].index()] = Time::from_us(999.0); // almost one period
-        let w1 = dyn_delay(&sys, ids[1], &jitter, LatestTxPolicy::PerMessage, DynAnalysisMode::Greedy, limit)
-            .expect("w1");
+        let w1 = dyn_delay(
+            &sys,
+            ids[1],
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit,
+        )
+        .expect("w1");
         assert!(w1 > w0, "{w1} vs {w0}");
     }
 }

@@ -97,7 +97,9 @@ pub fn analyse(sys: &System, cfg: &AnalysisConfig) -> Result<Analysis, ModelErro
         .map(|id| sys.app.deadline_of(id))
         .max()
         .unwrap_or(horizon);
-    let limit = horizon.max(max_deadline).saturating_mul(cfg.divergence_factor);
+    let limit = horizon
+        .max(max_deadline)
+        .saturating_mul(cfg.divergence_factor);
 
     let n = sys.app.activities().len();
     // Initial completion bounds: just the durations.
@@ -253,14 +255,42 @@ mod tests {
     fn mixed_system() -> System {
         let mut app = Application::new();
         let gt = app.add_graph("tt", Time::from_us(200.0), Time::from_us(150.0));
-        let a = app.add_task(gt, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(gt, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            gt,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            gt,
+            "b",
+            NodeId::new(1),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m_ab = app.add_message(gt, "m_ab", 8, MessageClass::Static, 0);
         app.connect(a, m_ab, b).expect("edges");
 
         let ge = app.add_graph("et", Time::from_us(200.0), Time::from_us(190.0));
-        let c = app.add_task(ge, "c", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
-        let d = app.add_task(ge, "d", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let c = app.add_task(
+            ge,
+            "c",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            ge,
+            "d",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
         let m_cd = app.add_message(ge, "m_cd", 4, MessageClass::Dynamic, 1);
         app.connect(c, m_cd, d).expect("edges");
 
@@ -295,7 +325,10 @@ mod tests {
         let sys = mixed_system();
         let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
         let b = sys.app.find("b").expect("b");
-        let table_r = res.table.response_of(b, Time::from_us(200.0)).expect("entry");
+        let table_r = res
+            .table
+            .response_of(b, Time::from_us(200.0))
+            .expect("entry");
         assert_eq!(res.response(b), table_r);
     }
 
@@ -313,10 +346,11 @@ mod tests {
     #[test]
     fn no_dynamic_segment_diverges_dyn_messages() {
         let mut sys = mixed_system();
-        sys.bus.n_minislots = 4; // m_cd needs 4 minislots; pLatestTx = 1
-        // still valid (frame fits), but any interference... here none, so
-        // shrink further so it cannot fit at all -> model validation would
-        // reject; instead use per-node policy with a big sibling.
+        // m_cd needs 4 minislots; pLatestTx = 1. Still valid (frame
+        // fits), but any interference... here none, so shrink further
+        // so it cannot fit at all -> model validation would reject;
+        // instead use per-node policy with a big sibling.
+        sys.bus.n_minislots = 4;
         let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
         // with exactly-fitting segment the message still goes out
         assert!(res.diverged.is_empty());
@@ -327,8 +361,22 @@ mod tests {
         // Saturate node 0 with an SCS task so the FPS task starves.
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        app.add_task(g, "hog", NodeId::new(0), Time::from_us(100.0), SchedPolicy::Scs, 0);
-        app.add_task(g, "starved", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Fps, 1);
+        app.add_task(
+            g,
+            "hog",
+            NodeId::new(0),
+            Time::from_us(100.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        app.add_task(
+            g,
+            "starved",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let bus = BusConfig::new(PhyParams::unit());
         let sys = System::validated(Platform::with_nodes(1), app, bus).expect("valid");
         let res = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
@@ -342,8 +390,22 @@ mod tests {
     fn et_feeding_tt_triggers_outer_iteration() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(200.0), Time::from_us(200.0));
-        let e = app.add_task(g, "e", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
-        let s = app.add_task(g, "s", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let e = app.add_task(
+            g,
+            "e",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let s = app.add_task(
+            g,
+            "s",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
         app.connect(e, m, s).expect("edges");
         let mut bus = BusConfig::new(PhyParams::unit());

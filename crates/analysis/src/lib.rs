@@ -60,8 +60,6 @@ pub use dyn_msg::{
 };
 pub use fps::{fps_local_response, hp_tasks};
 pub use holistic::{analyse, Analysis, AnalysisConfig};
-pub use priority::{
-    criticality, longest_path_from_source, longest_path_to_sink, ready_list_order,
-};
+pub use priority::{criticality, longest_path_from_source, longest_path_to_sink, ready_list_order};
 pub use scheduler::{build_schedule, build_schedule_with, ScsPlacement};
 pub use table::{MessageEntry, ScheduleTable, TaskEntry};

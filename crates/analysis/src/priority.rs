@@ -95,8 +95,22 @@ mod tests {
     fn chain_system() -> (System, ActivityId, ActivityId, ActivityId) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(100.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 4, MessageClass::Static, 0);
         app.connect(a, m, b).expect("edges");
         let mut bus = BusConfig::new(PhyParams::unit());

@@ -51,10 +51,7 @@ struct Job {
 ///
 /// Returns an error if the hyperperiod overflows or the bus cycle is
 /// empty while static messages exist.
-pub fn build_schedule(
-    sys: &System,
-    et_finish_bound: &[Time],
-) -> Result<ScheduleTable, ModelError> {
+pub fn build_schedule(sys: &System, et_finish_bound: &[Time]) -> Result<ScheduleTable, ModelError> {
     build_schedule_with(sys, et_finish_bound, ScsPlacement::Asap)
 }
 
@@ -145,7 +142,14 @@ pub fn build_schedule_with(
         let asap = ready[&(job.activity, job.instance)];
         let finish = match sys.app.activity(job.activity).as_task() {
             Some(task) => place_task(
-                sys, &mut table, &mut node_busy, job, task.node, asap, horizon, placement,
+                sys,
+                &mut table,
+                &mut node_busy,
+                job,
+                task.node,
+                asap,
+                horizon,
+                placement,
             ),
             None => place_message(
                 sys,
@@ -196,9 +200,12 @@ fn place_task(
         .expect("task job")
         .wcet;
     let start = match placement {
-        ScsPlacement::Asap => {
-            first_gap(node_busy.entry(node.index()).or_default(), asap, wcet, horizon)
-        }
+        ScsPlacement::Asap => first_gap(
+            node_busy.entry(node.index()).or_default(),
+            asap,
+            wcet,
+            horizon,
+        ),
         ScsPlacement::MinimiseFpsImpact => {
             choose_fps_friendly_start(sys, node_busy, node, asap, wcet, horizon)
         }
@@ -283,23 +290,20 @@ fn choose_fps_friendly_start(
     }
     let zero_jitter = vec![Time::ZERO; sys.app.activities().len()];
     let limit = horizon.saturating_mul(4);
-    candidates
-        .into_iter()
-        .min_by_key(|&start| {
-            // tentative busy list with the candidate placement
-            let mut tentative = busy.clone();
-            let pos = tentative.partition_point(|&(s, _)| s < start);
-            tentative.insert(pos, (start, start + wcet));
-            let avail = Availability::new(horizon, merge_windows(tentative));
-            let impact: Time = fps_tasks
-                .iter()
-                .map(|&t| {
-                    crate::fps::fps_local_response(sys, &avail, t, &zero_jitter, limit)
-                        .unwrap_or(limit)
-                })
-                .sum();
-            (impact, start)
-        })
+    candidates.into_iter().min_by_key(|&start| {
+        // tentative busy list with the candidate placement
+        let mut tentative = busy.clone();
+        let pos = tentative.partition_point(|&(s, _)| s < start);
+        tentative.insert(pos, (start, start + wcet));
+        let avail = Availability::new(horizon, merge_windows(tentative));
+        let impact: Time = fps_tasks
+            .iter()
+            .map(|&t| {
+                crate::fps::fps_local_response(sys, &avail, t, &zero_jitter, limit).unwrap_or(limit)
+            })
+            .sum();
+        (impact, start)
+    })
 }
 
 /// Merges touching/overlapping sorted windows (tentative placements may
@@ -405,8 +409,22 @@ mod tests {
     fn chain_system(slot_len_us: f64, owners: Vec<NodeId>) -> System {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 8, MessageClass::Static, 0); // 4µs on unit phy
         app.connect(a, m, b).expect("edges");
         let mut bus = BusConfig::new(PhyParams::unit());
@@ -452,10 +470,24 @@ mod tests {
     fn all_instances_of_periodic_graph_are_placed() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(50.0), Time::from_us(50.0));
-        app.add_task(g, "t", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        app.add_task(
+            g,
+            "t",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let mut app2 = app.clone();
         let g2 = app2.add_graph("h", Time::from_us(100.0), Time::from_us(100.0));
-        app2.add_task(g2, "u", NodeId::new(0), Time::from_us(7.0), SchedPolicy::Scs, 0);
+        app2.add_task(
+            g2,
+            "u",
+            NodeId::new(0),
+            Time::from_us(7.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let bus = BusConfig::new(PhyParams::unit());
         let sys = System::validated(Platform::with_nodes(1), app2, bus).expect("valid");
         let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
@@ -471,9 +503,30 @@ mod tests {
         // Two messages of 4µs from node 0 into a 8µs slot: same frame.
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
-        let c = app.add_task(g, "c", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(1),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m1 = app.add_message(g, "m1", 4, MessageClass::Static, 0); // 4µs
         let m2 = app.add_message(g, "m2", 4, MessageClass::Static, 0); // 4µs
         app.connect(a, m1, b).expect("edges");
@@ -483,8 +536,16 @@ mod tests {
         bus.static_slot_owners = vec![NodeId::new(0)];
         let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
         let table = build_schedule(&sys, &bounds(&sys)).expect("schedule");
-        let e1 = table.messages().iter().find(|e| e.activity == sys.app.find("m1").expect("m1")).expect("entry");
-        let e2 = table.messages().iter().find(|e| e.activity == sys.app.find("m2").expect("m2")).expect("entry");
+        let e1 = table
+            .messages()
+            .iter()
+            .find(|e| e.activity == sys.app.find("m1").expect("m1"))
+            .expect("entry");
+        let e2 = table
+            .messages()
+            .iter()
+            .find(|e| e.activity == sys.app.find("m2").expect("m2"))
+            .expect("entry");
         assert_eq!(e1.cycle, e2.cycle);
         assert_eq!(e1.slot, e2.slot);
         assert_ne!(e1.tx_start, e2.tx_start);
@@ -497,8 +558,22 @@ mod tests {
         // cycle of 100µs horizon but period forces them into few cycles.
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(16.0), Time::from_us(16.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m1 = app.add_message(g, "m1", 4, MessageClass::Static, 0); // 4µs
         let m2 = app.add_message(g, "m2", 4, MessageClass::Static, 0); // 4µs
         app.connect(a, m1, b).expect("edges");
@@ -521,9 +596,30 @@ mod tests {
     fn contended_node() -> System {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        app.add_task(g, "hog", NodeId::new(0), Time::from_us(40.0), SchedPolicy::Scs, 0);
-        app.add_task(g, "second", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        app.add_task(g, "fps", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 1);
+        app.add_task(
+            g,
+            "hog",
+            NodeId::new(0),
+            Time::from_us(40.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        app.add_task(
+            g,
+            "second",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        app.add_task(
+            g,
+            "fps",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let bus = BusConfig::new(PhyParams::unit());
         System::validated(Platform::with_nodes(1), app, bus).expect("valid")
     }
@@ -559,7 +655,10 @@ mod tests {
         let zero = vec![Time::ZERO; sys.app.activities().len()];
         let r_asap = crate::fps::fps_local_response(
             &sys,
-            &Availability::new(asap_table.horizon(), asap_table.busy_windows(NodeId::new(0))),
+            &Availability::new(
+                asap_table.horizon(),
+                asap_table.busy_windows(NodeId::new(0)),
+            ),
             fps,
             &zero,
             limit,
@@ -601,8 +700,22 @@ mod tests {
         // start must respect the provided ET finish bounds.
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        let e = app.add_task(g, "e", NodeId::new(0), Time::from_us(3.0), SchedPolicy::Fps, 5);
-        let s = app.add_task(g, "s", NodeId::new(1), Time::from_us(2.0), SchedPolicy::Scs, 0);
+        let e = app.add_task(
+            g,
+            "e",
+            NodeId::new(0),
+            Time::from_us(3.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let s = app.add_task(
+            g,
+            "s",
+            NodeId::new(1),
+            Time::from_us(2.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
         app.connect(e, m, s).expect("edges");
         let mut bus = BusConfig::new(PhyParams::unit());
@@ -612,7 +725,11 @@ mod tests {
         let mut et_bound = bounds(&sys);
         et_bound[m.index()] = Time::from_us(42.0);
         let table = build_schedule(&sys, &et_bound).expect("schedule");
-        let entry = table.tasks().iter().find(|t| t.activity == s).expect("s entry");
+        let entry = table
+            .tasks()
+            .iter()
+            .find(|t| t.activity == s)
+            .expect("s entry");
         assert_eq!(entry.start, Time::from_us(42.0));
     }
 }

@@ -186,7 +186,10 @@ mod tests {
         let mut t = ScheduleTable::new(Time::from_us(100.0));
         t.push_task(entry(0, 0, 0, 0.0, 10.0));
         t.push_task(entry(0, 1, 0, 55.0, 65.0));
-        assert_eq!(t.finish_of(ActivityId::new(0), 1), Some(Time::from_us(65.0)));
+        assert_eq!(
+            t.finish_of(ActivityId::new(0), 1),
+            Some(Time::from_us(65.0))
+        );
         // responses: 10 and 65-50=15
         assert_eq!(
             t.response_of(ActivityId::new(0), Time::from_us(50.0)),
@@ -207,7 +210,10 @@ mod tests {
             tx_end: Time::from_us(17.0),
             slot_end: Time::from_us(20.0),
         });
-        assert_eq!(t.finish_of(ActivityId::new(2), 0), Some(Time::from_us(20.0)));
+        assert_eq!(
+            t.finish_of(ActivityId::new(2), 0),
+            Some(Time::from_us(20.0))
+        );
         assert_eq!(
             t.response_of(ActivityId::new(2), Time::from_us(100.0)),
             Some(Time::from_us(20.0))

@@ -2,9 +2,7 @@
 //!
 //! Usage: ablation [n_apps]   (default 5)
 
-use flexray_bench::ablation::{
-    dyn_mode_ablation, frame_id_ablation, placement_ablation, render,
-};
+use flexray_bench::ablation::{dyn_mode_ablation, frame_id_ablation, placement_ablation, render};
 
 fn main() {
     let n = std::env::args()

@@ -24,10 +24,7 @@ impl CruiseOutcome {
     /// The result of one algorithm by name.
     #[must_use]
     pub fn result(&self, name: &str) -> Option<&OptResult> {
-        self.results
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| r)
+        self.results.iter().find(|(n, _)| n == name).map(|(_, r)| r)
     }
 }
 
@@ -78,7 +75,13 @@ pub fn render(outcome: &CruiseOutcome) -> String {
         })
         .collect();
     crate::render_table(
-        &["algorithm", "schedulable", "cost (µs)", "time (s)", "analyses"],
+        &[
+            "algorithm",
+            "schedulable",
+            "cost (µs)",
+            "time (s)",
+            "analyses",
+        ],
         &rows,
     )
 }

@@ -99,7 +99,10 @@ pub fn run(n_points: usize) -> Result<String, ModelError> {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let mut row = vec![format!("{:.1}", p.dyn_bus_us), format!("{:.1}", p.gd_cycle_us)];
+            let mut row = vec![
+                format!("{:.1}", p.dyn_bus_us),
+                format!("{:.1}", p.gd_cycle_us),
+            ];
             row.extend(p.responses_us.iter().map(|r| format!("{r:.0}")));
             row
         })
@@ -151,9 +154,7 @@ mod tests {
         let first = &points[0];
         let last = &points[points.len() - 1];
         // on average, the longest cycle is worse than the best point
-        let avg = |p: &SweepPoint| {
-            p.responses_us.iter().sum::<f64>() / p.responses_us.len() as f64
-        };
+        let avg = |p: &SweepPoint| p.responses_us.iter().sum::<f64>() / p.responses_us.len() as f64;
         let best = points.iter().map(avg).fold(f64::INFINITY, f64::min);
         assert!(avg(last) > best);
         let _ = first;

@@ -34,7 +34,10 @@ pub fn bbc_skeleton(platform: &Platform, app: &Application, phy: PhyParams) -> B
         .messages_of_class(flexray_model::MessageClass::Static)
         .map(|m| bus.comm_time(&sys.app, m))
         .max()
-        .map(|c| c.round_up_to(bus.phy.gd_macrotick).max(bus.phy.gd_macrotick))
+        .map(|c| {
+            c.round_up_to(bus.phy.gd_macrotick)
+                .max(bus.phy.gd_macrotick)
+        })
         .unwrap_or(Time::ZERO);
     bus
 }
@@ -45,7 +48,12 @@ pub fn bbc_skeleton(platform: &Platform, app: &Application, phy: PhyParams) -> B
 /// configured step (Fig. 5 lines 5–12); the best-cost configuration is
 /// returned whether or not it is schedulable.
 #[must_use]
-pub fn bbc(platform: &Platform, app: &Application, phy: PhyParams, params: &OptParams) -> OptResult {
+pub fn bbc(
+    platform: &Platform,
+    app: &Application,
+    phy: PhyParams,
+    params: &OptParams,
+) -> OptResult {
     let start = Instant::now();
     let mut ev = Evaluator::new(platform.clone(), app.clone(), params.analysis);
     let template = bbc_skeleton(platform, app, phy);
@@ -88,12 +96,40 @@ mod tests {
     fn two_node_mixed() -> (Platform, Application) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(4000.0), Time::from_us(3000.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(20.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(20.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
         app.connect(a, st, b).expect("edges");
-        let c = app.add_task(g, "c", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Fps, 5);
-        let d = app.add_task(g, "d", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 5);
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(1),
+            Time::from_us(10.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            g,
+            "d",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Fps,
+            5,
+        );
         let dy = app.add_message(g, "dy", 8, MessageClass::Dynamic, 1);
         app.connect(c, dy, d).expect("edges");
         (Platform::with_nodes(2), app)
@@ -123,15 +159,32 @@ mod tests {
     fn bbc_config_validates() {
         let (p, a) = two_node_mixed();
         let result = bbc(&p, &a, PhyParams::bmw_like(), &OptParams::default());
-        result.bus.validate_for(&a, p.len()).expect("valid best bus");
+        result
+            .bus
+            .validate_for(&a, p.len())
+            .expect("valid best bus");
     }
 
     #[test]
     fn bbc_without_dynamic_messages() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(900.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
         app.connect(a, st, b).expect("edges");
         let p = Platform::with_nodes(2);

@@ -90,7 +90,10 @@ fn exhaustive(ev: &mut Evaluator, template: &BusConfig, candidates: &[u32]) -> O
         let (cost, _) = ev.evaluate(&with_length(template, n));
         let better = best.is_none_or(|b| cost.better_than(&b.cost));
         if better {
-            best = Some(DynChoice { n_minislots: n, cost });
+            best = Some(DynChoice {
+                n_minislots: n,
+                cost,
+            });
         }
     }
     best
@@ -105,12 +108,19 @@ fn curve_fit(
     // Exactly-analysed points: length -> (cost, response vector).
     let mut points: BTreeMap<u32, (Cost, Vec<Time>)> = BTreeMap::new();
     let mut best: Option<DynChoice> = None;
-    let evaluate_at = |ev: &mut Evaluator, n: u32, points: &mut BTreeMap<u32, (Cost, Vec<Time>)>, best: &mut Option<DynChoice>| -> Cost {
+    let evaluate_at = |ev: &mut Evaluator,
+                       n: u32,
+                       points: &mut BTreeMap<u32, (Cost, Vec<Time>)>,
+                       best: &mut Option<DynChoice>|
+     -> Cost {
         let (cost, analysis) = ev.evaluate(&with_length(template, n));
         let responses = analysis.map(|a| a.responses).unwrap_or_default();
         points.insert(n, (cost, responses));
         if best.is_none_or(|b| cost.better_than(&b.cost)) {
-            *best = Some(DynChoice { n_minislots: n, cost });
+            *best = Some(DynChoice {
+                n_minislots: n,
+                cost,
+            });
         }
         cost
     };
@@ -158,7 +168,11 @@ fn curve_fit(
                     // High-degree Newton extrapolation can overflow; an
                     // absurd finite cap keeps the cost comparison sane.
                     let v = p.eval(f64::from(c));
-                    let v = if v.is_finite() { v.clamp(0.0, 1e12) } else { 1e12 };
+                    let v = if v.is_finite() {
+                        v.clamp(0.0, 1e12)
+                    } else {
+                        1e12
+                    };
                     Time::from_us(v)
                 })
                 .collect();
@@ -263,8 +277,22 @@ mod tests {
                 .insert(m, FrameId::new(u16::try_from(i + 1).expect("small")));
         }
         // one static message so the ST segment is load-bearing
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
         app.connect(a, st, b).expect("edges");
         (Platform::with_nodes(2), app, bus)
@@ -289,8 +317,8 @@ mod tests {
         let ee = determine_dyn_length(&mut ev1, &bus, &params, DynSearch::Exhaustive)
             .expect("exhaustive");
         let mut ev2 = Evaluator::new(p, a, AnalysisConfig::default());
-        let cf = determine_dyn_length(&mut ev2, &bus, &params, DynSearch::CurveFit)
-            .expect("curve fit");
+        let cf =
+            determine_dyn_length(&mut ev2, &bus, &params, DynSearch::CurveFit).expect("curve fit");
         assert_eq!(
             ee.cost.is_schedulable(),
             cf.cost.is_schedulable(),
@@ -301,8 +329,10 @@ mod tests {
     #[test]
     fn curve_fit_uses_fewer_evaluations() {
         let (p, a, bus) = dyn_app(4);
-        let mut params = OptParams::default();
-        params.dyn_step = 1; // large candidate set
+        let params = OptParams {
+            dyn_step: 1, // large candidate set
+            ..OptParams::default()
+        };
         let mut ev1 = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
         let _ = determine_dyn_length(&mut ev1, &bus, &params, DynSearch::Exhaustive);
         let mut ev2 = Evaluator::new(p, a, AnalysisConfig::default());
@@ -319,10 +349,20 @@ mod tests {
     fn no_dynamic_messages_yields_none() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        app.add_task(g, "t", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        app.add_task(
+            g,
+            "t",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let bus = BusConfig::new(PhyParams::bmw_like());
         let mut ev = Evaluator::new(Platform::with_nodes(1), app, AnalysisConfig::default());
-        assert!(determine_dyn_length(&mut ev, &bus, &OptParams::default(), DynSearch::CurveFit).is_none());
+        assert!(
+            determine_dyn_length(&mut ev, &bus, &OptParams::default(), DynSearch::CurveFit)
+                .is_none()
+        );
     }
 
     #[test]

@@ -123,12 +123,40 @@ mod tests {
     fn small_app() -> (Platform, Application) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(500.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
         app.connect(a, st, b).expect("edges");
-        let c = app.add_task(g, "c", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
-        let d = app.add_task(g, "d", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            g,
+            "d",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
         let dy = app.add_message(g, "dy", 4, MessageClass::Dynamic, 1);
         app.connect(c, dy, d).expect("edges");
         (Platform::with_nodes(2), app)

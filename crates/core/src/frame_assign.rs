@@ -6,9 +6,7 @@
 //! `lf(m)`/`ms(m)` delays).
 
 use flexray_analysis::longest_path_from_source;
-use flexray_model::{
-    ActivityId, Application, BusConfig, FrameId, MessageClass, Platform, System,
-};
+use flexray_model::{ActivityId, Application, BusConfig, FrameId, MessageClass, Platform, System};
 use std::collections::BTreeMap;
 
 /// Assigns unique frame identifiers to all dynamic messages of `app`,
@@ -54,14 +52,42 @@ mod tests {
         let mut app = Application::new();
         // Tight graph: deadline 50
         let g1 = app.add_graph("tight", Time::from_us(1000.0), Time::from_us(50.0));
-        let a1 = app.add_task(g1, "a1", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Fps, 1);
-        let b1 = app.add_task(g1, "b1", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Fps, 1);
+        let a1 = app.add_task(
+            g1,
+            "a1",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        let b1 = app.add_task(
+            g1,
+            "b1",
+            NodeId::new(1),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let m_tight = app.add_message(g1, "m_tight", 4, MessageClass::Dynamic, 1);
         app.connect(a1, m_tight, b1).expect("edges");
         // Loose graph: deadline 900
         let g2 = app.add_graph("loose", Time::from_us(1000.0), Time::from_us(900.0));
-        let a2 = app.add_task(g2, "a2", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Fps, 1);
-        let b2 = app.add_task(g2, "b2", NodeId::new(1), Time::from_us(1.0), SchedPolicy::Fps, 1);
+        let a2 = app.add_task(
+            g2,
+            "a2",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        let b2 = app.add_task(
+            g2,
+            "b2",
+            NodeId::new(1),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let m_loose = app.add_message(g2, "m_loose", 4, MessageClass::Dynamic, 1);
         app.connect(a2, m_loose, b2).expect("edges");
 
@@ -79,8 +105,22 @@ mod tests {
         let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(800.0));
         let mut msgs = Vec::new();
         for i in 0..5 {
-            let s = app.add_task(g, &format!("s{i}"), NodeId::new(0), Time::from_us(1.0), SchedPolicy::Fps, 1);
-            let r = app.add_task(g, &format!("r{i}"), NodeId::new(1), Time::from_us(1.0), SchedPolicy::Fps, 1);
+            let s = app.add_task(
+                g,
+                &format!("s{i}"),
+                NodeId::new(0),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
+            let r = app.add_task(
+                g,
+                &format!("r{i}"),
+                NodeId::new(1),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
             let m = app.add_message(g, &format!("m{i}"), 4, MessageClass::Dynamic, 1);
             app.connect(s, m, r).expect("edges");
             msgs.push(m);

@@ -15,8 +15,7 @@ use crate::evaluator::Evaluator;
 use crate::params::{OptParams, OptResult};
 use flexray_analysis::Cost;
 use flexray_model::{
-    Application, MessageClass, NodeId, PhyParams, Platform, System, Time,
-    MAX_STATIC_SLOTS,
+    Application, MessageClass, NodeId, PhyParams, Platform, System, Time, MAX_STATIC_SLOTS,
 };
 use std::time::Instant;
 
@@ -110,7 +109,7 @@ pub fn obc(
             }
 
             len_steps += 1;
-            slot_len = slot_len + slot_len_step;
+            slot_len += slot_len_step;
             if slot_len > slot_len_max || len_steps >= params.max_slot_len_steps || n_slots == 0 {
                 break;
             }
@@ -178,7 +177,11 @@ mod tests {
 
     #[test]
     fn round_robin_single_slot_each() {
-        let counts = vec![(NodeId::new(0), 1), (NodeId::new(1), 1), (NodeId::new(2), 1)];
+        let counts = vec![
+            (NodeId::new(0), 1),
+            (NodeId::new(1), 1),
+            (NodeId::new(2), 1),
+        ];
         assert_eq!(
             assign_slots_round_robin(3, &counts),
             vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
@@ -217,7 +220,14 @@ mod tests {
         // extra slots help.
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(2000.0), Time::from_us(400.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
         for i in 0..3 {
             let r = app.add_task(
                 g,
@@ -230,8 +240,22 @@ mod tests {
             let m = app.add_message(g, &format!("m{i}"), 16, MessageClass::Static, 0);
             app.connect(a, m, r).expect("edges");
         }
-        let c = app.add_task(g, "c", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 5);
-        let d = app.add_task(g, "d", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 5);
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            g,
+            "d",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
         let dy = app.add_message(g, "dy", 8, MessageClass::Dynamic, 1);
         app.connect(c, dy, d).expect("edges");
         (Platform::with_nodes(2), app)
@@ -240,7 +264,13 @@ mod tests {
     #[test]
     fn obc_curve_fit_finds_schedulable_config() {
         let (p, a) = contended_system();
-        let result = obc(&p, &a, PhyParams::bmw_like(), &OptParams::default(), DynSearch::CurveFit);
+        let result = obc(
+            &p,
+            &a,
+            PhyParams::bmw_like(),
+            &OptParams::default(),
+            DynSearch::CurveFit,
+        );
         assert!(result.is_schedulable(), "cost {:?}", result.cost);
         result.bus.validate_for(&a, p.len()).expect("valid bus");
     }

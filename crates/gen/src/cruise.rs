@@ -8,7 +8,7 @@
 //! node sequences yield exactly 26 cross-node messages.
 
 use flexray_model::{
-    Application, ActivityId, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
+    ActivityId, Application, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
 };
 
 /// Node mapping patterns for the four pipelines: consecutive tasks on
@@ -158,8 +158,14 @@ mod tests {
         let (platform, app) = cruise_controller(180.0).expect("builds");
         assert_eq!(platform.len(), 5);
         assert_eq!(app.graphs().len(), 4);
-        let tasks = app.ids().filter(|&id| app.activity(id).as_task().is_some()).count();
-        let msgs = app.ids().filter(|&id| app.activity(id).as_message().is_some()).count();
+        let tasks = app
+            .ids()
+            .filter(|&id| app.activity(id).as_task().is_some())
+            .count();
+        let msgs = app
+            .ids()
+            .filter(|&id| app.activity(id).as_message().is_some())
+            .count();
         assert_eq!(tasks, 54, "54 tasks as in the paper");
         assert_eq!(msgs, 26, "26 messages as in the paper");
     }

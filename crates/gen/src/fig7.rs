@@ -8,9 +8,7 @@
 //! three tasks (2 ST messages each) and ten ET pipelines of three tasks
 //! (2 DYN messages each), spread over five nodes.
 
-use flexray_model::{
-    Application, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
-};
+use flexray_model::{Application, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time};
 
 /// Number of processing nodes in the Fig. 7 system.
 pub const FIG7_NODES: usize = 5;
@@ -43,13 +41,7 @@ pub fn fig7_system() -> Result<(Platform, Application), ModelError> {
                 0,
             );
             if let Some(p) = prev {
-                let m = app.add_message(
-                    g,
-                    &format!("tt{i}_m{j}"),
-                    8,
-                    MessageClass::Static,
-                    0,
-                );
+                let m = app.add_message(g, &format!("tt{i}_m{j}"), 8, MessageClass::Static, 0);
                 app.connect(p, m, t)?;
             }
             prev = Some(t);
@@ -100,7 +92,10 @@ mod tests {
     fn census_matches_fig7() {
         let (platform, app) = fig7_system().expect("builds");
         assert_eq!(platform.len(), 5);
-        let tasks = app.ids().filter(|&id| app.activity(id).as_task().is_some()).count();
+        let tasks = app
+            .ids()
+            .filter(|&id| app.activity(id).as_task().is_some())
+            .count();
         assert_eq!(tasks, 45);
         assert_eq!(app.messages_of_class(MessageClass::Static).count(), 10);
         assert_eq!(app.messages_of_class(MessageClass::Dynamic).count(), 20);

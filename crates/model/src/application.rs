@@ -399,14 +399,16 @@ impl Application {
 
     /// Ids of all messages of the given class.
     pub fn messages_of_class(&self, class: MessageClass) -> impl Iterator<Item = ActivityId> + '_ {
-        self.ids()
-            .filter(move |&id| self.activities[id.index()].as_message().map(|m| m.class) == Some(class))
+        self.ids().filter(move |&id| {
+            self.activities[id.index()].as_message().map(|m| m.class) == Some(class)
+        })
     }
 
     /// Ids of all tasks with the given policy.
     pub fn tasks_with_policy(&self, policy: SchedPolicy) -> impl Iterator<Item = ActivityId> + '_ {
-        self.ids()
-            .filter(move |&id| self.activities[id.index()].as_task().map(|t| t.policy) == Some(policy))
+        self.ids().filter(move |&id| {
+            self.activities[id.index()].as_task().map(|t| t.policy) == Some(policy)
+        })
     }
 
     /// Ids of all tasks mapped to `node`.
@@ -606,7 +608,8 @@ impl Application {
     /// examples).
     #[must_use]
     pub fn find(&self, name: &str) -> Option<ActivityId> {
-        self.ids().find(|&id| self.activities[id.index()].name == name)
+        self.ids()
+            .find(|&id| self.activities[id.index()].name == name)
     }
 
     /// Per-node utilisation of all tasks: `Σ C_i / T_i` grouped by node.
@@ -616,8 +619,7 @@ impl Application {
         for id in self.ids() {
             if let Some(t) = self.activities[id.index()].as_task() {
                 let period = self.period_of(id);
-                *u.entry(t.node).or_insert(0.0) +=
-                    t.wcet.as_ns() as f64 / period.as_ns() as f64;
+                *u.entry(t.node).or_insert(0.0) += t.wcet.as_ns() as f64 / period.as_ns() as f64;
             }
         }
         u
@@ -631,8 +633,22 @@ mod tests {
     fn two_node_app() -> (Application, ActivityId, ActivityId, ActivityId) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(80.0));
-        let t1 = app.add_task(g, "t1", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
-        let t2 = app.add_task(g, "t2", NodeId::new(1), Time::from_us(7.0), SchedPolicy::Fps, 3);
+        let t1 = app.add_task(
+            g,
+            "t1",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t2 = app.add_task(
+            g,
+            "t2",
+            NodeId::new(1),
+            Time::from_us(7.0),
+            SchedPolicy::Fps,
+            3,
+        );
         let m = app.add_message(g, "m", 8, MessageClass::Dynamic, 1);
         app.connect(t1, m, t2).expect("valid edges");
         (app, t1, t2, m)
@@ -671,10 +687,7 @@ mod tests {
         let (mut app, t1, t2, _) = two_node_app();
         // close a cycle t2 -> t1
         app.add_edge(t2, t1).expect("edge insert");
-        assert!(matches!(
-            app.validate(),
-            Err(ModelError::MalformedGraph(_))
-        ));
+        assert!(matches!(app.validate(), Err(ModelError::MalformedGraph(_))));
     }
 
     #[test]
@@ -682,8 +695,22 @@ mod tests {
         let mut app = Application::new();
         let g1 = app.add_graph("g1", Time::from_us(10.0), Time::from_us(10.0));
         let g2 = app.add_graph("g2", Time::from_us(20.0), Time::from_us(20.0));
-        let a = app.add_task(g1, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g2, "b", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g1,
+            "a",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g2,
+            "b",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
         assert!(app.add_edge(a, b).is_err());
     }
 
@@ -691,8 +718,22 @@ mod tests {
     fn local_message_is_rejected() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(10.0), Time::from_us(10.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(0), Time::from_us(1.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(0),
+            Time::from_us(1.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 2, MessageClass::Static, 0);
         app.connect(a, m, b).expect("edges");
         assert!(matches!(app.validate(), Err(ModelError::MalformedGraph(_))));

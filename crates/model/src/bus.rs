@@ -7,7 +7,7 @@
 //! nodes and messages.
 
 use crate::{
-    Application, ActivityId, FrameId, MessageClass, ModelError, NodeId, PhyParams, SlotId, Time,
+    ActivityId, Application, FrameId, MessageClass, ModelError, NodeId, PhyParams, SlotId, Time,
     MAX_CYCLE, MAX_MINISLOTS, MAX_STATIC_SLOTS, MAX_STATIC_SLOT_MACROTICKS,
 };
 use serde::{Deserialize, Serialize};
@@ -123,7 +123,11 @@ impl BusConfig {
     /// identifier (the dynamic slot counter runs at least this far).
     #[must_use]
     pub fn dyn_slot_count(&self) -> u16 {
-        self.frame_ids.values().map(|f| f.number()).max().unwrap_or(0)
+        self.frame_ids
+            .values()
+            .map(|f| f.number())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Transmission time `C_m` of a message on this bus (Eq. (1)).
@@ -298,7 +302,7 @@ impl BusConfig {
                 });
             }
         }
-        for (&m, _) in &self.frame_ids {
+        for &m in self.frame_ids.keys() {
             if app
                 .activities()
                 .get(m.index())
@@ -323,10 +327,38 @@ mod tests {
     fn app_with_messages() -> (Application, ActivityId, ActivityId) {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(1000.0));
-        let t1 = app.add_task(g, "t1", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Scs, 0);
-        let t2 = app.add_task(g, "t2", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
-        let t3 = app.add_task(g, "t3", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Fps, 1);
-        let t4 = app.add_task(g, "t4", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 1);
+        let t1 = app.add_task(
+            g,
+            "t1",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t2 = app.add_task(
+            g,
+            "t2",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t3 = app.add_task(
+            g,
+            "t3",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        let t4 = app.add_task(
+            g,
+            "t4",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let st = app.add_message(g, "st", 4, MessageClass::Static, 0);
         let dy = app.add_message(g, "dy", 4, MessageClass::Dynamic, 1);
         app.connect(t1, st, t2).expect("edges");

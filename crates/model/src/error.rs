@@ -68,7 +68,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::FrameAssignment(msg) => write!(f, "frame identifier assignment: {msg}"),
             ModelError::MissingStaticSlot(node) => {
-                write!(f, "node {node} sends static messages but owns no static slot")
+                write!(
+                    f,
+                    "node {node} sends static messages but owns no static slot"
+                )
             }
             ModelError::FrameTooLarge { message, context } => {
                 write!(f, "message {message} does not fit {context}")

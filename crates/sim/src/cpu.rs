@@ -24,12 +24,15 @@ impl ReadyJob {
     /// Dispatch order: higher priority, then earlier arrival, then lower
     /// job index.
     fn beats(&self, other: &ReadyJob) -> bool {
-        (self.priority, std::cmp::Reverse(self.arrival), std::cmp::Reverse(self.job))
-            > (
-                other.priority,
-                std::cmp::Reverse(other.arrival),
-                std::cmp::Reverse(other.job),
-            )
+        (
+            self.priority,
+            std::cmp::Reverse(self.arrival),
+            std::cmp::Reverse(self.job),
+        ) > (
+            other.priority,
+            std::cmp::Reverse(other.arrival),
+            std::cmp::Reverse(other.job),
+        )
     }
 }
 
@@ -137,7 +140,12 @@ impl Cpu {
     /// Handles a completion event; returns the finished job (if the
     /// version is current and the job is indeed done) plus the next
     /// projection.
-    pub fn complete(&mut self, now: Time, version: u64, limit: Time) -> (Option<JobIndex>, Projected) {
+    pub fn complete(
+        &mut self,
+        now: Time,
+        version: u64,
+        limit: Time,
+    ) -> (Option<JobIndex>, Projected) {
         if version != self.version {
             return (
                 None,

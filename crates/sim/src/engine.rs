@@ -293,7 +293,11 @@ impl<'a> Simulator<'a> {
                         );
                     }
                 }
-                Event::DynSlot { cycle, fid, counter } => self.dyn_slot(t, cycle, fid, counter),
+                Event::DynSlot {
+                    cycle,
+                    fid,
+                    counter,
+                } => self.dyn_slot(t, cycle, fid, counter),
             }
         }
         let completed = self.jobs.iter().filter(|j| j.completed.is_some()).count();
@@ -382,7 +386,13 @@ impl<'a> Simulator<'a> {
             q.iter()
                 .enumerate()
                 .filter(|(_, f)| f.enqueued <= t)
-                .max_by_key(|(i, f)| (f.priority, std::cmp::Reverse(f.enqueued), std::cmp::Reverse(*i)))
+                .max_by_key(|(i, f)| {
+                    (
+                        f.priority,
+                        std::cmp::Reverse(f.enqueued),
+                        std::cmp::Reverse(*i),
+                    )
+                })
                 .map(|(i, f)| (i, *f))
         });
         if let Some((qi, frame)) = pick {
@@ -406,7 +416,10 @@ impl<'a> Simulator<'a> {
                 }
             };
             if counter <= bound {
-                self.chi.get_mut(&fid).expect("queue exists").swap_remove(qi);
+                self.chi
+                    .get_mut(&fid)
+                    .expect("queue exists")
+                    .swap_remove(qi);
                 let end = t + ms * i64::from(lm);
                 self.queue.push(end, Event::DynDelivery { job: frame.job });
                 self.queue.push(
@@ -435,9 +448,7 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexray_model::{
-        Application, BusConfig, FrameId, PhyParams, Platform,
-    };
+    use flexray_model::{Application, BusConfig, FrameId, PhyParams, Platform};
 
     /// 50 ns gdBit so that `2·n` bytes last exactly `n` µs; 1 µs
     /// minislots.
@@ -453,8 +464,22 @@ mod tests {
     fn tt_chain_system() -> System {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Scs, 0);
-        let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(5.0), SchedPolicy::Scs, 0);
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
         let m = app.add_message(g, "m", 8, MessageClass::Static, 0); // 4µs
         app.connect(a, m, b).expect("edges");
         let mut bus = BusConfig::new(fine_phy());
@@ -504,7 +529,13 @@ mod tests {
             );
             // priority_m1 > priority_m3
             let prio = [9, 5, 1][i];
-            let m = app.add_message(g, &format!("m{}", i + 1), sizes[i], MessageClass::Dynamic, prio);
+            let m = app.add_message(
+                g,
+                &format!("m{}", i + 1),
+                sizes[i],
+                MessageClass::Dynamic,
+                prio,
+            );
             app.connect(s, m, r).expect("edges");
             msgs.push(m);
         }
@@ -554,8 +585,22 @@ mod tests {
     fn fps_tasks_run_in_slack() {
         let mut app = Application::new();
         let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
-        app.add_task(g, "scs", NodeId::new(0), Time::from_us(50.0), SchedPolicy::Scs, 0);
-        app.add_task(g, "fps", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 1);
+        app.add_task(
+            g,
+            "scs",
+            NodeId::new(0),
+            Time::from_us(50.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        app.add_task(
+            g,
+            "fps",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let bus = BusConfig::new(fine_phy());
         let sys = System::validated(Platform::with_nodes(1), app, bus).expect("valid");
         let report = simulate_default(&sys).expect("simulation");
@@ -568,9 +613,23 @@ mod tests {
     fn every_instance_of_faster_graph_completes() {
         let mut app = Application::new();
         let g1 = app.add_graph("fast", Time::from_us(50.0), Time::from_us(50.0));
-        app.add_task(g1, "f", NodeId::new(0), Time::from_us(5.0), SchedPolicy::Fps, 3);
+        app.add_task(
+            g1,
+            "f",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            3,
+        );
         let g2 = app.add_graph("slow", Time::from_us(100.0), Time::from_us(100.0));
-        app.add_task(g2, "s", NodeId::new(0), Time::from_us(7.0), SchedPolicy::Fps, 1);
+        app.add_task(
+            g2,
+            "s",
+            NodeId::new(0),
+            Time::from_us(7.0),
+            SchedPolicy::Fps,
+            1,
+        );
         let bus = BusConfig::new(fine_phy());
         let sys = System::validated(Platform::with_nodes(1), app, bus).expect("valid");
         let report = simulate_default(&sys).expect("simulation");

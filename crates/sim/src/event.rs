@@ -107,7 +107,9 @@ mod tests {
         q.push(Time::from_us(5.0), Event::Activation { job: 1 });
         q.push(Time::from_us(1.0), Event::Activation { job: 2 });
         q.push(Time::from_us(3.0), Event::Activation { job: 3 });
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_us()).collect();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_us())
+            .collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
 

@@ -25,9 +25,18 @@ fn main() -> Result<(), ModelError> {
 
     let runs = vec![
         ("BBC", bbc(&platform, &app, phy, &params)),
-        ("OBCCF", obc(&platform, &app, phy, &params, DynSearch::CurveFit)),
-        ("OBCEE", obc(&platform, &app, phy, &params, DynSearch::Exhaustive)),
-        ("SA", simulated_annealing(&platform, &app, phy, &params, &sa_params)),
+        (
+            "OBCCF",
+            obc(&platform, &app, phy, &params, DynSearch::CurveFit),
+        ),
+        (
+            "OBCEE",
+            obc(&platform, &app, phy, &params, DynSearch::Exhaustive),
+        ),
+        (
+            "SA",
+            simulated_annealing(&platform, &app, phy, &params, &sa_params),
+        ),
     ];
     println!("\nalgorithm  schedulable  cost(µs)      time     analyses");
     for (name, r) in &runs {

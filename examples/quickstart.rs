@@ -12,17 +12,56 @@ fn main() -> Result<(), ModelError> {
     let mut app = Application::new();
 
     let control = app.add_graph("control", Time::from_us(5_000.0), Time::from_us(4_000.0));
-    let sense = app.add_task(control, "sense", NodeId::new(0), Time::from_us(80.0), SchedPolicy::Scs, 0);
-    let plan = app.add_task(control, "plan", NodeId::new(1), Time::from_us(150.0), SchedPolicy::Scs, 0);
-    let act = app.add_task(control, "act", NodeId::new(0), Time::from_us(60.0), SchedPolicy::Scs, 0);
+    let sense = app.add_task(
+        control,
+        "sense",
+        NodeId::new(0),
+        Time::from_us(80.0),
+        SchedPolicy::Scs,
+        0,
+    );
+    let plan = app.add_task(
+        control,
+        "plan",
+        NodeId::new(1),
+        Time::from_us(150.0),
+        SchedPolicy::Scs,
+        0,
+    );
+    let act = app.add_task(
+        control,
+        "act",
+        NodeId::new(0),
+        Time::from_us(60.0),
+        SchedPolicy::Scs,
+        0,
+    );
     let m_sp = app.add_message(control, "m_sense_plan", 8, MessageClass::Static, 0);
     let m_pa = app.add_message(control, "m_plan_act", 4, MessageClass::Static, 0);
     app.connect(sense, m_sp, plan)?;
     app.connect(plan, m_pa, act)?;
 
-    let diag = app.add_graph("diagnostics", Time::from_us(10_000.0), Time::from_us(9_000.0));
-    let probe = app.add_task(diag, "probe", NodeId::new(1), Time::from_us(40.0), SchedPolicy::Fps, 3);
-    let log = app.add_task(diag, "log", NodeId::new(0), Time::from_us(90.0), SchedPolicy::Fps, 2);
+    let diag = app.add_graph(
+        "diagnostics",
+        Time::from_us(10_000.0),
+        Time::from_us(9_000.0),
+    );
+    let probe = app.add_task(
+        diag,
+        "probe",
+        NodeId::new(1),
+        Time::from_us(40.0),
+        SchedPolicy::Fps,
+        3,
+    );
+    let log = app.add_task(
+        diag,
+        "log",
+        NodeId::new(0),
+        Time::from_us(90.0),
+        SchedPolicy::Fps,
+        2,
+    );
     let m_d = app.add_message(diag, "m_diag", 16, MessageClass::Dynamic, 1);
     app.connect(probe, m_d, log)?;
 
@@ -47,7 +86,11 @@ fn main() -> Result<(), ModelError> {
         tuned.evaluations,
         tuned.elapsed
     );
-    let best = if tuned.cost.better_than(&basic.cost) { tuned } else { basic };
+    let best = if tuned.cost.better_than(&basic.cost) {
+        tuned
+    } else {
+        basic
+    };
     println!(
         "chosen bus: {} static slots of {}, {} minislots, gdCycle = {}",
         best.bus.static_slot_count(),

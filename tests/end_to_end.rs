@@ -44,7 +44,11 @@ fn generated_systems_round_trip_through_the_whole_stack() {
         if result.is_schedulable() {
             // Analysis says schedulable: the simulator must agree on
             // every observed instance.
-            assert!(report.violations.is_empty(), "seed {seed}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
             for id in sys.app.ids() {
                 if let Some(observed) = report.response(id) {
                     assert!(
@@ -114,8 +118,8 @@ fn analysis_is_deterministic() {
         PhyParams::bmw_like(),
         &test_params(),
     );
-    let sys = System::validated(generated.platform, generated.app, result.bus)
-        .expect("system validates");
+    let sys =
+        System::validated(generated.platform, generated.app, result.bus).expect("system validates");
     let a1 = analyse(&sys, &AnalysisConfig::default()).expect("first run");
     let a2 = analyse(&sys, &AnalysisConfig::default()).expect("second run");
     assert_eq!(a1.responses, a2.responses);
@@ -132,8 +136,8 @@ fn exact_dyn_mode_also_bounds_the_simulation() {
         PhyParams::bmw_like(),
         &test_params(),
     );
-    let sys = System::validated(generated.platform, generated.app, result.bus)
-        .expect("system validates");
+    let sys =
+        System::validated(generated.platform, generated.app, result.bus).expect("system validates");
     let exact = analyse(
         &sys,
         &AnalysisConfig {

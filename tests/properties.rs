@@ -22,7 +22,11 @@ fn chain_system(
     let mut app = Application::new();
     let period = Time::from_us(f64::from(period_us));
     let g = app.add_graph("g", period, period);
-    let policy = if tt { SchedPolicy::Scs } else { SchedPolicy::Fps };
+    let policy = if tt {
+        SchedPolicy::Scs
+    } else {
+        SchedPolicy::Fps
+    };
     let class = if tt {
         MessageClass::Static
     } else {
