@@ -13,6 +13,10 @@ pub struct Availability {
     horizon: Time,
     /// Sorted, disjoint busy windows within `[0, horizon)`.
     windows: Vec<(Time, Time)>,
+    /// Precomputed [`Availability::critical_instants`] — consumed once
+    /// per busy-window analysis, so derived eagerly instead of being
+    /// re-sorted on every response-time query.
+    instants: Vec<Time>,
 }
 
 impl Availability {
@@ -35,7 +39,20 @@ impl Availability {
             windows.windows(2).all(|w| w[0].1 <= w[1].0),
             "windows sorted"
         );
-        Availability { horizon, windows }
+        let mut instants = vec![Time::ZERO];
+        for &(s, f) in &windows {
+            instants.push(s);
+            if f < horizon {
+                instants.push(f);
+            }
+        }
+        instants.sort_unstable();
+        instants.dedup();
+        Availability {
+            horizon,
+            windows,
+            instants,
+        }
     }
 
     /// A node with no static load.
@@ -195,17 +212,8 @@ impl Availability {
     /// of the table plus every busy-window start and end (the points where
     /// the slack density changes).
     #[must_use]
-    pub fn critical_instants(&self) -> Vec<Time> {
-        let mut points = vec![Time::ZERO];
-        for &(s, f) in &self.windows {
-            points.push(s);
-            if f < self.horizon {
-                points.push(f);
-            }
-        }
-        points.sort_unstable();
-        points.dedup();
-        points
+    pub fn critical_instants(&self) -> &[Time] {
+        &self.instants
     }
 }
 

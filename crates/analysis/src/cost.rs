@@ -9,7 +9,7 @@
 //!
 //! `Cost = f1` if `f1 > 0`, else `f2`.
 
-use flexray_model::{System, Time};
+use flexray_model::{SystemView, Time};
 
 /// The two-tier cost of a configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +64,8 @@ impl Cost {
 /// activities (`responses[i]` for activity `i`, relative to graph
 /// activation).
 #[must_use]
-pub fn cost_of(sys: &System, responses: &[Time]) -> Cost {
+pub fn cost_of<'a>(sys: impl Into<SystemView<'a>>, responses: &[Time]) -> Cost {
+    let sys = sys.into();
     let mut f1 = 0.0;
     let mut f2 = 0.0;
     for id in sys.app.ids() {

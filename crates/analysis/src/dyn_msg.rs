@@ -11,7 +11,7 @@
 //! minislot counter past the latest-transmission-start bound before slot
 //! `FrameID_m` begins.
 
-use flexray_model::{ActivityId, MessageClass, System, Time};
+use flexray_model::{ActivityId, MessageClass, SystemView, Time};
 use std::collections::BTreeMap;
 
 /// How the latest-transmission-start check is performed.
@@ -44,7 +44,8 @@ pub enum DynAnalysisMode {
 /// Higher-priority local messages sharing the frame identifier of `m`
 /// (the set `hp(m)` — e.g. `hp(m_g) = {m_f}` in Fig. 1.a).
 #[must_use]
-pub fn hp_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
+pub fn hp_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<ActivityId> {
+    let sys = sys.into();
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return Vec::new();
     };
@@ -63,7 +64,8 @@ pub fn hp_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
 /// Messages that may use dynamic slots with lower frame identifiers than
 /// `m` (the set `lf(m)` — e.g. `lf(m_g) = {m_d, m_e}` in Fig. 1.a).
 #[must_use]
-pub fn lf_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
+pub fn lf_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<ActivityId> {
+    let sys = sys.into();
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return Vec::new();
     };
@@ -77,7 +79,8 @@ pub fn lf_messages(sys: &System, m: ActivityId) -> Vec<ActivityId> {
 /// no message at all (the always-empty part of `ms(m)`); slots that do
 /// carry messages contribute through `lf(m)` instead.
 #[must_use]
-pub fn unused_lower_slots(sys: &System, m: ActivityId) -> u32 {
+pub fn unused_lower_slots<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> u32 {
+    let sys = sys.into();
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return 0;
     };
@@ -94,15 +97,20 @@ pub fn unused_lower_slots(sys: &System, m: ActivityId) -> u32 {
 /// The latest-transmission-start bound applied to `m`, per policy, in
 /// minislot-counter units.
 #[must_use]
-pub fn latest_tx_bound(sys: &System, m: ActivityId, policy: LatestTxPolicy) -> u32 {
+pub fn latest_tx_bound<'a>(
+    sys: impl Into<SystemView<'a>>,
+    m: ActivityId,
+    policy: LatestTxPolicy,
+) -> u32 {
+    let sys = sys.into();
     match policy {
         LatestTxPolicy::PerMessage => {
-            let lm = sys.bus.minislots_of(&sys.app, m);
+            let lm = sys.bus.minislots_of(sys.app, m);
             sys.bus.n_minislots.saturating_sub(lm) + 1
         }
         LatestTxPolicy::PerNode => {
             let node = sys.app.sender_of(m).expect("validated message has sender");
-            sys.bus.p_latest_tx(&sys.app, node)
+            sys.bus.p_latest_tx(sys.app, node)
         }
     }
 }
@@ -118,14 +126,14 @@ struct LfPool {
 }
 
 impl LfPool {
-    fn build(sys: &System, lf: &[ActivityId], t: Time, jitter: &[Time]) -> Self {
+    fn build(sys: SystemView<'_>, lf: &[ActivityId], t: Time, jitter: &[Time]) -> Self {
         let mut per_id: BTreeMap<u16, Vec<(u32, i64)>> = BTreeMap::new();
         for &j in lf {
             let fid = sys.bus.frame_id_of(j).expect("lf has frame id").number();
             let tj = sys.app.period_of(j);
             let arrivals = (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
             if arrivals > 0 {
-                let extra = sys.bus.minislots_of(&sys.app, j).saturating_sub(1);
+                let extra = sys.bus.minislots_of(sys.app, j).saturating_sub(1);
                 per_id.entry(fid).or_default().push((extra, arrivals));
             }
         }
@@ -245,9 +253,30 @@ fn fill_one_cycle(
 /// The delay `w_m(t)` of Eq. (3) for the busy window `t`, or `None` if it
 /// exceeds `limit` (the message diverges on this configuration).
 #[must_use]
-pub fn dyn_delay(
-    sys: &System,
+pub fn dyn_delay<'a>(
+    sys: impl Into<SystemView<'a>>,
     m: ActivityId,
+    jitter: &[Time],
+    latest_tx: LatestTxPolicy,
+    mode: DynAnalysisMode,
+    limit: Time,
+) -> Option<Time> {
+    let sys = sys.into();
+    let hp = hp_messages(sys, m);
+    let lf = lf_messages(sys, m);
+    dyn_delay_with(sys, m, &hp, &lf, jitter, latest_tx, mode, limit)
+}
+
+/// [`dyn_delay`] with the interference sets precomputed — they depend
+/// only on the frame-identifier assignment, so session-style callers
+/// derive them once per assignment and reuse them across the DYN-length
+/// sweep.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dyn_delay_with(
+    sys: SystemView<'_>,
+    m: ActivityId,
+    hp: &[ActivityId],
+    lf: &[ActivityId],
     jitter: &[Time],
     latest_tx: LatestTxPolicy,
     mode: DynAnalysisMode,
@@ -266,8 +295,6 @@ pub fn dyn_delay(
         // the message can never be sent.
         _ => return None,
     };
-    let hp = hp_messages(sys, m);
-    let lf = lf_messages(sys, m);
 
     // σ_m: the message just misses the earliest occurrence of its slot
     // and waits out the rest of the cycle.
@@ -278,13 +305,13 @@ pub fn dyn_delay(
     for _ in 0..10_000 {
         // hp(m): each pending instance occupies slot FrameID_m for a cycle.
         let mut filled: i64 = 0;
-        for &j in &hp {
+        for &j in hp {
             let tj = sys.app.period_of(j);
             filled += (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
         }
         // lf(m)/ms(m): pack transmissions to push the counter past the
         // bound, cycle by cycle.
-        let mut pool = LfPool::build(sys, &lf, t, jitter);
+        let mut pool = LfPool::build(sys, lf, t, jitter);
         while !pool.is_empty() {
             match fill_one_cycle(&pool, need_extra, mode) {
                 Some(choices) => {

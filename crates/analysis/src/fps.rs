@@ -10,11 +10,12 @@
 //! reported.
 
 use crate::availability::Availability;
-use flexray_model::{ActivityId, SchedPolicy, System, Time};
+use flexray_model::{ActivityId, SchedPolicy, SystemView, Time};
 
 /// Higher-priority FPS tasks on the same node as `task` (the set `hp`).
 #[must_use]
-pub fn hp_tasks(sys: &System, task: ActivityId) -> Vec<ActivityId> {
+pub fn hp_tasks<'a>(sys: impl Into<SystemView<'a>>, task: ActivityId) -> Vec<ActivityId> {
+    let sys = sys.into();
     let spec = sys
         .app
         .activity(task)
@@ -42,19 +43,34 @@ pub fn hp_tasks(sys: &System, task: ActivityId) -> Vec<ActivityId> {
 /// then considered to diverge (unschedulable on this configuration) and
 /// the caller substitutes the divergence cap.
 #[must_use]
-pub fn fps_local_response(
-    sys: &System,
+pub fn fps_local_response<'a>(
+    sys: impl Into<SystemView<'a>>,
     avail: &Availability,
     task: ActivityId,
     jitter: &[Time],
     limit: Time,
 ) -> Option<Time> {
+    let sys = sys.into();
+    let hp = hp_tasks(sys, task);
+    fps_local_response_with(sys, avail, task, &hp, jitter, limit)
+}
+
+/// [`fps_local_response`] with the higher-priority set precomputed — the
+/// set depends only on the application, so session-style callers derive
+/// it once and reuse it across every candidate evaluation.
+pub(crate) fn fps_local_response_with(
+    sys: SystemView<'_>,
+    avail: &Availability,
+    task: ActivityId,
+    hp: &[ActivityId],
+    jitter: &[Time],
+    limit: Time,
+) -> Option<Time> {
     let spec = sys.app.activity(task).as_task().expect("fps task");
     debug_assert_eq!(spec.policy, SchedPolicy::Fps);
-    let hp = hp_tasks(sys, task);
     let mut worst = Time::ZERO;
-    for s in avail.critical_instants() {
-        let r = busy_window(sys, avail, spec.wcet, &hp, jitter, s, limit)?;
+    for &s in avail.critical_instants() {
+        let r = busy_window(sys, avail, spec.wcet, hp, jitter, s, limit)?;
         worst = worst.max(r);
     }
     Some(worst)
@@ -62,7 +78,7 @@ pub fn fps_local_response(
 
 /// Fixed point of the busy window started at candidate instant `s`.
 fn busy_window(
-    sys: &System,
+    sys: SystemView<'_>,
     avail: &Availability,
     own_wcet: Time,
     hp: &[ActivityId],

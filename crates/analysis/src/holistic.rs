@@ -13,14 +13,19 @@
 //! 4. if time-triggered activities depend on event-triggered ones, the
 //!    table is rebuilt with the updated completion bounds (outer loop);
 //! 5. the cost function of Eq. (5) grades the result.
+//!
+//! The algorithm itself lives in the session module: [`analyse`] runs it
+//! once over fresh state, while an
+//! [`AnalysisSession`](crate::AnalysisSession) keeps the state alive so
+//! optimiser loops can amortise the allocations and the cached static
+//! schedule across thousands of candidate configurations.
 
-use crate::availability::Availability;
-use crate::cost::{cost_of, Cost};
-use crate::dyn_msg::{dyn_delay, DynAnalysisMode, LatestTxPolicy};
-use crate::fps::fps_local_response;
-use crate::scheduler::{build_schedule_with, ScsPlacement};
+use crate::cost::Cost;
+use crate::dyn_msg::{DynAnalysisMode, LatestTxPolicy};
+use crate::scheduler::ScsPlacement;
+use crate::session::{analyse_core, SessionState};
 use crate::table::ScheduleTable;
-use flexray_model::{ActivityId, MessageClass, ModelError, SchedPolicy, System, Time};
+use flexray_model::{ActivityId, ModelError, SystemView, Time};
 
 /// Tuning knobs of the holistic analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,161 +94,14 @@ impl Analysis {
 ///
 /// Returns an error if the system model itself is inconsistent (unknown
 /// ids, hyperperiod overflow, deadlocked precedence).
-pub fn analyse(sys: &System, cfg: &AnalysisConfig) -> Result<Analysis, ModelError> {
-    let horizon = sys.hyperperiod()?;
-    let max_deadline = sys
-        .app
-        .ids()
-        .map(|id| sys.app.deadline_of(id))
-        .max()
-        .unwrap_or(horizon);
-    let limit = horizon
-        .max(max_deadline)
-        .saturating_mul(cfg.divergence_factor);
-
-    let n = sys.app.activities().len();
-    // Initial completion bounds: just the durations.
-    let mut responses: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
-    let mut diverged: Vec<ActivityId> = Vec::new();
-    let mut table = ScheduleTable::new(horizon);
-
-    // Does any TT activity depend on an ET one? If not, one outer pass.
-    let tt_needs_et = sys.app.ids().any(|id| {
-        sys.app.activity(id).is_time_triggered()
-            && sys
-                .app
-                .preds(id)
-                .iter()
-                .any(|&p| !sys.app.activity(p).is_time_triggered())
-    });
-    let outer_iters = if tt_needs_et { cfg.max_outer_iters } else { 1 };
-
-    for _outer in 0..outer_iters {
-        diverged.clear();
-        table = build_schedule_with(sys, &responses, cfg.scs_placement)?;
-
-        // Time-triggered responses straight from the table.
-        for id in sys.app.ids() {
-            if sys.app.activity(id).is_time_triggered() {
-                let period = sys.app.period_of(id);
-                if let Some(r) = table.response_of(id, period) {
-                    responses[id.index()] = r;
-                }
-            }
-        }
-
-        // Per-node availability (slack of the static schedule).
-        let avails: Vec<Availability> = sys
-            .platform
-            .nodes()
-            .map(|node| Availability::new(horizon, table.busy_windows(node)))
-            .collect();
-
-        // Earliest (contention-free) completion of every activity,
-        // topologically: time-triggered activities finish exactly at
-        // their table time (zero variability); event-triggered ones at
-        // earliest-release + duration.
-        let order = sys.app.topological_order()?;
-        let mut earliest = vec![Time::ZERO; n];
-        for &id in &order {
-            let a = sys.app.activity(id);
-            let ready = sys
-                .app
-                .preds(id)
-                .iter()
-                .map(|&p| earliest[p.index()])
-                .max()
-                .unwrap_or(Time::ZERO)
-                .max(a.release);
-            earliest[id.index()] = if a.is_time_triggered() {
-                responses[id.index()].max(ready)
-            } else {
-                ready + sys.duration_of(id)
-            };
-        }
-
-        // Event-triggered fixed point. Interference uses release
-        // *variability* (worst ready − earliest ready), the classical
-        // holistic jitter — using the full predecessor response would
-        // double-count the chain offsets and blow up with depth.
-        let mut jitter = vec![Time::ZERO; n];
-        for _inner in 0..cfg.max_inner_iters {
-            for id in sys.app.ids() {
-                let a = sys.app.activity(id);
-                let worst_ready = sys
-                    .app
-                    .preds(id)
-                    .iter()
-                    .map(|&p| responses[p.index()])
-                    .max()
-                    .unwrap_or(Time::ZERO)
-                    .max(a.release);
-                let earliest_ready = sys
-                    .app
-                    .preds(id)
-                    .iter()
-                    .map(|&p| earliest[p.index()])
-                    .max()
-                    .unwrap_or(Time::ZERO)
-                    .max(a.release);
-                jitter[id.index()] = (worst_ready - earliest_ready).clamp_non_negative();
-            }
-            let mut changed = false;
-            let mut new_diverged = Vec::new();
-            for id in sys.app.ids() {
-                let a = sys.app.activity(id);
-                if a.is_time_triggered() {
-                    continue;
-                }
-                let worst_ready = sys
-                    .app
-                    .preds(id)
-                    .iter()
-                    .map(|&p| responses[p.index()])
-                    .max()
-                    .unwrap_or(Time::ZERO)
-                    .max(a.release);
-                let local = match &a.kind {
-                    flexray_model::ActivityKind::Task(t) => {
-                        debug_assert_eq!(t.policy, SchedPolicy::Fps);
-                        fps_local_response(sys, &avails[t.node.index()], id, &jitter, limit)
-                    }
-                    flexray_model::ActivityKind::Message(m) => {
-                        debug_assert_eq!(m.class, MessageClass::Dynamic);
-                        dyn_delay(sys, id, &jitter, cfg.latest_tx, cfg.dyn_mode, limit)
-                            .map(|w| w + sys.comm_time(id))
-                    }
-                };
-                let r = match local {
-                    Some(local) => (worst_ready + local).min(limit),
-                    None => {
-                        new_diverged.push(id);
-                        limit
-                    }
-                };
-                if r != responses[id.index()] {
-                    responses[id.index()] = r;
-                    changed = true;
-                }
-            }
-            diverged = new_diverged;
-            if !changed {
-                break;
-            }
-        }
-
-        if !tt_needs_et {
-            break;
-        }
-    }
-
-    let cost = cost_of(sys, &responses);
-    Ok(Analysis {
-        responses,
-        diverged,
-        table,
-        cost,
-    })
+pub fn analyse<'a>(
+    sys: impl Into<SystemView<'a>>,
+    cfg: &AnalysisConfig,
+) -> Result<Analysis, ModelError> {
+    let sys = sys.into();
+    let mut state = SessionState::default();
+    analyse_core(sys, cfg, &mut state)?;
+    Ok(state.into_analysis())
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ mod fps;
 mod holistic;
 mod priority;
 mod scheduler;
+mod session;
 mod table;
 
 pub use availability::Availability;
@@ -62,4 +63,5 @@ pub use fps::{fps_local_response, hp_tasks};
 pub use holistic::{analyse, Analysis, AnalysisConfig};
 pub use priority::{criticality, longest_path_from_source, longest_path_to_sink, ready_list_order};
 pub use scheduler::{build_schedule, build_schedule_with, ScsPlacement};
+pub use session::AnalysisSession;
 pub use table::{MessageEntry, ScheduleTable, TaskEntry};

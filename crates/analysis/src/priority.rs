@@ -5,7 +5,7 @@
 //! the more urgent the longer the remaining path from it to the graph
 //! sink, relative to how little laxity the graph deadline leaves.
 
-use flexray_model::{ActivityId, System, Time};
+use flexray_model::{ActivityId, SystemView, Time};
 
 /// Longest path (sum of durations) from each activity to any sink of its
 /// graph, including the activity's own duration.
@@ -18,7 +18,8 @@ use flexray_model::{ActivityId, System, Time};
 /// Panics if the application contains a cycle (validated systems never
 /// do).
 #[must_use]
-pub fn longest_path_to_sink(sys: &System) -> Vec<Time> {
+pub fn longest_path_to_sink<'a>(sys: impl Into<SystemView<'a>>) -> Vec<Time> {
+    let sys = sys.into();
     let order = sys
         .app
         .topological_order()
@@ -44,7 +45,8 @@ pub fn longest_path_to_sink(sys: &System) -> Vec<Time> {
 /// This is `LP_m` in the criticality metric of Eq. (4)
 /// (`CP_m = D_m − LP_m`): the earliest an activity can possibly finish.
 #[must_use]
-pub fn longest_path_from_source(sys: &System) -> Vec<Time> {
+pub fn longest_path_from_source<'a>(sys: impl Into<SystemView<'a>>) -> Vec<Time> {
+    let sys = sys.into();
     let order = sys
         .app
         .topological_order()
@@ -68,7 +70,8 @@ pub fn longest_path_from_source(sys: &System) -> Vec<Time> {
 /// slack between the effective deadline and the earliest possible
 /// completion. Smaller values mean higher criticality.
 #[must_use]
-pub fn criticality(sys: &System) -> Vec<Time> {
+pub fn criticality<'a>(sys: impl Into<SystemView<'a>>) -> Vec<Time> {
+    let sys = sys.into();
     let lp = longest_path_from_source(sys);
     sys.app
         .ids()

@@ -9,11 +9,26 @@
 //! messages may share one frame (Fig. 3.c), and instances that cannot be
 //! placed inside the hyperperiod are recorded with synthetic overflow
 //! times so the cost function still grades the configuration.
+//!
+//! # Reusable builder
+//!
+//! The greedy ready-list *selection order* never consults placement
+//! times: a job is eligible once all its time-triggered predecessors are
+//! placed, and ties are broken purely by the critical-path priority (a
+//! function of the durations, hence of the application and the physical
+//! layer only) and the instance number. The order is therefore identical
+//! for every candidate bus configuration sharing one `PhyParams`, which
+//! is exactly the shape of the optimiser loops — thousands of candidates
+//! differing only in slot layout or dynamic-segment length.
+//! [`ScheduleBuilder`] exploits this: it computes the order once, keyed
+//! on the physical layer, and each `build_into` call is a linear
+//! placement pass over it reusing all scratch allocations. The one-shot
+//! [`build_schedule`] entry point simply runs a fresh builder once.
 
 use crate::availability::Availability;
 use crate::priority::longest_path_to_sink;
 use crate::table::{MessageEntry, ScheduleTable, TaskEntry};
-use flexray_model::{ActivityId, ModelError, SchedPolicy, SlotId, System, Time};
+use flexray_model::{ActivityId, ModelError, PhyParams, SchedPolicy, SlotId, SystemView, Time};
 use std::collections::HashMap;
 
 /// How SCS task instances are placed in the static schedule.
@@ -38,6 +53,215 @@ struct Job {
     instance: i64,
 }
 
+/// Reusable list-scheduler state: the precomputed placement order plus
+/// every per-build scratch allocation.
+///
+/// A builder is tied to one application (the job set and order are
+/// derived from it); feed it systems over the same application only.
+/// The order is re-derived automatically when the physical layer of the
+/// presented bus differs from the one it was computed for.
+#[derive(Debug, Default)]
+pub(crate) struct ScheduleBuilder {
+    /// Physical layer the placement order was computed for.
+    order_key: Option<PhyParams>,
+    /// Greedy ready-list selection order over all TT jobs.
+    order: Vec<Job>,
+    /// Flat job index base per activity (`usize::MAX` for ET activities).
+    offsets: Vec<usize>,
+    /// Instances per activity within the hyperperiod (0 for ET).
+    counts: Vec<i64>,
+    n_jobs: usize,
+    // ---- per-build scratch ----
+    ready: Vec<Time>,
+    node_busy: Vec<Vec<(Time, Time)>>,
+    slot_usage: HashMap<(i64, SlotId), Time>,
+}
+
+impl ScheduleBuilder {
+    /// Flat index of a job, `None` when the activity is event-triggered
+    /// or the instance is out of range (mixed-period edges).
+    fn flat(&self, activity: ActivityId, instance: i64) -> Option<usize> {
+        let base = self.offsets[activity.index()];
+        (base != usize::MAX && instance < self.counts[activity.index()])
+            .then(|| base + usize::try_from(instance).expect("non-negative instance"))
+    }
+
+    /// (Re)computes the job set and the greedy selection order for the
+    /// given physical layer. Replays exactly the ready-list loop of
+    /// Fig. 2: among eligible jobs (all TT predecessors placed), the
+    /// first minimum under the critical-path priority wins.
+    fn ensure_order(&mut self, sys: SystemView<'_>, horizon: Time) -> Result<(), ModelError> {
+        if self.order_key == Some(sys.bus.phy) {
+            return Ok(());
+        }
+        let n = sys.app.activities().len();
+        let lp = longest_path_to_sink(sys);
+
+        let mut jobs: Vec<Job> = Vec::new();
+        self.offsets = vec![usize::MAX; n];
+        self.counts = vec![0; n];
+        for id in sys.app.ids() {
+            if !sys.app.activity(id).is_time_triggered() {
+                continue;
+            }
+            let period = sys.app.period_of(id);
+            let instances = horizon / period;
+            self.offsets[id.index()] = jobs.len();
+            self.counts[id.index()] = instances;
+            for k in 0..instances {
+                jobs.push(Job {
+                    activity: id,
+                    instance: k,
+                });
+            }
+        }
+        self.n_jobs = jobs.len();
+
+        let mut pending: Vec<usize> = jobs
+            .iter()
+            .map(|j| {
+                sys.app
+                    .preds(j.activity)
+                    .iter()
+                    .filter(|&&p| sys.app.activity(p).is_time_triggered())
+                    .count()
+            })
+            .collect();
+        let mut placed = vec![false; self.n_jobs];
+        self.order.clear();
+        self.order.reserve(self.n_jobs);
+        while self.order.len() < self.n_jobs {
+            let best = jobs
+                .iter()
+                .enumerate()
+                .filter(|&(fi, _)| !placed[fi] && pending[fi] == 0)
+                .min_by(|a, b| {
+                    crate::priority::ready_list_order(&lp, a.1.activity, b.1.activity)
+                        .then(a.1.instance.cmp(&b.1.instance))
+                });
+            let Some((fi, &job)) = best else {
+                // All remaining jobs are blocked — cannot happen on an
+                // acyclic application, but guard against it.
+                self.order_key = None;
+                return Err(ModelError::MalformedGraph(
+                    "list scheduler deadlocked on blocked jobs".into(),
+                ));
+            };
+            placed[fi] = true;
+            self.order.push(job);
+            for &s in sys.app.succs(job.activity) {
+                if !sys.app.activity(s).is_time_triggered() {
+                    continue;
+                }
+                if let Some(sf) = self.flat(s, job.instance) {
+                    pending[sf] -= 1;
+                }
+            }
+        }
+        self.order_key = Some(sys.bus.phy);
+        Ok(())
+    }
+
+    /// Builds the static schedule for `sys` into `table`, reusing the
+    /// precomputed order and all scratch buffers.
+    ///
+    /// `et_finish_bound` gives, per activity id, the current bound on the
+    /// completion (relative to graph activation) of event-triggered
+    /// activities; it is consulted when a time-triggered activity depends
+    /// on an event-triggered predecessor.
+    pub(crate) fn build_into(
+        &mut self,
+        sys: SystemView<'_>,
+        et_finish_bound: &[Time],
+        placement: ScsPlacement,
+        table: &mut ScheduleTable,
+    ) -> Result<(), ModelError> {
+        let horizon = sys.hyperperiod()?;
+        table.reset(horizon);
+        self.ensure_order(sys, horizon)?;
+
+        // Initial ready times: activation + release, pushed out by the
+        // current completion bounds of event-triggered predecessors.
+        self.ready.clear();
+        self.ready.resize(self.n_jobs, Time::ZERO);
+        for id in sys.app.ids() {
+            let base = self.offsets[id.index()];
+            if base == usize::MAX {
+                continue;
+            }
+            let a = sys.app.activity(id);
+            let period = sys.app.period_of(id);
+            for k in 0..self.counts[id.index()] {
+                let activation = period * k;
+                let mut r = activation + a.release;
+                for &p in sys.app.preds(id) {
+                    if !sys.app.activity(p).is_time_triggered() {
+                        r = r.max(activation + et_finish_bound[p.index()]);
+                    }
+                }
+                self.ready[base + usize::try_from(k).expect("non-negative")] = r;
+            }
+        }
+
+        // Per-node busy intervals and per-slot-instance frame usage.
+        let n_nodes = sys.platform.len().max(
+            sys.app
+                .ids()
+                .filter_map(|id| sys.app.activity(id).as_task().map(|t| t.node.index() + 1))
+                .max()
+                .unwrap_or(0),
+        );
+        if self.node_busy.len() < n_nodes {
+            self.node_busy.resize_with(n_nodes, Vec::new);
+        }
+        for busy in &mut self.node_busy {
+            busy.clear();
+        }
+        self.slot_usage.clear();
+        let gd_cycle = sys.bus.gd_cycle();
+        let n_cycles = if gd_cycle > Time::ZERO {
+            horizon.div_ceil(gd_cycle)
+        } else {
+            0
+        };
+
+        for oi in 0..self.order.len() {
+            let job = self.order[oi];
+            let asap = self.ready[self.flat(job.activity, job.instance).expect("ordered job")];
+            let finish = match sys.app.activity(job.activity).as_task() {
+                Some(task) => place_task(
+                    sys,
+                    table,
+                    &mut self.node_busy,
+                    job,
+                    task.node,
+                    asap,
+                    horizon,
+                    placement,
+                ),
+                None => place_message(
+                    sys,
+                    table,
+                    &mut self.slot_usage,
+                    job,
+                    asap,
+                    horizon,
+                    n_cycles,
+                )?,
+            };
+            for &s in sys.app.succs(job.activity) {
+                if !sys.app.activity(s).is_time_triggered() {
+                    continue;
+                }
+                if let Some(sf) = self.flat(s, job.instance) {
+                    self.ready[sf] = self.ready[sf].max(finish);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Builds the static schedule table for all SCS tasks and ST messages of
 /// the system over one hyperperiod.
 ///
@@ -51,7 +275,10 @@ struct Job {
 ///
 /// Returns an error if the hyperperiod overflows or the bus cycle is
 /// empty while static messages exist.
-pub fn build_schedule(sys: &System, et_finish_bound: &[Time]) -> Result<ScheduleTable, ModelError> {
+pub fn build_schedule<'a>(
+    sys: impl Into<SystemView<'a>>,
+    et_finish_bound: &[Time],
+) -> Result<ScheduleTable, ModelError> {
     build_schedule_with(sys, et_finish_bound, ScsPlacement::Asap)
 }
 
@@ -60,121 +287,15 @@ pub fn build_schedule(sys: &System, et_finish_bound: &[Time]) -> Result<Schedule
 /// # Errors
 ///
 /// See [`build_schedule`].
-pub fn build_schedule_with(
-    sys: &System,
+pub fn build_schedule_with<'a>(
+    sys: impl Into<SystemView<'a>>,
     et_finish_bound: &[Time],
     placement: ScsPlacement,
 ) -> Result<ScheduleTable, ModelError> {
-    let horizon = sys.hyperperiod()?;
-    let mut table = ScheduleTable::new(horizon);
-    let lp = longest_path_to_sink(sys);
-
-    // Enumerate jobs of all TT activities and count their TT predecessors.
-    let mut jobs: Vec<Job> = Vec::new();
-    let mut pending_tt_preds: HashMap<(ActivityId, i64), usize> = HashMap::new();
-    for id in sys.app.ids() {
-        if !sys.app.activity(id).is_time_triggered() {
-            continue;
-        }
-        let period = sys.app.period_of(id);
-        let instances = horizon / period;
-        for k in 0..instances {
-            let tt_preds = sys
-                .app
-                .preds(id)
-                .iter()
-                .filter(|&&p| sys.app.activity(p).is_time_triggered())
-                .count();
-            jobs.push(Job {
-                activity: id,
-                instance: k,
-            });
-            pending_tt_preds.insert((id, k), tt_preds);
-        }
-    }
-
-    // ready(a, k): lower bound on the start, updated as predecessors land.
-    let mut ready: HashMap<(ActivityId, i64), Time> = HashMap::new();
-    for job in &jobs {
-        let a = sys.app.activity(job.activity);
-        let activation = sys.app.period_of(job.activity) * job.instance;
-        let mut r = activation + a.release;
-        for &p in sys.app.preds(job.activity) {
-            if !sys.app.activity(p).is_time_triggered() {
-                r = r.max(activation + et_finish_bound[p.index()]);
-            }
-        }
-        ready.insert((job.activity, job.instance), r);
-    }
-
-    // Per-node busy intervals (sorted) and per-slot-instance frame usage.
-    let mut node_busy: HashMap<usize, Vec<(Time, Time)>> = HashMap::new();
-    let mut slot_usage: HashMap<(i64, SlotId), Time> = HashMap::new();
-    let gd_cycle = sys.bus.gd_cycle();
-    let n_cycles = if gd_cycle > Time::ZERO {
-        horizon.div_ceil(gd_cycle)
-    } else {
-        0
-    };
-
-    let mut unscheduled = jobs.len();
-    let mut scheduled: HashMap<(ActivityId, i64), bool> = HashMap::new();
-    while unscheduled > 0 {
-        // Ready list: jobs whose TT predecessors are all placed.
-        let best = jobs
-            .iter()
-            .filter(|j| {
-                !scheduled.contains_key(&(j.activity, j.instance))
-                    && pending_tt_preds[&(j.activity, j.instance)] == 0
-            })
-            .min_by(|a, b| {
-                crate::priority::ready_list_order(&lp, a.activity, b.activity)
-                    .then(a.instance.cmp(&b.instance))
-            })
-            .copied();
-        let Some(job) = best else {
-            // All remaining jobs are blocked — cannot happen on an acyclic
-            // application, but guard against it.
-            return Err(ModelError::MalformedGraph(
-                "list scheduler deadlocked on blocked jobs".into(),
-            ));
-        };
-        let asap = ready[&(job.activity, job.instance)];
-        let finish = match sys.app.activity(job.activity).as_task() {
-            Some(task) => place_task(
-                sys,
-                &mut table,
-                &mut node_busy,
-                job,
-                task.node,
-                asap,
-                horizon,
-                placement,
-            ),
-            None => place_message(
-                sys,
-                &mut table,
-                &mut slot_usage,
-                job,
-                asap,
-                horizon,
-                n_cycles,
-            )?,
-        };
-        scheduled.insert((job.activity, job.instance), true);
-        unscheduled -= 1;
-        for &s in sys.app.succs(job.activity) {
-            if !sys.app.activity(s).is_time_triggered() {
-                continue;
-            }
-            if let Some(count) = pending_tt_preds.get_mut(&(s, job.instance)) {
-                *count -= 1;
-            }
-            if let Some(r) = ready.get_mut(&(s, job.instance)) {
-                *r = (*r).max(finish);
-            }
-        }
-    }
+    let sys = sys.into();
+    let mut builder = ScheduleBuilder::default();
+    let mut table = ScheduleTable::default();
+    builder.build_into(sys, et_finish_bound, placement, &mut table)?;
     Ok(table)
 }
 
@@ -184,9 +305,9 @@ pub fn build_schedule_with(
 /// scored by the jitter-free response times of the node's FPS tasks.
 #[allow(clippy::too_many_arguments)]
 fn place_task(
-    sys: &System,
+    sys: SystemView<'_>,
     table: &mut ScheduleTable,
-    node_busy: &mut HashMap<usize, Vec<(Time, Time)>>,
+    node_busy: &mut [Vec<(Time, Time)>],
     job: Job,
     node: flexray_model::NodeId,
     asap: Time,
@@ -200,17 +321,12 @@ fn place_task(
         .expect("task job")
         .wcet;
     let start = match placement {
-        ScsPlacement::Asap => first_gap(
-            node_busy.entry(node.index()).or_default(),
-            asap,
-            wcet,
-            horizon,
-        ),
+        ScsPlacement::Asap => first_gap(&node_busy[node.index()], asap, wcet, horizon),
         ScsPlacement::MinimiseFpsImpact => {
-            choose_fps_friendly_start(sys, node_busy, node, asap, wcet, horizon)
+            choose_fps_friendly_start(sys, &node_busy[node.index()], node, asap, wcet, horizon)
         }
     };
-    let busy = node_busy.entry(node.index()).or_default();
+    let busy = &mut node_busy[node.index()];
     let (start, finish, overflow) = match start {
         Some(s) => (s, s + wcet, false),
         None => {
@@ -241,21 +357,20 @@ fn place_task(
 /// summed jitter-free FPS response times on the node wins (ties go to
 /// the earlier start).
 fn choose_fps_friendly_start(
-    sys: &System,
-    node_busy: &mut HashMap<usize, Vec<(Time, Time)>>,
+    sys: SystemView<'_>,
+    busy: &[(Time, Time)],
     node: flexray_model::NodeId,
     asap: Time,
     wcet: Time,
     horizon: Time,
 ) -> Option<Time> {
     const MAX_GAPS: usize = 3;
-    let busy = node_busy.entry(node.index()).or_default().clone();
     // Enumerate start-aligned and end-aligned placements in the first
     // few feasible gaps.
     let mut candidates: Vec<Time> = Vec::new();
     let mut gap_start = Time::ZERO;
     let mut gaps_seen = 0usize;
-    let mut boundaries: Vec<(Time, Time)> = busy.clone();
+    let mut boundaries: Vec<(Time, Time)> = busy.to_vec();
     boundaries.push((horizon, horizon)); // sentinel: final gap ends at the wall
     for &(ws, wf) in &boundaries {
         let lo = gap_start.max(asap);
@@ -292,7 +407,7 @@ fn choose_fps_friendly_start(
     let limit = horizon.saturating_mul(4);
     candidates.into_iter().min_by_key(|&start| {
         // tentative busy list with the candidate placement
-        let mut tentative = busy.clone();
+        let mut tentative = busy.to_vec();
         let pos = tentative.partition_point(|&(s, _)| s < start);
         tentative.insert(pos, (start, start + wcet));
         let avail = Availability::new(horizon, merge_windows(tentative));
@@ -339,7 +454,7 @@ fn first_gap(busy: &[(Time, Time)], from: Time, len: Time, wall: Time) -> Option
 /// sender node with room left in the frame; returns the delivery time
 /// (slot end).
 fn place_message(
-    sys: &System,
+    sys: SystemView<'_>,
     table: &mut ScheduleTable,
     slot_usage: &mut HashMap<(i64, SlotId), Time>,
     job: Job,
@@ -731,5 +846,32 @@ mod tests {
             .find(|t| t.activity == s)
             .expect("s entry");
         assert_eq!(entry.start, Time::from_us(42.0));
+    }
+
+    #[test]
+    fn builder_reuse_matches_one_shot_builds() {
+        // The same builder driven across several DYN lengths and slot
+        // layouts must reproduce fresh one-shot tables exactly.
+        let base = chain_system(8.0, vec![NodeId::new(0), NodeId::new(1)]);
+        let mut builder = ScheduleBuilder::default();
+        let mut table = ScheduleTable::default();
+        for n_minislots in [0u32, 5, 17, 40] {
+            for owners in [
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(1), NodeId::new(0)],
+            ] {
+                let mut sys = base.clone();
+                sys.bus.n_minislots = n_minislots;
+                sys.bus.static_slot_owners = owners;
+                let fresh = build_schedule(&sys, &bounds(&sys)).expect("fresh");
+                builder
+                    .build_into(sys.view(), &bounds(&sys), ScsPlacement::Asap, &mut table)
+                    .expect("reused");
+                assert_eq!(table.tasks(), fresh.tasks());
+                assert_eq!(table.messages(), fresh.messages());
+                assert_eq!(table.overflowed(), fresh.overflowed());
+                assert_eq!(table.horizon(), fresh.horizon());
+            }
+        }
     }
 }

@@ -1,0 +1,837 @@
+//! Reusable analysis session: the holistic fixed point with all of its
+//! scratch state hoisted out of the per-call path.
+//!
+//! Every optimiser in the paper (BBC Fig. 5, OBC Fig. 6, the SA
+//! baseline) spends essentially all of its time calling the holistic
+//! analysis on candidate bus configurations over one fixed
+//! platform/application pair. A plain [`analyse`](crate::analyse) call
+//! re-derives the application facts (hyperperiod, topological order,
+//! list-scheduler priorities and job order) and re-allocates every
+//! buffer (schedule table, response/jitter vectors, availabilities) from
+//! scratch. An [`AnalysisSession`] owns all of that across calls:
+//!
+//! * [`AnalysisSession::analyse_into`] analyses a *borrowed* candidate
+//!   [`BusConfig`] into the session buffers — no `System` clone, no
+//!   fresh allocations on the steady state;
+//! * [`AnalysisSession::reanalyse_dyn_length`] re-analyses the last
+//!   candidate with only the dynamic-segment length changed — the exact
+//!   shape of the DYN-length sweeps — without touching the rest of the
+//!   configuration;
+//! * when the application has no static messages and no time-triggered
+//!   activity depends on an event-triggered one, the static schedule is
+//!   provably independent of the bus configuration (message placement is
+//!   the only point where the scheduler consults `gdCycle`), so the
+//!   session caches the schedule table, the per-node availabilities and
+//!   the time-triggered responses outright and only re-runs the
+//!   event-triggered fixed point per candidate.
+//!
+//! Results are bit-identical to [`analyse`](crate::analyse): the session
+//! only skips work it can prove is input-independent, never approximates.
+
+use crate::availability::Availability;
+use crate::cost::{cost_of, Cost};
+use crate::dyn_msg::{dyn_delay_with, hp_messages, lf_messages};
+use crate::fps::{fps_local_response_with, hp_tasks};
+use crate::holistic::{Analysis, AnalysisConfig};
+use crate::scheduler::{ScheduleBuilder, ScsPlacement};
+use crate::table::ScheduleTable;
+use flexray_model::{
+    ActivityId, Application, BusConfig, FrameId, MessageClass, ModelError, PhyParams, Platform,
+    SchedPolicy, SystemView, Time,
+};
+use std::collections::BTreeMap;
+
+/// Application-derived facts that no candidate bus can change.
+#[derive(Debug)]
+struct Prep {
+    horizon: Time,
+    max_deadline: Time,
+    topo: Vec<ActivityId>,
+    /// Does any time-triggered activity depend on an event-triggered
+    /// one? Decides whether the outer (table ↔ ET) loop iterates.
+    tt_needs_et: bool,
+    /// With no static messages and no TT←ET dependency the static
+    /// schedule cannot depend on the bus configuration (only the
+    /// physical layer, through durations).
+    static_is_bus_independent: bool,
+    /// Higher-priority set of every FPS task (`hp(i)` of the busy-window
+    /// analysis), indexed by activity; empty for everything else.
+    hp_tasks: Vec<Vec<ActivityId>>,
+}
+
+/// The complete mutable state of one holistic analysis, reusable across
+/// calls. [`analyse`](crate::analyse) runs a fresh one per call; an
+/// [`AnalysisSession`] keeps it alive.
+#[derive(Debug)]
+pub(crate) struct SessionState {
+    prep: Option<Prep>,
+    builder: ScheduleBuilder,
+    pub(crate) table: ScheduleTable,
+    pub(crate) responses: Vec<Time>,
+    pub(crate) diverged: Vec<ActivityId>,
+    pub(crate) cost: Cost,
+    earliest: Vec<Time>,
+    jitter: Vec<Time>,
+    diverged_next: Vec<ActivityId>,
+    avails: Vec<Availability>,
+    /// Key of the cached static side (table, availabilities,
+    /// `responses_init`): set only when `static_is_bus_independent`.
+    static_key: Option<(PhyParams, ScsPlacement)>,
+    /// Snapshot of the response vector right after the (cached) static
+    /// build: durations with TT table responses applied.
+    responses_init: Vec<Time>,
+    /// Frame-identifier assignment the DYN interference sets were
+    /// derived for.
+    dyn_sets_key: Option<BTreeMap<ActivityId, FrameId>>,
+    /// Per-activity `(hp(m), lf(m))` of the DYN-message analysis; empty
+    /// for non-messages.
+    dyn_sets: Vec<(Vec<ActivityId>, Vec<ActivityId>)>,
+    /// Per-activity memo of the expensive `local` response: an FPS
+    /// task's busy-window result is a pure function of its node
+    /// availability and the jitter of its `hp` set; a DYN message's
+    /// delay is a pure function of the bus and the jitter of
+    /// `hp(m) ∪ lf(m)`. Unchanged inputs skip the fixed-point body —
+    /// across inner iterations, and across candidates while the cached
+    /// static side stays valid.
+    et_memo: Vec<EtMemo>,
+    /// Bumped whenever the availabilities are rebuilt (invalidates FPS
+    /// memos).
+    avail_stamp: u64,
+    /// Bumped on every analysed candidate (invalidates DYN memos, whose
+    /// delay depends on the bus configuration itself).
+    bus_stamp: u64,
+}
+
+/// One entry of the event-triggered response memo.
+#[derive(Debug, Clone, Default)]
+struct EtMemo {
+    /// `avail_stamp` (tasks) or `bus_stamp` (messages) at compute time.
+    stamp: u64,
+    /// Jitter of the interference set at compute time.
+    key: Vec<Time>,
+    /// The memoised `local` response (`None` = diverged).
+    result: Option<Time>,
+    /// False until first computed.
+    valid: bool,
+}
+
+impl Default for SessionState {
+    fn default() -> Self {
+        SessionState {
+            prep: None,
+            builder: ScheduleBuilder::default(),
+            table: ScheduleTable::default(),
+            responses: Vec::new(),
+            diverged: Vec::new(),
+            cost: Cost::infeasible(),
+            earliest: Vec::new(),
+            jitter: Vec::new(),
+            diverged_next: Vec::new(),
+            avails: Vec::new(),
+            static_key: None,
+            responses_init: Vec::new(),
+            dyn_sets_key: None,
+            dyn_sets: Vec::new(),
+            et_memo: Vec::new(),
+            avail_stamp: 0,
+            bus_stamp: 0,
+        }
+    }
+}
+
+impl EtMemo {
+    /// `true` when the memoised result was computed under `stamp` with
+    /// the same jitter over the (concatenated) interference sets.
+    fn hit(&self, stamp: u64, set_a: &[ActivityId], set_b: &[ActivityId], jitter: &[Time]) -> bool {
+        if !self.valid || self.stamp != stamp || self.key.len() != set_a.len() + set_b.len() {
+            return false;
+        }
+        set_a
+            .iter()
+            .chain(set_b)
+            .zip(&self.key)
+            .all(|(&j, &k)| jitter[j.index()] == k)
+    }
+
+    /// Records `result` for the current stamp and jitter snapshot.
+    fn store(
+        &mut self,
+        stamp: u64,
+        set_a: &[ActivityId],
+        set_b: &[ActivityId],
+        jitter: &[Time],
+        result: Option<Time>,
+    ) {
+        self.key.clear();
+        self.key
+            .extend(set_a.iter().chain(set_b).map(|&j| jitter[j.index()]));
+        self.stamp = stamp;
+        self.result = result;
+        self.valid = true;
+    }
+}
+
+impl SessionState {
+    /// Moves the buffers out into an owned [`Analysis`].
+    pub(crate) fn into_analysis(self) -> Analysis {
+        Analysis {
+            responses: self.responses,
+            diverged: self.diverged,
+            table: self.table,
+            cost: self.cost,
+        }
+    }
+
+    /// Clones the buffers into an owned [`Analysis`].
+    pub(crate) fn snapshot(&self) -> Analysis {
+        Analysis {
+            responses: self.responses.clone(),
+            diverged: self.diverged.clone(),
+            table: self.table.clone(),
+            cost: self.cost,
+        }
+    }
+}
+
+/// Runs the complete holistic analysis of `sys` into `st`, reusing
+/// whatever `st` already holds. The algorithm is the one documented on
+/// [`analyse`](crate::analyse); see the module docs for what is cached.
+pub(crate) fn analyse_core(
+    sys: SystemView<'_>,
+    cfg: &AnalysisConfig,
+    st: &mut SessionState,
+) -> Result<(), ModelError> {
+    let n = sys.app.activities().len();
+    if st.prep.is_none() {
+        let horizon = sys.hyperperiod()?;
+        let max_deadline = sys
+            .app
+            .ids()
+            .map(|id| sys.app.deadline_of(id))
+            .max()
+            .unwrap_or(horizon);
+        let topo = sys.app.topological_order()?;
+        let tt_needs_et = sys.app.ids().any(|id| {
+            sys.app.activity(id).is_time_triggered()
+                && sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .any(|&p| !sys.app.activity(p).is_time_triggered())
+        });
+        let has_st_messages = sys
+            .app
+            .messages_of_class(MessageClass::Static)
+            .next()
+            .is_some();
+        let hp = sys
+            .app
+            .ids()
+            .map(|id| {
+                let is_fps = sys
+                    .app
+                    .activity(id)
+                    .as_task()
+                    .is_some_and(|t| t.policy == SchedPolicy::Fps);
+                if is_fps {
+                    hp_tasks(sys, id)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        st.prep = Some(Prep {
+            horizon,
+            max_deadline,
+            topo,
+            tt_needs_et,
+            static_is_bus_independent: !has_st_messages && !tt_needs_et,
+            hp_tasks: hp,
+        });
+    }
+    // DYN interference sets depend only on the frame-identifier
+    // assignment; refresh them when it changes.
+    if st.dyn_sets_key.as_ref() != Some(&sys.bus.frame_ids) {
+        st.dyn_sets.clear();
+        st.dyn_sets.resize(n, (Vec::new(), Vec::new()));
+        for m in sys.app.messages_of_class(MessageClass::Dynamic) {
+            st.dyn_sets[m.index()] = (hp_messages(sys, m), lf_messages(sys, m));
+        }
+        st.dyn_sets_key = Some(sys.bus.frame_ids.clone());
+    }
+    // Every analysed candidate may carry a different bus: DYN-message
+    // memos (whose delay reads the bus directly) start cold, FPS memos
+    // survive for as long as the availabilities they were computed
+    // against (see `avail_stamp`).
+    st.bus_stamp = st.bus_stamp.wrapping_add(1);
+    if st.et_memo.len() != n {
+        st.et_memo.clear();
+        st.et_memo.resize_with(n, EtMemo::default);
+    }
+    let prep = st.prep.as_ref().expect("prep just ensured");
+    let horizon = prep.horizon;
+    let limit = horizon
+        .max(prep.max_deadline)
+        .saturating_mul(cfg.divergence_factor);
+    let tt_needs_et = prep.tt_needs_et;
+    let outer_iters = if tt_needs_et { cfg.max_outer_iters } else { 1 };
+    let static_cached = prep.static_is_bus_independent
+        && st.static_key == Some((sys.bus.phy, cfg.scs_placement))
+        && st.responses_init.len() == n;
+
+    // Initial completion bounds: just the durations (skipped when the
+    // cached static side already embeds them).
+    st.responses.clear();
+    if static_cached {
+        st.responses.extend_from_slice(&st.responses_init);
+    } else {
+        st.responses
+            .extend(sys.app.ids().map(|id| sys.duration_of(id)));
+        st.static_key = None;
+    }
+    st.diverged.clear();
+    if outer_iters == 0 {
+        // Degenerate configuration (max_outer_iters = 0 with TT←ET
+        // dependencies): no schedule is built, matching the one-shot
+        // behaviour of an empty table over the horizon.
+        st.table.reset(horizon);
+        st.avails.clear();
+        st.static_key = None;
+    }
+
+    for _outer in 0..outer_iters {
+        st.diverged.clear();
+        if !static_cached {
+            st.builder
+                .build_into(sys, &st.responses, cfg.scs_placement, &mut st.table)?;
+
+            // Time-triggered responses straight from the table.
+            for id in sys.app.ids() {
+                if sys.app.activity(id).is_time_triggered() {
+                    let period = sys.app.period_of(id);
+                    if let Some(r) = st.table.response_of(id, period) {
+                        st.responses[id.index()] = r;
+                    }
+                }
+            }
+
+            // Per-node availability (slack of the static schedule).
+            st.avails.clear();
+            st.avails.extend(
+                sys.platform
+                    .nodes()
+                    .map(|node| Availability::new(horizon, st.table.busy_windows(node))),
+            );
+            st.avail_stamp = st.avail_stamp.wrapping_add(1);
+
+            if st.prep.as_ref().expect("prep").static_is_bus_independent {
+                st.static_key = Some((sys.bus.phy, cfg.scs_placement));
+                st.responses_init.clear();
+                st.responses_init.extend_from_slice(&st.responses);
+            }
+        }
+
+        // Earliest (contention-free) completion of every activity,
+        // topologically: time-triggered activities finish exactly at
+        // their table time (zero variability); event-triggered ones at
+        // earliest-release + duration.
+        st.earliest.clear();
+        st.earliest.resize(n, Time::ZERO);
+        for &id in &st.prep.as_ref().expect("prep").topo {
+            let a = sys.app.activity(id);
+            let ready = sys
+                .app
+                .preds(id)
+                .iter()
+                .map(|&p| st.earliest[p.index()])
+                .max()
+                .unwrap_or(Time::ZERO)
+                .max(a.release);
+            st.earliest[id.index()] = if a.is_time_triggered() {
+                st.responses[id.index()].max(ready)
+            } else {
+                ready + sys.duration_of(id)
+            };
+        }
+
+        // Event-triggered fixed point. Interference uses release
+        // *variability* (worst ready − earliest ready), the classical
+        // holistic jitter — using the full predecessor response would
+        // double-count the chain offsets and blow up with depth.
+        st.jitter.clear();
+        st.jitter.resize(n, Time::ZERO);
+        for _inner in 0..cfg.max_inner_iters {
+            for id in sys.app.ids() {
+                let a = sys.app.activity(id);
+                let worst_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| st.responses[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                let earliest_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| st.earliest[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                st.jitter[id.index()] = (worst_ready - earliest_ready).clamp_non_negative();
+            }
+            let mut changed = false;
+            st.diverged_next.clear();
+            for id in sys.app.ids() {
+                let a = sys.app.activity(id);
+                if a.is_time_triggered() {
+                    continue;
+                }
+                let worst_ready = sys
+                    .app
+                    .preds(id)
+                    .iter()
+                    .map(|&p| st.responses[p.index()])
+                    .max()
+                    .unwrap_or(Time::ZERO)
+                    .max(a.release);
+                // The expensive `local` response is a pure function of
+                // the memo key (interference-set jitter + stamped
+                // environment): recompute only on a changed input.
+                let (stamp, set_a, set_b): (u64, &[ActivityId], &[ActivityId]) = match &a.kind {
+                    flexray_model::ActivityKind::Task(_) => (
+                        st.avail_stamp,
+                        &st.prep.as_ref().expect("prep").hp_tasks[id.index()],
+                        &[],
+                    ),
+                    flexray_model::ActivityKind::Message(_) => {
+                        let (hp, lf) = &st.dyn_sets[id.index()];
+                        (st.bus_stamp, hp, lf)
+                    }
+                };
+                let local = if st.et_memo[id.index()].hit(stamp, set_a, set_b, &st.jitter) {
+                    st.et_memo[id.index()].result
+                } else {
+                    let computed = match &a.kind {
+                        flexray_model::ActivityKind::Task(t) => {
+                            debug_assert_eq!(t.policy, SchedPolicy::Fps);
+                            fps_local_response_with(
+                                sys,
+                                &st.avails[t.node.index()],
+                                id,
+                                set_a,
+                                &st.jitter,
+                                limit,
+                            )
+                        }
+                        flexray_model::ActivityKind::Message(m) => {
+                            debug_assert_eq!(m.class, MessageClass::Dynamic);
+                            dyn_delay_with(
+                                sys,
+                                id,
+                                set_a,
+                                set_b,
+                                &st.jitter,
+                                cfg.latest_tx,
+                                cfg.dyn_mode,
+                                limit,
+                            )
+                            .map(|w| w + sys.comm_time(id))
+                        }
+                    };
+                    st.et_memo[id.index()].store(stamp, set_a, set_b, &st.jitter, computed);
+                    computed
+                };
+                let r = match local {
+                    Some(local) => (worst_ready + local).min(limit),
+                    None => {
+                        st.diverged_next.push(id);
+                        limit
+                    }
+                };
+                if r != st.responses[id.index()] {
+                    st.responses[id.index()] = r;
+                    changed = true;
+                }
+            }
+            std::mem::swap(&mut st.diverged, &mut st.diverged_next);
+            if !changed {
+                break;
+            }
+        }
+
+        if !tt_needs_et {
+            break;
+        }
+    }
+
+    st.cost = cost_of(sys, &st.responses);
+    Ok(())
+}
+
+/// A long-lived analysis context over one fixed platform/application
+/// pair, evaluating borrowed candidate bus configurations with all
+/// scratch state reused across calls.
+///
+/// ```
+/// use flexray_model::*;
+/// use flexray_analysis::{AnalysisConfig, AnalysisSession};
+///
+/// let mut app = Application::new();
+/// let g = app.add_graph("g", Time::from_us(200.0), Time::from_us(150.0));
+/// let a = app.add_task(g, "a", NodeId::new(0), Time::from_us(10.0), SchedPolicy::Fps, 3);
+/// let b = app.add_task(g, "b", NodeId::new(1), Time::from_us(10.0), SchedPolicy::Fps, 3);
+/// let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
+/// app.connect(a, m, b)?;
+///
+/// let mut bus = BusConfig::new(PhyParams::unit());
+/// bus.n_minislots = 20;
+/// bus.frame_ids.insert(m, FrameId::new(1));
+///
+/// let mut session = AnalysisSession::new(
+///     Platform::with_nodes(2), app, AnalysisConfig::default());
+/// let cost = session.analyse_into(&bus)?;
+/// assert!(cost.is_schedulable());
+/// // Sweep the dynamic-segment length without rebuilding anything else.
+/// for n in [10, 15, 30] {
+///     let _ = session.reanalyse_dyn_length(n)?;
+/// }
+/// # Ok::<(), ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession {
+    platform: Platform,
+    app: Application,
+    cfg: AnalysisConfig,
+    state: SessionState,
+    last_bus: Option<BusConfig>,
+}
+
+impl AnalysisSession {
+    /// Creates a session over a fixed platform and application.
+    #[must_use]
+    pub fn new(platform: Platform, app: Application, cfg: AnalysisConfig) -> Self {
+        AnalysisSession {
+            platform,
+            app,
+            cfg,
+            state: SessionState::default(),
+            last_bus: None,
+        }
+    }
+
+    /// The platform under analysis.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The application under analysis.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The analysis configuration applied to every call.
+    #[must_use]
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Analyses a borrowed candidate bus configuration into the session
+    /// buffers and returns its cost. Identical in result to
+    /// [`analyse`](crate::analyse) over a `System` carrying `bus`.
+    ///
+    /// The candidate is *not* validated — run
+    /// [`BusConfig::validate_for`] first, as the optimisers do.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the system model itself is inconsistent
+    /// (unknown ids, hyperperiod overflow, deadlocked precedence).
+    pub fn analyse_into(&mut self, bus: &BusConfig) -> Result<Cost, ModelError> {
+        match &mut self.last_bus {
+            Some(prev) => prev.clone_from(bus),
+            None => self.last_bus = Some(bus.clone()),
+        }
+        let view = SystemView::new(&self.platform, &self.app, bus);
+        analyse_core(view, &self.cfg, &mut self.state)?;
+        Ok(self.state.cost)
+    }
+
+    /// Re-analyses the last candidate with only the dynamic-segment
+    /// length changed to `n_minislots` — the candidate loop of the
+    /// DYN-length sweeps. The cached static side (schedule, priorities,
+    /// job order) stays valid; nothing is cloned.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalysisSession::analyse_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no configuration was analysed yet.
+    pub fn reanalyse_dyn_length(&mut self, n_minislots: u32) -> Result<Cost, ModelError> {
+        let bus = self
+            .last_bus
+            .as_mut()
+            .expect("reanalyse_dyn_length requires a prior analyse_into");
+        bus.n_minislots = n_minislots;
+        let view = SystemView::new(&self.platform, &self.app, bus);
+        analyse_core(view, &self.cfg, &mut self.state)?;
+        Ok(self.state.cost)
+    }
+
+    /// The bus configuration of the last analysis attempt.
+    #[must_use]
+    pub fn last_bus(&self) -> Option<&BusConfig> {
+        self.last_bus.as_ref()
+    }
+
+    /// Mutable access to the retained bus, for in-place candidate
+    /// tweaks (e.g. validating a new DYN length before
+    /// [`AnalysisSession::reanalyse_dyn_length`]).
+    #[must_use]
+    pub fn last_bus_mut(&mut self) -> Option<&mut BusConfig> {
+        self.last_bus.as_mut()
+    }
+
+    /// Cost of the last analysis (Eq. (5)).
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        self.state.cost
+    }
+
+    /// Worst-case response times of the last analysis, indexed by
+    /// activity.
+    #[must_use]
+    pub fn responses(&self) -> &[Time] {
+        &self.state.responses
+    }
+
+    /// Activities whose response-time iteration diverged in the last
+    /// analysis.
+    #[must_use]
+    pub fn diverged(&self) -> &[ActivityId] {
+        &self.state.diverged
+    }
+
+    /// The static schedule table of the last analysis.
+    #[must_use]
+    pub fn table(&self) -> &ScheduleTable {
+        &self.state.table
+    }
+
+    /// Owned copy of the last analysis result.
+    #[must_use]
+    pub fn snapshot(&self) -> Analysis {
+        self.state.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyse;
+    use flexray_model::*;
+
+    /// Two nodes with an ET chain (no static messages): the static side
+    /// is bus-independent and the session may cache it.
+    fn et_only_system(n_minislots: u32) -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(500.0), Time::from_us(400.0));
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            g,
+            "d",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let m = app.add_message(g, "m", 4, MessageClass::Dynamic, 1);
+        app.connect(c, m, d).expect("edges");
+        // an SCS task so the table is non-trivial
+        app.add_task(
+            g,
+            "s",
+            NodeId::new(0),
+            Time::from_us(20.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.n_minislots = n_minislots;
+        bus.frame_ids.insert(m, FrameId::new(1));
+        System::validated(Platform::with_nodes(2), app, bus).expect("valid")
+    }
+
+    /// A mixed TT/ET system (static messages force schedule rebuilds).
+    fn mixed_system(n_minislots: u32) -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(400.0), Time::from_us(350.0));
+        let a = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let b = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let st = app.add_message(g, "st", 8, MessageClass::Static, 0);
+        app.connect(a, st, b).expect("edges");
+        let c = app.add_task(
+            g,
+            "c",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let d = app.add_task(
+            g,
+            "d",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            5,
+        );
+        let dy = app.add_message(g, "dy", 4, MessageClass::Dynamic, 1);
+        app.connect(c, dy, d).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0), NodeId::new(1)];
+        bus.n_minislots = n_minislots;
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        System::validated(Platform::with_nodes(2), app, bus).expect("valid")
+    }
+
+    fn assert_matches_one_shot(session: &mut AnalysisSession, sys: &System) {
+        let fresh = analyse(sys, &AnalysisConfig::default()).expect("one-shot");
+        let cost = session.analyse_into(&sys.bus).expect("session");
+        assert_eq!(cost, fresh.cost);
+        assert_eq!(session.responses(), &fresh.responses[..]);
+        assert_eq!(session.diverged(), &fresh.diverged[..]);
+        assert_eq!(session.table().tasks(), fresh.table.tasks());
+        assert_eq!(session.table().messages(), fresh.table.messages());
+    }
+
+    #[test]
+    fn session_matches_one_shot_across_dyn_lengths_et_only() {
+        let base = et_only_system(10);
+        let mut session = AnalysisSession::new(
+            base.platform.clone(),
+            base.app.clone(),
+            AnalysisConfig::default(),
+        );
+        for n in [10u32, 6, 30, 10, 100] {
+            let mut sys = base.clone();
+            sys.bus.n_minislots = n;
+            assert_matches_one_shot(&mut session, &sys);
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_across_dyn_lengths_mixed() {
+        let base = mixed_system(10);
+        let mut session = AnalysisSession::new(
+            base.platform.clone(),
+            base.app.clone(),
+            AnalysisConfig::default(),
+        );
+        for n in [10u32, 6, 30, 10, 64] {
+            let mut sys = base.clone();
+            sys.bus.n_minislots = n;
+            assert_matches_one_shot(&mut session, &sys);
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_across_layout_changes() {
+        let base = mixed_system(12);
+        let mut session = AnalysisSession::new(
+            base.platform.clone(),
+            base.app.clone(),
+            AnalysisConfig::default(),
+        );
+        // layout changes interleaved with DYN-length changes
+        let mut sys = base.clone();
+        assert_matches_one_shot(&mut session, &sys);
+        sys.bus.static_slot_len = Time::from_us(12.0);
+        assert_matches_one_shot(&mut session, &sys);
+        sys.bus.n_minislots = 40;
+        assert_matches_one_shot(&mut session, &sys);
+        sys.bus.static_slot_owners = vec![NodeId::new(1), NodeId::new(0)];
+        assert_matches_one_shot(&mut session, &sys);
+    }
+
+    #[test]
+    fn reanalyse_dyn_length_equals_full_analyse() {
+        for base in [et_only_system(10), mixed_system(10)] {
+            let mut session = AnalysisSession::new(
+                base.platform.clone(),
+                base.app.clone(),
+                AnalysisConfig::default(),
+            );
+            session.analyse_into(&base.bus).expect("seed analysis");
+            for n in [5u32, 12, 48, 7] {
+                let cost = session.reanalyse_dyn_length(n).expect("incremental");
+                let mut sys = base.clone();
+                sys.bus.n_minislots = n;
+                let fresh = analyse(&sys, &AnalysisConfig::default()).expect("fresh");
+                assert_eq!(cost, fresh.cost, "n = {n}");
+                assert_eq!(session.responses(), &fresh.responses[..], "n = {n}");
+                assert_eq!(
+                    session.last_bus().expect("retained").n_minislots,
+                    n,
+                    "length applied"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_equals_one_shot_analysis() {
+        let sys = mixed_system(10);
+        let mut session = AnalysisSession::new(
+            sys.platform.clone(),
+            sys.app.clone(),
+            AnalysisConfig::default(),
+        );
+        session.analyse_into(&sys.bus).expect("session");
+        let snap = session.snapshot();
+        let fresh = analyse(&sys, &AnalysisConfig::default()).expect("one-shot");
+        assert_eq!(snap.cost, fresh.cost);
+        assert_eq!(snap.responses, fresh.responses);
+        assert_eq!(snap.diverged, fresh.diverged);
+        assert_eq!(snap.is_schedulable(), fresh.is_schedulable());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior analyse_into")]
+    fn reanalyse_without_seed_panics() {
+        let sys = mixed_system(10);
+        let mut session = AnalysisSession::new(
+            sys.platform.clone(),
+            sys.app.clone(),
+            AnalysisConfig::default(),
+        );
+        let _ = session.reanalyse_dyn_length(10);
+    }
+}

@@ -69,6 +69,15 @@ impl ScheduleTable {
         self.horizon
     }
 
+    /// Clears all entries and re-targets the table at `horizon`, keeping
+    /// the allocations for reuse across builds.
+    pub(crate) fn reset(&mut self, horizon: Time) {
+        self.horizon = horizon;
+        self.tasks.clear();
+        self.messages.clear();
+        self.overflowed.clear();
+    }
+
     /// All SCS task entries in scheduling order.
     #[must_use]
     pub fn tasks(&self) -> &[TaskEntry] {

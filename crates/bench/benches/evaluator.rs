@@ -1,0 +1,108 @@
+//! Criterion bench for the session-backed evaluator: the DYN-length
+//! sweep of `determine_dyn_length` with the cached [`AnalysisSession`]
+//! versus the pre-session baseline (one fresh full `analyse`, including
+//! a bus clone into the `System`, per candidate length).
+//!
+//! This is the inner loop of BBC (Fig. 5 lines 5–12) and of every OBC
+//! static-layout step, on the 5–7-node synthetic sets the paper
+//! evaluates; measured numbers are recorded in `BENCH_eval.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexray_analysis::{analyse, AnalysisConfig};
+use flexray_gen::{generate, GeneratorConfig};
+use flexray_model::PhyParams;
+use flexray_model::{Application, BusConfig, Platform, System};
+use flexray_opt::{
+    bbc_skeleton, determine_dyn_length, dyn_sweep_grid, DynSearch, Evaluator, OptParams,
+};
+
+struct Case {
+    platform: Platform,
+    app: Application,
+    template: BusConfig,
+    candidates: Vec<u32>,
+}
+
+fn case_for(n_nodes: usize, tt_fraction: f64, params: &OptParams) -> Case {
+    let gen_cfg = GeneratorConfig {
+        tt_fraction,
+        ..GeneratorConfig::paper(n_nodes)
+    };
+    let generated = generate(&gen_cfg, 11).expect("generate");
+    let template = bbc_skeleton(&generated.platform, &generated.app, PhyParams::bmw_like());
+    let ev = Evaluator::new(
+        generated.platform.clone(),
+        generated.app.clone(),
+        AnalysisConfig::default(),
+    );
+    let (min, max) = ev
+        .dyn_bounds(&template)
+        .expect("paper sets have DYN traffic");
+    // The exact grid determine_dyn_length sweeps, so the fresh baseline
+    // analyses the same candidates the session path does.
+    let candidates = dyn_sweep_grid(min, max, params);
+    Case {
+        platform: generated.platform,
+        app: generated.app,
+        template,
+        candidates,
+    }
+}
+
+/// The pre-session baseline: every candidate pays a `BusConfig` clone
+/// into the `System` and a from-scratch `analyse` (priorities, job
+/// order, schedule table and every buffer re-derived per call).
+fn fresh_sweep(case: &Case, cfg: &AnalysisConfig) -> usize {
+    let mut sys = System {
+        platform: case.platform.clone(),
+        app: case.app.clone(),
+        bus: case.template.clone(),
+    };
+    let mut analysed = 0;
+    for &n in &case.candidates {
+        let mut bus = case.template.clone();
+        bus.n_minislots = n;
+        if bus.validate_for(&sys.app, sys.platform.len()).is_err() {
+            continue;
+        }
+        sys.bus = bus.clone();
+        if analyse(&sys, cfg).is_ok() {
+            analysed += 1;
+        }
+    }
+    analysed
+}
+
+fn bench_dyn_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determine_dyn_length");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let params = OptParams::default();
+    let cfg = AnalysisConfig::default();
+    // Paper-mix sets (half the graphs time-triggered) and DYN-only sets
+    // (no static messages — the case where the cached static schedule
+    // survives every candidate outright).
+    for (label, tt_fraction) in [("paper_mix", 0.5), ("dyn_only", 0.0)] {
+        for n_nodes in [5usize, 6, 7] {
+            let case = case_for(n_nodes, tt_fraction, &params);
+            let id = format!("{label}/{n_nodes}");
+            group.bench_with_input(BenchmarkId::new("fresh_analyse", &id), &n_nodes, |b, _| {
+                b.iter(|| fresh_sweep(&case, &cfg));
+            });
+            // The session lives across sweeps, as it does inside one
+            // optimiser run: allocations, priorities, the job order and
+            // the (DYN-only) static schedule are amortised over every
+            // candidate.
+            let mut ev = Evaluator::new(case.platform.clone(), case.app.clone(), cfg);
+            group.bench_with_input(BenchmarkId::new("cached_session", &id), &n_nodes, |b, _| {
+                b.iter(|| {
+                    determine_dyn_length(&mut ev, &case.template, &params, DynSearch::Exhaustive)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dyn_sweep);
+criterion_main!(benches);

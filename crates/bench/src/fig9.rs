@@ -9,6 +9,18 @@
 //! stops finding schedulable configurations as systems grow; OBCCF and
 //! OBCEE stay within a few percent of SA; OBCCF is much faster than
 //! OBCEE.
+//!
+//! # Parallelism
+//!
+//! The applications of one point are embarrassingly parallel: each is
+//! generated from its own seed (`seed0 + 1000·n + i`) and optimised
+//! independently. [`run_experiment`] fans the per-seed loop out over
+//! [`Fig9Config::threads`] scoped worker threads (no external deps) and
+//! collects results by application index, so every deterministic output
+//! — costs, chosen configurations, schedulability counts, deviations,
+//! evaluation counts — is bit-identical to a serial run (`threads = 1`).
+//! Only the measured wall-clock times differ, as they do between any two
+//! runs.
 
 use flexray_gen::{generate, GeneratorConfig};
 use flexray_model::{ModelError, PhyParams};
@@ -29,6 +41,9 @@ pub struct Fig9Config {
     /// Base RNG seed; application `i` of point `n` uses
     /// `seed0 + 1000·n + i`.
     pub seed0: u64,
+    /// Worker threads for the per-seed loop: `1` runs serially, `0`
+    /// uses the available hardware parallelism.
+    pub threads: usize,
 }
 
 impl Default for Fig9Config {
@@ -39,6 +54,20 @@ impl Default for Fig9Config {
             params: OptParams::default(),
             sa: SaParams::default(),
             seed0: 42,
+            threads: 0,
+        }
+    }
+}
+
+impl Fig9Config {
+    /// The effective worker-thread count: `threads`, with `0` resolved
+    /// to the available hardware parallelism.
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
         }
     }
 }
@@ -68,6 +97,24 @@ pub struct PointStats {
     pub algos: Vec<(String, AlgoStats)>,
 }
 
+impl PointStats {
+    /// Equality over the deterministic fields (everything except the
+    /// measured wall-clock times) — the invariant the parallel runner
+    /// must preserve against a serial run.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &PointStats) -> bool {
+        self.n_nodes == other.n_nodes
+            && self.algos.len() == other.algos.len()
+            && self.algos.iter().zip(&other.algos).all(|(a, b)| {
+                a.0 == b.0
+                    && a.1.schedulable == b.1.schedulable
+                    && a.1.total == b.1.total
+                    && a.1.avg_deviation_pct == b.1.avg_deviation_pct
+                    && a.1.avg_evaluations == b.1.avg_evaluations
+            })
+    }
+}
+
 /// Percentage deviation of a cost from the SA reference.
 fn deviation_pct(alg: &OptResult, sa: &OptResult) -> Option<f64> {
     if !(alg.is_schedulable() && sa.is_schedulable()) {
@@ -82,6 +129,68 @@ fn deviation_pct(alg: &OptResult, sa: &OptResult) -> Option<f64> {
     Some((a - s) / s.abs() * 100.0)
 }
 
+/// Generates and optimises application `i` of point `n` with all four
+/// algorithms — the unit of work distributed over the worker threads.
+fn solve_app(
+    cfg: &Fig9Config,
+    gen_cfg: &GeneratorConfig,
+    phy: PhyParams,
+    n: usize,
+    i: usize,
+) -> Result<[OptResult; 4], ModelError> {
+    let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
+    let generated = generate(gen_cfg, seed)?;
+    let (p, a) = (&generated.platform, &generated.app);
+    Ok([
+        bbc(p, a, phy, &cfg.params),
+        obc(p, a, phy, &cfg.params, DynSearch::CurveFit),
+        obc(p, a, phy, &cfg.params, DynSearch::Exhaustive),
+        simulated_annealing(p, a, phy, &cfg.params, &cfg.sa),
+    ])
+}
+
+/// One application's four optimiser results, or the generator error.
+type AppResult = Result<[OptResult; 4], ModelError>;
+
+/// Runs all applications of one node-count point, serially or over
+/// scoped worker threads, returning results in application order.
+fn solve_point(
+    cfg: &Fig9Config,
+    gen_cfg: &GeneratorConfig,
+    phy: PhyParams,
+    n: usize,
+) -> Result<Vec<[OptResult; 4]>, ModelError> {
+    let apps = cfg.apps_per_point;
+    let threads = cfg.worker_threads().max(1).min(apps.max(1));
+    if threads <= 1 {
+        return (0..apps)
+            .map(|i| solve_app(cfg, gen_cfg, phy, n, i))
+            .collect();
+    }
+
+    // One slot per application; workers own disjoint interleaved
+    // subsets, so results land by index and the merge is deterministic.
+    let mut slots: Vec<Option<AppResult>> = (0..apps).map(|_| None).collect();
+    let mut buckets: Vec<Vec<(usize, &mut Option<AppResult>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % threads].push((i, slot));
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (i, slot) in bucket {
+                    *slot = Some(solve_app(cfg, gen_cfg, phy, n, i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is assigned to exactly one worker"))
+        .collect()
+}
+
 /// Runs the experiment.
 ///
 /// # Errors
@@ -92,36 +201,28 @@ pub fn run_experiment(cfg: &Fig9Config) -> Result<Vec<PointStats>, ModelError> {
     let mut out = Vec::new();
     for &n in &cfg.node_counts {
         let gen_cfg = GeneratorConfig::paper(n);
-        let mut results: Vec<Vec<OptResult>> = vec![Vec::new(); 4];
-        for i in 0..cfg.apps_per_point {
-            let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
-            let generated = generate(&gen_cfg, seed)?;
-            let (p, a) = (&generated.platform, &generated.app);
-            results[0].push(bbc(p, a, phy, &cfg.params));
-            results[1].push(obc(p, a, phy, &cfg.params, DynSearch::CurveFit));
-            results[2].push(obc(p, a, phy, &cfg.params, DynSearch::Exhaustive));
-            results[3].push(simulated_annealing(p, a, phy, &cfg.params, &cfg.sa));
-        }
+        let per_app = solve_point(cfg, &gen_cfg, phy, n)?;
         let names = ["BBC", "OBCCF", "OBCEE", "SA"];
-        let sa_results = results[3].clone();
         let algos = names
             .iter()
-            .zip(&results)
-            .map(|(name, rs)| {
+            .enumerate()
+            .map(|(alg, name)| {
                 let mut stats = AlgoStats {
-                    total: rs.len(),
+                    total: per_app.len(),
                     ..AlgoStats::default()
                 };
                 let mut devs = Vec::new();
-                for (r, sa_r) in rs.iter().zip(&sa_results) {
+                for results in &per_app {
+                    let r = &results[alg];
+                    let sa_r = &results[3];
                     if r.is_schedulable() {
                         stats.schedulable += 1;
                     }
                     if let Some(d) = deviation_pct(r, sa_r) {
                         devs.push(d);
                     }
-                    stats.avg_time_s += r.elapsed.as_secs_f64() / rs.len() as f64;
-                    stats.avg_evaluations += r.evaluations as f64 / rs.len() as f64;
+                    stats.avg_time_s += r.elapsed.as_secs_f64() / per_app.len() as f64;
+                    stats.avg_evaluations += r.evaluations as f64 / per_app.len() as f64;
                 }
                 if !devs.is_empty() {
                     stats.avg_deviation_pct = devs.iter().sum::<f64>() / devs.len() as f64;
@@ -190,18 +291,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn deviation_requires_both_schedulable() {
-        let sa = fake(true, -100.0);
-        assert_eq!(deviation_pct(&fake(false, 5.0), &sa), None);
-        // -96 laxity vs -100: 4% worse
-        let d = deviation_pct(&fake(true, -96.0), &sa).expect("defined");
-        assert!((d - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn tiny_experiment_runs_end_to_end() {
-        let cfg = Fig9Config {
+    fn fast_cfg() -> Fig9Config {
+        Fig9Config {
             node_counts: vec![2],
             apps_per_point: 1,
             params: OptParams {
@@ -216,12 +307,58 @@ mod tests {
                 ..flexray_opt::SaParams::default()
             },
             seed0: 7,
-        };
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn deviation_requires_both_schedulable() {
+        let sa = fake(true, -100.0);
+        assert_eq!(deviation_pct(&fake(false, 5.0), &sa), None);
+        // -96 laxity vs -100: 4% worse
+        let d = deviation_pct(&fake(true, -96.0), &sa).expect("defined");
+        assert!((d - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let cfg = fast_cfg();
         let points = run_experiment(&cfg).expect("experiment runs");
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].algos.len(), 4);
         let text = render(&points);
         assert!(text.contains("OBCCF"));
         assert!(text.contains("BBC"));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial_cfg = Fig9Config {
+            apps_per_point: 4,
+            node_counts: vec![2, 3],
+            ..fast_cfg()
+        };
+        let parallel_cfg = Fig9Config {
+            threads: 4,
+            ..serial_cfg.clone()
+        };
+        let serial = run_experiment(&serial_cfg).expect("serial run");
+        let parallel = run_experiment(&parallel_cfg).expect("parallel run");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!(
+                s.deterministic_eq(p),
+                "serial {s:?} vs parallel {p:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_threads_resolution() {
+        let mut cfg = fast_cfg();
+        cfg.threads = 3;
+        assert_eq!(cfg.worker_threads(), 3);
+        cfg.threads = 0;
+        assert!(cfg.worker_threads() >= 1);
     }
 }

@@ -75,8 +75,7 @@ pub fn bbc(
         }
         None => {
             // No dynamic messages: evaluate the static-only configuration.
-            let (cost, _) = ev.evaluate(&template);
-            best_cost = cost;
+            best_cost = ev.evaluate_cost(&template);
         }
     }
 

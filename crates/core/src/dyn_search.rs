@@ -48,13 +48,7 @@ pub fn determine_dyn_length(
     strategy: DynSearch,
 ) -> Option<DynChoice> {
     let (min, max) = ev.dyn_bounds(bus_template)?;
-    // Widen the step if the grid would exceed the candidate budget.
-    let span = max - min;
-    let step = params
-        .dyn_step
-        .max(span / u32::try_from(params.max_dyn_candidates.max(2)).unwrap_or(u32::MAX))
-        .max(1);
-    let candidates = candidate_lengths(min, max, step);
+    let candidates = dyn_sweep_grid(min, max, params);
     match strategy {
         DynSearch::Exhaustive => exhaustive(ev, bus_template, &candidates),
         DynSearch::CurveFit => {
@@ -67,9 +61,32 @@ pub fn determine_dyn_length(
     }
 }
 
+/// The candidate grid [`determine_dyn_length`] sweeps for the given
+/// bounds: `min..=max` with the configured step, widened so the grid
+/// stays within `params.max_dyn_candidates`, always including `max`.
+/// Public so harnesses measuring the sweep (e.g. the evaluator bench)
+/// reproduce exactly the grid the optimisers run.
+#[must_use]
+pub fn dyn_sweep_grid(min: u32, max: u32, params: &OptParams) -> Vec<u32> {
+    let span = max.saturating_sub(min);
+    let step = params
+        .dyn_step
+        .max(span / u32::try_from(params.max_dyn_candidates.max(2)).unwrap_or(u32::MAX))
+        .max(1);
+    candidate_lengths(min, max, step)
+}
+
 /// The sweep grid: `min..=max` stepping by `step` minislots, always
 /// including `max`.
+///
+/// Degenerate inputs are handled explicitly: an empty range
+/// (`min > max`) yields no candidates, `min == max` yields exactly one,
+/// a step of zero is treated as one, and a step larger than the range
+/// yields the two endpoints.
 fn candidate_lengths(min: u32, max: u32, step: u32) -> Vec<u32> {
+    if min > max {
+        return Vec::new();
+    }
     let step = step.max(1);
     let mut v: Vec<u32> = (min..=max).step_by(step as usize).collect();
     if v.last() != Some(&max) {
@@ -84,10 +101,13 @@ fn with_length(template: &BusConfig, n: u32) -> BusConfig {
     bus
 }
 
+/// Analyse every candidate length through the evaluator's batched
+/// DYN-length sweep (one borrowed template, no per-candidate clones)
+/// and keep the first best (Fig. 5 lines 5–12).
 fn exhaustive(ev: &mut Evaluator, template: &BusConfig, candidates: &[u32]) -> Option<DynChoice> {
+    let costs = ev.evaluate_dyn_lengths(template, candidates);
     let mut best: Option<DynChoice> = None;
-    for &n in candidates {
-        let (cost, _) = ev.evaluate(&with_length(template, n));
+    for (&n, cost) in candidates.iter().zip(costs) {
         let better = best.is_none_or(|b| cost.better_than(&b.cost));
         if better {
             best = Some(DynChoice {
@@ -370,5 +390,42 @@ mod tests {
         assert_eq!(candidate_lengths(10, 20, 4), vec![10, 14, 18, 20]);
         assert_eq!(candidate_lengths(10, 18, 4), vec![10, 14, 18]);
         assert_eq!(candidate_lengths(5, 5, 3), vec![5]);
+    }
+
+    #[test]
+    fn candidate_grid_step_larger_than_range() {
+        // A step exceeding the whole range keeps both endpoints and
+        // nothing in between.
+        assert_eq!(candidate_lengths(10, 20, 100), vec![10, 20]);
+        assert_eq!(candidate_lengths(10, 11, u32::MAX), vec![10, 11]);
+    }
+
+    #[test]
+    fn candidate_grid_single_point() {
+        // min == max is one candidate, never a duplicated endpoint.
+        assert_eq!(candidate_lengths(7, 7, 1), vec![7]);
+        assert_eq!(candidate_lengths(7, 7, u32::MAX), vec![7]);
+        assert_eq!(candidate_lengths(0, 0, 4), vec![0]);
+    }
+
+    #[test]
+    fn candidate_grid_empty_range() {
+        // min > max cannot happen via dyn_bounds but must not fabricate
+        // an out-of-range candidate.
+        assert!(candidate_lengths(10, 5, 1).is_empty());
+        assert!(candidate_lengths(1, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn candidate_grid_zero_step_is_unit_step() {
+        assert_eq!(candidate_lengths(3, 6, 0), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn exhaustive_with_empty_candidates_is_none() {
+        let (p, a, bus) = dyn_app(2);
+        let mut ev = Evaluator::new(p, a, AnalysisConfig::default());
+        assert!(exhaustive(&mut ev, &bus, &[]).is_none());
+        assert_eq!(ev.evaluations(), 0);
     }
 }

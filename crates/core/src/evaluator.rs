@@ -1,72 +1,160 @@
 //! Configuration evaluation: one full scheduling + schedulability
 //! analysis per candidate bus configuration.
+//!
+//! The evaluator is a thin accounting layer over a long-lived
+//! [`AnalysisSession`]: candidates are analysed *borrowed* (no `System`
+//! clone per call), all analysis scratch state is reused across
+//! candidates, and DYN-length sweeps take the session's incremental
+//! [`reanalyse_dyn_length`](AnalysisSession::reanalyse_dyn_length) path.
 
-use flexray_analysis::{analyse, Analysis, AnalysisConfig, Cost};
-use flexray_model::{Application, BusConfig, MessageClass, Platform, System, Time};
-use std::cell::Cell;
+use flexray_analysis::{Analysis, AnalysisConfig, AnalysisSession, Cost};
+use flexray_model::{Application, BusConfig, MessageClass, Platform, Time};
 
 /// Evaluates candidate bus configurations against one fixed platform and
 /// application, counting evaluations (the dominant cost of every
 /// optimiser).
 #[derive(Debug)]
 pub struct Evaluator {
-    sys: System,
-    analysis_cfg: AnalysisConfig,
-    evals: Cell<usize>,
+    session: AnalysisSession,
+    evals: usize,
 }
 
 impl Evaluator {
-    /// Creates an evaluator. The initial bus configuration of `sys` is
-    /// irrelevant; candidates replace it wholesale.
+    /// Creates an evaluator over a fixed platform/application pair.
     #[must_use]
     pub fn new(platform: Platform, app: Application, analysis_cfg: AnalysisConfig) -> Self {
-        let phy = flexray_model::PhyParams::default();
         Evaluator {
-            sys: System {
-                platform,
-                app,
-                bus: BusConfig::new(phy),
-            },
-            analysis_cfg,
-            evals: Cell::new(0),
+            session: AnalysisSession::new(platform, app, analysis_cfg),
+            evals: 0,
         }
     }
 
     /// The application under optimisation.
     #[must_use]
     pub fn app(&self) -> &Application {
-        &self.sys.app
+        self.session.app()
     }
 
     /// The platform under optimisation.
     #[must_use]
     pub fn platform(&self) -> &Platform {
-        &self.sys.platform
+        self.session.platform()
+    }
+
+    /// The underlying analysis session (responses, table and diverged
+    /// set of the last evaluation).
+    #[must_use]
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
     }
 
     /// Number of full analyses performed so far.
     #[must_use]
     pub fn evaluations(&self) -> usize {
-        self.evals.get()
+        self.evals
     }
 
     /// Evaluates one bus configuration: validation, global scheduling and
     /// holistic schedulability analysis. Invalid configurations get
-    /// [`Cost::infeasible`] and no analysis.
+    /// [`Cost::infeasible`] and no analysis. The cheap path used by the
+    /// optimiser inner loops — no result snapshot is materialised; use
+    /// [`Evaluator::session`] to inspect the last analysis.
+    #[must_use]
+    pub fn evaluate_cost(&mut self, bus: &BusConfig) -> Cost {
+        if bus
+            .validate_for(self.session.app(), self.session.platform().len())
+            .is_err()
+        {
+            return Cost::infeasible();
+        }
+        self.evals += 1;
+        self.session
+            .analyse_into(bus)
+            .unwrap_or_else(|_| Cost::infeasible())
+    }
+
+    /// [`Evaluator::evaluate_cost`] plus an owned snapshot of the full
+    /// analysis (response vector, schedule table) for callers that need
+    /// more than the cost — e.g. the curve-fitting interpolation.
     #[must_use]
     pub fn evaluate(&mut self, bus: &BusConfig) -> (Cost, Option<Analysis>) {
         if bus
-            .validate_for(&self.sys.app, self.sys.platform.len())
+            .validate_for(self.session.app(), self.session.platform().len())
             .is_err()
         {
             return (Cost::infeasible(), None);
         }
-        self.evals.set(self.evals.get() + 1);
-        self.sys.bus = bus.clone();
-        match analyse(&self.sys, &self.analysis_cfg) {
-            Ok(analysis) => (analysis.cost, Some(analysis)),
+        self.evals += 1;
+        match self.session.analyse_into(bus) {
+            Ok(cost) => (cost, Some(self.session.snapshot())),
             Err(_) => (Cost::infeasible(), None),
         }
+    }
+
+    /// Evaluates a batch of candidate configurations, amortising every
+    /// per-candidate allocation over the whole batch. Results are
+    /// element-wise identical to calling [`Evaluator::evaluate_cost`]
+    /// per candidate in order.
+    #[must_use]
+    pub fn evaluate_batch(&mut self, buses: &[BusConfig]) -> Vec<Cost> {
+        buses.iter().map(|bus| self.evaluate_cost(bus)).collect()
+    }
+
+    /// Evaluates `template` at each dynamic-segment length of `lengths`
+    /// — the sweep of Fig. 5 line 5 / Fig. 8 — without cloning the
+    /// template per candidate: after the first analysed candidate the
+    /// session re-analyses in place via
+    /// [`AnalysisSession::reanalyse_dyn_length`].
+    ///
+    /// Results are element-wise identical to evaluating
+    /// `template`-with-length candidates sequentially.
+    #[must_use]
+    pub fn evaluate_dyn_lengths(&mut self, template: &BusConfig, lengths: &[u32]) -> Vec<Cost> {
+        let mut out = Vec::with_capacity(lengths.len());
+        let mut candidate: Option<BusConfig> = None;
+        // Length of the sweep candidate the session last analysed; set
+        // once the session's retained bus is template-shaped.
+        let mut analysed_n: Option<u32> = None;
+        for &n in lengths {
+            if let Some(prev_n) = analysed_n {
+                // The session already holds template-with-prev_n: flip
+                // the length in place, re-validate, re-analyse.
+                self.session
+                    .last_bus_mut()
+                    .expect("analysed_n implies a retained bus")
+                    .n_minislots = n;
+                let valid = {
+                    let bus = self.session.last_bus().expect("retained");
+                    bus.validate_for(self.session.app(), self.session.platform().len())
+                        .is_ok()
+                };
+                if !valid {
+                    // Restore the retained bus so it keeps describing
+                    // the candidate the session state was analysed for.
+                    self.session.last_bus_mut().expect("retained").n_minislots = prev_n;
+                    out.push(Cost::infeasible());
+                    continue;
+                }
+                self.evals += 1;
+                analysed_n = Some(n);
+                out.push(
+                    self.session
+                        .reanalyse_dyn_length(n)
+                        .unwrap_or_else(|_| Cost::infeasible()),
+                );
+            } else {
+                let bus = candidate.get_or_insert_with(|| template.clone());
+                bus.n_minislots = n;
+                let cost = self.evaluate_cost(bus);
+                // evaluate_cost ran analyse_into (and stored the bus in
+                // the session) unless validation rejected the candidate.
+                if self.session.last_bus() == Some(&*bus) {
+                    analysed_n = Some(n);
+                }
+                out.push(cost);
+            }
+        }
+        out
     }
 
     /// Applies the cost function of Eq. (5) to an (interpolated)
@@ -74,7 +162,12 @@ impl Evaluator {
     /// inner step of the curve-fitting heuristic.
     #[must_use]
     pub fn cost_from_responses(&self, responses: &[Time]) -> Cost {
-        flexray_analysis::cost_of(&self.sys, responses)
+        // Eq. (5) only consults the application deadlines, so an empty
+        // placeholder bus serves the borrowed view.
+        let bus = BusConfig::new(flexray_model::PhyParams::default());
+        let view =
+            flexray_model::SystemView::new(self.session.platform(), self.session.app(), &bus);
+        flexray_analysis::cost_of(view, responses)
     }
 
     /// Communication time of the largest static message (the minimal
@@ -82,11 +175,10 @@ impl Evaluator {
     /// of `phy`. `None` if the application has no static messages.
     #[must_use]
     pub fn min_static_slot_len(&self, phy: &flexray_model::PhyParams) -> Option<Time> {
-        self.sys
-            .app
-            .messages_of_class(MessageClass::Static)
+        let app = self.session.app();
+        app.messages_of_class(MessageClass::Static)
             .map(|m| {
-                let spec = self.sys.app.activity(m).as_message().expect("message");
+                let spec = app.activity(m).as_message().expect("message");
                 phy.frame_duration(spec.size_bytes)
             })
             .max()
@@ -103,7 +195,7 @@ impl Evaluator {
         if bus.frame_ids.is_empty() {
             return None;
         }
-        let min = bus.min_minislots(&self.sys.app).max(1);
+        let min = bus.min_minislots(self.session.app()).max(1);
         let budget = flexray_model::MAX_CYCLE - bus.st_bus();
         if budget <= Time::ZERO {
             return None;
@@ -224,5 +316,84 @@ mod tests {
         bus.frame_ids.clear();
         let ev = Evaluator::new(p, a, AnalysisConfig::default());
         assert!(ev.dyn_bounds(&bus).is_none());
+    }
+
+    #[test]
+    fn evaluate_cost_matches_evaluate() {
+        let (p, a) = small_app();
+        let bus = valid_bus(&a);
+        let mut ev1 = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
+        let mut ev2 = Evaluator::new(p, a, AnalysisConfig::default());
+        let (cost_full, _) = ev1.evaluate(&bus);
+        let cost_cheap = ev2.evaluate_cost(&bus);
+        assert_eq!(cost_full, cost_cheap);
+        assert_eq!(ev1.evaluations(), ev2.evaluations());
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        let mut buses = Vec::new();
+        for n in [20u32, 40, 60, 0, 80] {
+            let mut b = template.clone();
+            b.n_minislots = n; // n = 0 is invalid (frame cannot fit)
+            buses.push(b);
+        }
+        let mut ev_batch = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
+        let batch = ev_batch.evaluate_batch(&buses);
+        let mut ev_seq = Evaluator::new(p, a, AnalysisConfig::default());
+        let seq: Vec<Cost> = buses.iter().map(|b| ev_seq.evaluate_cost(b)).collect();
+        assert_eq!(batch, seq);
+        assert_eq!(ev_batch.evaluations(), ev_seq.evaluations());
+    }
+
+    #[test]
+    fn dyn_length_sweep_matches_per_candidate_clones() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        let lengths = [20u32, 40, 0, 60, 13, 80];
+        let mut ev_sweep = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
+        let swept = ev_sweep.evaluate_dyn_lengths(&template, &lengths);
+        let mut ev_seq = Evaluator::new(p, a, AnalysisConfig::default());
+        let seq: Vec<Cost> = lengths
+            .iter()
+            .map(|&n| {
+                let mut b = template.clone();
+                b.n_minislots = n;
+                ev_seq.evaluate_cost(&b)
+            })
+            .collect();
+        assert_eq!(swept, seq);
+        assert_eq!(ev_sweep.evaluations(), ev_seq.evaluations());
+    }
+
+    #[test]
+    fn sweep_keeps_retained_bus_in_sync_with_session_state() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        let mut ev = Evaluator::new(p, a, AnalysisConfig::default());
+        // 40 is analysed, 0 is rejected by validation mid-sweep: the
+        // retained bus must keep describing the analysed candidate.
+        let costs = ev.evaluate_dyn_lengths(&template, &[40, 0]);
+        assert!(costs[0].is_schedulable());
+        assert!(!costs[1].is_schedulable());
+        let retained = ev.session().last_bus().expect("retained");
+        assert_eq!(retained.n_minislots, 40);
+        assert_eq!(ev.session().cost(), costs[0]);
+    }
+
+    #[test]
+    fn sweep_starting_with_invalid_length_recovers() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        // first candidates invalid (frame cannot fit), later ones valid
+        let lengths = [0u32, 1, 40, 60];
+        let mut ev = Evaluator::new(p, a, AnalysisConfig::default());
+        let costs = ev.evaluate_dyn_lengths(&template, &lengths);
+        assert!(!costs[0].is_schedulable());
+        assert!(!costs[1].is_schedulable());
+        assert!(costs[2].is_schedulable());
+        assert_eq!(ev.evaluations(), 2);
     }
 }

@@ -50,7 +50,7 @@ mod params;
 mod sa;
 
 pub use bbc::{bbc, bbc_skeleton};
-pub use dyn_search::{determine_dyn_length, DynChoice, DynSearch};
+pub use dyn_search::{determine_dyn_length, dyn_sweep_grid, DynChoice, DynSearch};
 pub use evaluator::Evaluator;
 pub use frame_assign::assign_frame_ids_by_criticality;
 pub use newton::NewtonPoly;

@@ -97,7 +97,7 @@ pub fn obc(
                 }
                 None => {
                     // No dynamic messages: evaluate the static layout.
-                    let (cost, _) = ev.evaluate(&bus);
+                    let cost = ev.evaluate_cost(&bus);
                     if cost.better_than(&best_cost) {
                         best_cost = cost;
                         best_bus = bus.clone();

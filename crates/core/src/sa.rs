@@ -64,7 +64,7 @@ pub fn simulated_annealing(
             state.n_minislots = (min + (max - min) / 16).max(min);
         }
     }
-    let (mut state_cost, _) = ev.evaluate(&state);
+    let mut state_cost = ev.evaluate_cost(&state);
     let mut best = state.clone();
     let mut best_cost = state_cost;
 
@@ -91,7 +91,7 @@ pub fn simulated_annealing(
         let candidate = propose(
             &state, &st_counts, &dyn_msgs, &mut ev, &mut rng, params, phy,
         );
-        let (cand_cost, _) = ev.evaluate(&candidate);
+        let cand_cost = ev.evaluate_cost(&candidate);
         let delta = scalar(&cand_cost) - scalar(&state_cost);
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
         if accept {

@@ -55,6 +55,7 @@ mod ids;
 mod protocol;
 mod system;
 mod time;
+mod view;
 
 pub use application::{
     Activity, ActivityKind, Application, MessageClass, MessageSpec, SchedPolicy, TaskGraph,
@@ -69,3 +70,4 @@ pub use protocol::{
 };
 pub use system::{Census, Platform, System};
 pub use time::Time;
+pub use view::SystemView;

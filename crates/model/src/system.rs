@@ -73,6 +73,13 @@ pub struct System {
 }
 
 impl System {
+    /// A borrowed [`SystemView`](crate::SystemView) over this system —
+    /// the form the analysis crates consume.
+    #[must_use]
+    pub fn view(&self) -> crate::SystemView<'_> {
+        crate::SystemView::from(self)
+    }
+
     /// Builds a system and validates every layer.
     ///
     /// # Errors
@@ -137,43 +144,27 @@ impl System {
     /// Transmission time `C_m` of a message (Eq. (1)).
     #[must_use]
     pub fn comm_time(&self, message: ActivityId) -> Time {
-        self.bus.comm_time(&self.app, message)
+        self.view().comm_time(message)
     }
 
     /// Worst-case execution/transmission time of any activity: task WCET
     /// or message communication time.
     #[must_use]
     pub fn duration_of(&self, id: ActivityId) -> Time {
-        match self.app.activity(id).as_task() {
-            Some(t) => t.wcet,
-            None => self.comm_time(id),
-        }
+        self.view().duration_of(id)
     }
 
     /// Nodes that send at least one static message.
     #[must_use]
     pub fn st_sender_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .app
-            .messages_of_class(MessageClass::Static)
-            .filter_map(|m| self.app.sender_of(m))
-            .collect();
-        nodes.sort_unstable();
-        nodes.dedup();
-        nodes
+        self.view().st_sender_nodes()
     }
 
     /// Dynamic messages sorted by frame identifier (then priority,
     /// descending) — the order the dynamic slot counter serves them.
     #[must_use]
     pub fn dyn_messages_by_frame(&self) -> Vec<ActivityId> {
-        let mut msgs: Vec<ActivityId> = self.app.messages_of_class(MessageClass::Dynamic).collect();
-        msgs.sort_by_key(|&m| {
-            let fid = self.bus.frame_id_of(m).map_or(u16::MAX, |f| f.number());
-            let prio = self.app.activity(m).as_message().map_or(0, |s| s.priority);
-            (fid, core::cmp::Reverse(prio))
-        });
-        msgs
+        self.view().dyn_messages_by_frame()
     }
 
     /// Bus utilisation: total bus time demanded per hyperperiod divided

@@ -1,0 +1,179 @@
+//! Borrowed view of a system: platform + application + one candidate
+//! bus configuration.
+//!
+//! The optimisers evaluate thousands of candidate [`BusConfig`]s against
+//! one fixed platform/application pair. [`SystemView`] lets the analysis
+//! crates run against a *borrowed* candidate without cloning it into a
+//! [`System`] first — the per-candidate `sys.bus = bus.clone()` that
+//! used to dominate the evaluator's constant costs.
+//!
+//! A `SystemView` is `Copy` and exposes the same derived quantities as
+//! [`System`]; `System` itself delegates to its view, so the two can
+//! never drift apart.
+
+use crate::{
+    ActivityId, Application, BusConfig, MessageClass, ModelError, NodeId, Platform, System, Time,
+};
+
+/// A borrowed `(platform, application, bus)` triple — the input of one
+/// analysis run.
+///
+/// Obtain one from [`System::view`] or directly from borrowed parts via
+/// [`SystemView::new`]; every analysis entry point accepts either a
+/// `&System` or a `SystemView` through `impl Into<SystemView>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemView<'a> {
+    /// The processing nodes.
+    pub platform: &'a Platform,
+    /// The task graphs.
+    pub app: &'a Application,
+    /// The bus configuration under evaluation.
+    pub bus: &'a BusConfig,
+}
+
+impl<'a> From<&'a System> for SystemView<'a> {
+    fn from(sys: &'a System) -> Self {
+        SystemView {
+            platform: &sys.platform,
+            app: &sys.app,
+            bus: &sys.bus,
+        }
+    }
+}
+
+impl<'a> From<&SystemView<'a>> for SystemView<'a> {
+    fn from(view: &SystemView<'a>) -> Self {
+        *view
+    }
+}
+
+impl<'a> SystemView<'a> {
+    /// Assembles a view from borrowed parts.
+    #[must_use]
+    pub fn new(platform: &'a Platform, app: &'a Application, bus: &'a BusConfig) -> Self {
+        SystemView { platform, app, bus }
+    }
+
+    /// The application hyperperiod (LCM of all graph periods).
+    ///
+    /// # Errors
+    ///
+    /// See [`Application::hyperperiod`].
+    pub fn hyperperiod(&self) -> Result<Time, ModelError> {
+        self.app.hyperperiod()
+    }
+
+    /// Transmission time `C_m` of a message (Eq. (1)).
+    #[must_use]
+    pub fn comm_time(&self, message: ActivityId) -> Time {
+        self.bus.comm_time(self.app, message)
+    }
+
+    /// Worst-case execution/transmission time of any activity: task WCET
+    /// or message communication time.
+    #[must_use]
+    pub fn duration_of(&self, id: ActivityId) -> Time {
+        match self.app.activity(id).as_task() {
+            Some(t) => t.wcet,
+            None => self.comm_time(id),
+        }
+    }
+
+    /// Nodes that send at least one static message.
+    #[must_use]
+    pub fn st_sender_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .app
+            .messages_of_class(MessageClass::Static)
+            .filter_map(|m| self.app.sender_of(m))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Dynamic messages sorted by frame identifier (then priority,
+    /// descending) — the order the dynamic slot counter serves them.
+    #[must_use]
+    pub fn dyn_messages_by_frame(&self) -> Vec<ActivityId> {
+        let mut msgs: Vec<ActivityId> = self.app.messages_of_class(MessageClass::Dynamic).collect();
+        msgs.sort_by_key(|&m| {
+            let fid = self.bus.frame_id_of(m).map_or(u16::MAX, |f| f.number());
+            let prio = self.app.activity(m).as_message().map_or(0, |s| s.priority);
+            (fid, core::cmp::Reverse(prio))
+        });
+        msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameId, PhyParams, SchedPolicy};
+
+    fn small_system() -> System {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let t1 = app.add_task(
+            g,
+            "t1",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t2 = app.add_task(
+            g,
+            "t2",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            2,
+        );
+        let st = app.add_message(g, "st", 4, MessageClass::Static, 0);
+        let dy = app.add_message(g, "dy", 2, MessageClass::Dynamic, 1);
+        app.connect(t1, st, t2).expect("edges");
+        let t3 = app.add_task(
+            g,
+            "t3",
+            NodeId::new(0),
+            Time::from_us(3.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        app.connect(t2, dy, t3).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(4.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        bus.n_minislots = 10;
+        bus.frame_ids.insert(dy, FrameId::new(1));
+        System::validated(Platform::with_nodes(2), app, bus).expect("valid")
+    }
+
+    #[test]
+    fn view_matches_system_helpers() {
+        let sys = small_system();
+        let view = sys.view();
+        assert_eq!(
+            view.hyperperiod().expect("h"),
+            sys.hyperperiod().expect("h")
+        );
+        assert_eq!(view.st_sender_nodes(), sys.st_sender_nodes());
+        assert_eq!(view.dyn_messages_by_frame(), sys.dyn_messages_by_frame());
+        for id in sys.app.ids() {
+            assert_eq!(view.duration_of(id), sys.duration_of(id));
+        }
+    }
+
+    #[test]
+    fn view_over_borrowed_candidate_bus() {
+        let sys = small_system();
+        let mut candidate = sys.bus.clone();
+        candidate.n_minislots = 20;
+        let view = SystemView::new(&sys.platform, &sys.app, &candidate);
+        assert_eq!(view.bus.n_minislots, 20);
+        // the view is Copy: both copies observe the same bus
+        let copy = view;
+        assert_eq!(copy.bus.n_minislots, view.bus.n_minislots);
+    }
+}

@@ -47,10 +47,12 @@ pub use flexray_model as model;
 pub use flexray_opt as opt;
 pub use flexray_sim as sim;
 
-pub use flexray_analysis::{analyse, Analysis, AnalysisConfig, Cost, ScheduleTable};
+pub use flexray_analysis::{
+    analyse, Analysis, AnalysisConfig, AnalysisSession, Cost, ScheduleTable,
+};
 pub use flexray_model::{
     Application, BusConfig, FrameId, MessageClass, ModelError, NodeId, PhyParams, Platform,
-    SchedPolicy, SlotId, System, Time,
+    SchedPolicy, SlotId, System, SystemView, Time,
 };
 pub use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
 pub use flexray_sim::{simulate, simulate_default, SimConfig, SimReport};

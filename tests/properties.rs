@@ -179,6 +179,48 @@ proptest! {
         prop_assert!(l >= ta && l >= tb);
     }
 
+    /// Batch evaluation is element-wise identical to sequential
+    /// evaluation — on one shared session-backed evaluator AND against a
+    /// cold evaluator per candidate (no state leaks between candidates).
+    #[test]
+    fn evaluate_batch_matches_sequential(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pads in prop::collection::vec(0u32..40, 2..6),
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, 0) else {
+            return Ok(());
+        };
+        let candidates: Vec<BusConfig> = pads
+            .iter()
+            .map(|&pad| {
+                let mut bus = sys.bus.clone();
+                if bus.frame_ids.is_empty() {
+                    // TT-only chain: vary the slot length instead.
+                    bus.static_slot_len += Time::from_us(f64::from(pad));
+                } else {
+                    bus.n_minislots = bus.min_minislots(&sys.app) + pad;
+                }
+                bus
+            })
+            .collect();
+        let mut batch_ev = flexray::opt::Evaluator::new(
+            sys.platform.clone(), sys.app.clone(), AnalysisConfig::default());
+        let batch = batch_ev.evaluate_batch(&candidates);
+        let mut seq_ev = flexray::opt::Evaluator::new(
+            sys.platform.clone(), sys.app.clone(), AnalysisConfig::default());
+        for (i, bus) in candidates.iter().enumerate() {
+            let (seq_cost, _) = seq_ev.evaluate(bus);
+            prop_assert_eq!(batch[i], seq_cost, "candidate {} diverged (shared)", i);
+            let mut cold = flexray::opt::Evaluator::new(
+                sys.platform.clone(), sys.app.clone(), AnalysisConfig::default());
+            let (cold_cost, _) = cold.evaluate(bus);
+            prop_assert_eq!(batch[i], cold_cost, "candidate {} diverged (cold)", i);
+        }
+        prop_assert_eq!(batch_ev.evaluations(), seq_ev.evaluations());
+    }
+
     /// Frame padding keeps the 2-byte granularity and monotonicity.
     #[test]
     fn frame_duration_monotone(bytes_a in 0u32..250, bytes_b in 0u32..250) {
@@ -193,5 +235,43 @@ proptest! {
         let p = PhyParams::padded_payload(lo);
         prop_assert_eq!(p % 2, 0);
         prop_assert!(p >= lo);
+    }
+}
+
+proptest! {
+    // fig9 runs all four optimisers per application: keep the case count
+    // low and the configuration tiny.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The parallel fig9 per-seed loop reproduces the serial run exactly
+    /// on every deterministic output, for arbitrary base seeds.
+    #[test]
+    fn fig9_parallel_equals_serial(seed0 in 0u64..10_000) {
+        use flexray_bench::fig9::{run_experiment, Fig9Config};
+        let serial_cfg = Fig9Config {
+            node_counts: vec![2],
+            apps_per_point: 3,
+            params: OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            },
+            sa: SaParams { iterations: 25, ..SaParams::default() },
+            seed0,
+            threads: 1,
+        };
+        let parallel_cfg = Fig9Config { threads: 3, ..serial_cfg.clone() };
+        let serial = run_experiment(&serial_cfg).expect("serial run");
+        let parallel = run_experiment(&parallel_cfg).expect("parallel run");
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert!(
+                s.deterministic_eq(p),
+                "seed0 {}: serial {:?} vs parallel {:?}",
+                seed0, s, p
+            );
+        }
     }
 }
