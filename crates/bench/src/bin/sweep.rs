@@ -1,0 +1,128 @@
+//! Generic single-axis scenario sweeps beyond the paper envelope.
+//!
+//! Usage: sweep [axis] [values] [apps] [fast|full|smoke] [threads] [seed0] [algos]
+//!
+//! * `axis` — `nodes`, `depth`, `gateway` or `busutil` (default
+//!   `nodes`);
+//! * `values` — comma-separated axis points, e.g. `2,8,12,20` for
+//!   `nodes`, `4,8,12` for `depth` (chain length), `0.0,0.25,0.5` for
+//!   `gateway`, `0.2,0.4,0.6` for `busutil`;
+//! * `apps` — applications (seeds) per point (default 3);
+//! * `fast` shrinks the search caps for a quick qualitative run and
+//!   `smoke` shrinks them further for CI; `full` keeps the defaults;
+//! * `threads` — worker threads (`0` = all cores, `1` = serial; both
+//!   produce bit-identical deterministic output);
+//! * `seed0` — base seed; application `i` of point `p` uses
+//!   `seed0 + 1000·p + i`;
+//! * `algos` — comma-separated subset of `bbc,obccf,obcee,sa`
+//!   (default all four; deviations are reported against SA when it is
+//!   in the set).
+
+use flexray_bench::sweep::{render, run_sweep, Algo, SweepAxis, SweepConfig};
+use flexray_opt::{OptParams, SaParams};
+
+fn parse_values<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
+    let vals: Result<Vec<T>, _> = s.split(',').map(str::parse).collect();
+    vals.ok().filter(|v| !v.is_empty())
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: sweep [nodes|depth|gateway|busutil] [v1,v2,...] [apps] \
+         [fast|full|smoke] [threads] [seed0] [algos]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let axis_name = args.first().map_or("nodes", String::as_str);
+    let values = args.get(1).map_or("2,5,10", String::as_str);
+    let axis = match axis_name {
+        "nodes" => parse_values(values).map(SweepAxis::NodeCount),
+        "depth" => parse_values(values).map(SweepAxis::GraphDepth),
+        "gateway" => parse_values(values).map(SweepAxis::GatewayFraction),
+        "busutil" => parse_values(values).map(SweepAxis::BusUtil),
+        _ => None,
+    };
+    let Some(axis) = axis else { usage_exit() };
+
+    let mut cfg = SweepConfig {
+        axis,
+        ..SweepConfig::default()
+    };
+    if let Some(s) = args.get(2) {
+        match s.parse() {
+            Ok(apps) => cfg.apps_per_point = apps,
+            Err(_) => usage_exit(),
+        }
+    }
+    match args.get(3).map(String::as_str) {
+        None | Some("full") => {}
+        Some("fast") => {
+            cfg.params = OptParams {
+                max_extra_slots: 4,
+                max_slot_len_steps: 6,
+                max_dyn_candidates: 96,
+                dyn_step: 8,
+                ..OptParams::default()
+            };
+            cfg.sa = SaParams {
+                iterations: 400,
+                ..SaParams::default()
+            };
+        }
+        Some("smoke") => {
+            cfg.params = OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            };
+            cfg.sa = SaParams {
+                iterations: 30,
+                ..SaParams::default()
+            };
+        }
+        Some(_) => usage_exit(),
+    }
+    if let Some(s) = args.get(4) {
+        match s.parse() {
+            Ok(threads) => cfg.threads = threads,
+            Err(_) => usage_exit(),
+        }
+    }
+    if let Some(s) = args.get(5) {
+        match s.parse() {
+            Ok(seed0) => cfg.seed0 = seed0,
+            Err(_) => usage_exit(),
+        }
+    }
+    if let Some(names) = args.get(6) {
+        let algos: Option<Vec<Algo>> = names.split(',').map(Algo::parse).collect();
+        match algos {
+            Some(a) if !a.is_empty() => cfg.algos = a,
+            _ => usage_exit(),
+        }
+    }
+
+    println!(
+        "Sweep — axis {} ({} points), {} application(s) per point, algos {:?}, \
+         {} worker thread(s), seed0 {}",
+        cfg.axis.name(),
+        cfg.axis.len(),
+        cfg.apps_per_point,
+        cfg.algos.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        cfg.worker_threads(),
+        cfg.seed0,
+    );
+    let reference = cfg.reference().map(|i| cfg.algos[i].name());
+    match run_sweep(&cfg) {
+        Ok(points) => println!("{}", render(cfg.axis.name(), reference, &points)),
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,16 +15,20 @@
 //! The applications of one point are embarrassingly parallel: each is
 //! generated from its own seed (`seed0 + 1000·n + i`) and optimised
 //! independently. [`run_experiment`] fans the per-seed loop out over
-//! [`Fig9Config::threads`] scoped worker threads (no external deps) and
-//! collects results by application index, so every deterministic output
-//! — costs, chosen configurations, schedulability counts, deviations,
-//! evaluation counts — is bit-identical to a serial run (`threads = 1`).
-//! Only the measured wall-clock times differ, as they do between any two
-//! runs.
+//! [`Fig9Config::threads`] scoped worker threads (the
+//! [`scoped_map`](crate::sweep::scoped_map) pool shared with the generic
+//! [`sweep`](crate::sweep) harness, no external deps) and collects
+//! results by application index, so every deterministic output — costs,
+//! chosen configurations, schedulability counts, deviations, evaluation
+//! counts — is bit-identical to a serial run (`threads = 1`). Only the
+//! measured wall-clock times differ, as they do between any two runs.
 
+use crate::sweep::{aggregate_algos, scoped_map, Algo};
 use flexray_gen::{generate, GeneratorConfig};
 use flexray_model::{ModelError, PhyParams};
-use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+use flexray_opt::{OptParams, OptResult, SaParams};
+
+pub use crate::sweep::AlgoStats;
 
 /// Scale of the Fig. 9 experiment.
 #[derive(Debug, Clone)]
@@ -72,22 +76,6 @@ impl Fig9Config {
     }
 }
 
-/// Aggregated outcome of one algorithm on one node-count set.
-#[derive(Debug, Clone, Default)]
-pub struct AlgoStats {
-    /// Number of applications solved schedulably.
-    pub schedulable: usize,
-    /// Applications evaluated.
-    pub total: usize,
-    /// Mean percentage deviation of the cost from SA, over applications
-    /// where both the algorithm and SA found schedulable configurations.
-    pub avg_deviation_pct: f64,
-    /// Mean wall-clock seconds per application.
-    pub avg_time_s: f64,
-    /// Mean number of full analyses per application.
-    pub avg_evaluations: f64,
-}
-
 /// All four algorithms on one node-count set.
 #[derive(Debug, Clone, Default)]
 pub struct PointStats {
@@ -115,20 +103,6 @@ impl PointStats {
     }
 }
 
-/// Percentage deviation of a cost from the SA reference.
-fn deviation_pct(alg: &OptResult, sa: &OptResult) -> Option<f64> {
-    if !(alg.is_schedulable() && sa.is_schedulable()) {
-        return None;
-    }
-    let a = alg.cost.value();
-    let s = sa.cost.value();
-    if s.abs() < f64::EPSILON {
-        return None;
-    }
-    // costs are negative laxities: less negative = worse
-    Some((a - s) / s.abs() * 100.0)
-}
-
 /// Generates and optimises application `i` of point `n` with all four
 /// algorithms — the unit of work distributed over the worker threads.
 fn solve_app(
@@ -137,58 +111,21 @@ fn solve_app(
     phy: PhyParams,
     n: usize,
     i: usize,
-) -> Result<[OptResult; 4], ModelError> {
+) -> Result<Vec<OptResult>, ModelError> {
     let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
     let generated = generate(gen_cfg, seed)?;
-    let (p, a) = (&generated.platform, &generated.app);
-    Ok([
-        bbc(p, a, phy, &cfg.params),
-        obc(p, a, phy, &cfg.params, DynSearch::CurveFit),
-        obc(p, a, phy, &cfg.params, DynSearch::Exhaustive),
-        simulated_annealing(p, a, phy, &cfg.params, &cfg.sa),
-    ])
-}
-
-/// One application's four optimiser results, or the generator error.
-type AppResult = Result<[OptResult; 4], ModelError>;
-
-/// Runs all applications of one node-count point, serially or over
-/// scoped worker threads, returning results in application order.
-fn solve_point(
-    cfg: &Fig9Config,
-    gen_cfg: &GeneratorConfig,
-    phy: PhyParams,
-    n: usize,
-) -> Result<Vec<[OptResult; 4]>, ModelError> {
-    let apps = cfg.apps_per_point;
-    let threads = cfg.worker_threads().max(1).min(apps.max(1));
-    if threads <= 1 {
-        return (0..apps)
-            .map(|i| solve_app(cfg, gen_cfg, phy, n, i))
-            .collect();
-    }
-
-    // One slot per application; workers own disjoint interleaved
-    // subsets, so results land by index and the merge is deterministic.
-    let mut slots: Vec<Option<AppResult>> = (0..apps).map(|_| None).collect();
-    let mut buckets: Vec<Vec<(usize, &mut Option<AppResult>)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    for (i, slot) in slots.iter_mut().enumerate() {
-        buckets[i % threads].push((i, slot));
-    }
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                for (i, slot) in bucket {
-                    *slot = Some(solve_app(cfg, gen_cfg, phy, n, i));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every slot is assigned to exactly one worker"))
-        .collect()
+    Ok(Algo::ALL
+        .iter()
+        .map(|a| {
+            a.solve(
+                &generated.platform,
+                &generated.app,
+                phy,
+                &cfg.params,
+                &cfg.sa,
+            )
+        })
+        .collect())
 }
 
 /// Runs the experiment.
@@ -198,38 +135,19 @@ fn solve_point(
 /// Propagates generator errors.
 pub fn run_experiment(cfg: &Fig9Config) -> Result<Vec<PointStats>, ModelError> {
     let phy = PhyParams::bmw_like();
+    let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
+    // SA is the deviation reference, as in the paper.
+    let sa_idx = Algo::ALL.iter().position(|&a| a == Algo::Sa);
     let mut out = Vec::new();
     for &n in &cfg.node_counts {
         let gen_cfg = GeneratorConfig::paper(n);
-        let per_app = solve_point(cfg, &gen_cfg, phy, n)?;
-        let names = ["BBC", "OBCCF", "OBCEE", "SA"];
-        let algos = names
-            .iter()
-            .enumerate()
-            .map(|(alg, name)| {
-                let mut stats = AlgoStats {
-                    total: per_app.len(),
-                    ..AlgoStats::default()
-                };
-                let mut devs = Vec::new();
-                for results in &per_app {
-                    let r = &results[alg];
-                    let sa_r = &results[3];
-                    if r.is_schedulable() {
-                        stats.schedulable += 1;
-                    }
-                    if let Some(d) = deviation_pct(r, sa_r) {
-                        devs.push(d);
-                    }
-                    stats.avg_time_s += r.elapsed.as_secs_f64() / per_app.len() as f64;
-                    stats.avg_evaluations += r.evaluations as f64 / per_app.len() as f64;
-                }
-                if !devs.is_empty() {
-                    stats.avg_deviation_pct = devs.iter().sum::<f64>() / devs.len() as f64;
-                }
-                ((*name).to_owned(), stats)
+        let per_app: Vec<Vec<OptResult>> =
+            scoped_map(cfg.apps_per_point, cfg.worker_threads(), |i| {
+                solve_app(cfg, &gen_cfg, phy, n, i)
             })
-            .collect();
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        let algos = aggregate_algos(&names, &per_app, sa_idx);
         out.push(PointStats { n_nodes: n, algos });
     }
     Ok(out)
@@ -273,23 +191,6 @@ pub fn render(points: &[PointStats]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
-
-    fn fake(schedulable: bool, value: f64) -> OptResult {
-        OptResult {
-            bus: flexray_model::BusConfig::new(PhyParams::bmw_like()),
-            cost: if schedulable {
-                flexray_analysis::Cost { f1: 0.0, f2: value }
-            } else {
-                flexray_analysis::Cost {
-                    f1: value,
-                    f2: value,
-                }
-            },
-            evaluations: 1,
-            elapsed: Duration::from_millis(1),
-        }
-    }
 
     fn fast_cfg() -> Fig9Config {
         Fig9Config {
@@ -309,15 +210,6 @@ mod tests {
             seed0: 7,
             threads: 1,
         }
-    }
-
-    #[test]
-    fn deviation_requires_both_schedulable() {
-        let sa = fake(true, -100.0);
-        assert_eq!(deviation_pct(&fake(false, 5.0), &sa), None);
-        // -96 laxity vs -100: 4% worse
-        let d = deviation_pct(&fake(true, -96.0), &sa).expect("defined");
-        assert!((d - 4.0).abs() < 1e-9);
     }
 
     #[test]

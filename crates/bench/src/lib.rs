@@ -7,6 +7,9 @@
 //! * [`fig4`] — DYN-segment optimisation example (R2 = 37/35/21);
 //! * [`fig7`] — response time vs dynamic-segment length (U-shape);
 //! * [`fig9`] — BBC/OBCCF/OBCEE/SA comparison over synthetic sets;
+//! * [`sweep`] — generic single-axis sweeps over the v2 generator
+//!   (node count beyond 7, graph depth, gateway traffic, bus
+//!   utilisation), generalising `fig9`;
 //! * [`cruise`] — the vehicle cruise-controller case study;
 //! * [`ablation`] — ablations of the reproduction's design choices.
 //!
@@ -23,6 +26,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig7;
 pub mod fig9;
+pub mod sweep;
 mod table;
 
 pub use table::render_table;

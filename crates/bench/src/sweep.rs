@@ -1,0 +1,640 @@
+//! Generic single-axis scenario sweeps over the v2 generator.
+//!
+//! [`run_sweep`] generalises [`fig9::run_experiment`](crate::fig9):
+//! instead of sweeping the node count over the paper configuration, it
+//! sweeps **any single [`SweepAxis`]** — node count (beyond the paper's
+//! 7), graph depth (chain-shaped DAGs), gateway-relayed traffic
+//! fraction, or bus utilisation — over a caller-supplied base
+//! [`GeneratorConfig`], with a configurable subset of the four
+//! optimisation algorithms.
+//!
+//! The execution machinery is shared with fig9: [`scoped_map`] is the
+//! `std::thread::scope` worker pool distributing the per-seed loop, and
+//! [`aggregate_algos`] is the [`AlgoStats`] aggregation — fig9 is the
+//! special case `axis = NodeCount(2..=5)`, `base = paper`, all four
+//! algorithms.
+//!
+//! # Determinism
+//!
+//! Application `i` of axis point `p` is generated from seed
+//! `seed0 + 1000·p + i` and optimised independently; results are merged
+//! by index, so every deterministic output (schedulability counts,
+//! deviations, evaluation counts, chosen configurations) is identical
+//! for any worker-thread count. Only measured wall-clock times vary.
+
+use flexray_gen::{generate, GeneratorConfig, GraphShape};
+use flexray_model::{Application, ModelError, PhyParams, Platform};
+use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+
+/// Runs `f(0..n_items)` over `threads` scoped worker threads and
+/// returns the results in index order — the per-seed worker pool shared
+/// by [`run_sweep`] and [`fig9::run_experiment`](crate::fig9).
+///
+/// `threads <= 1` runs serially; workers own disjoint interleaved index
+/// subsets, so results land by index and the merge is deterministic.
+pub fn scoped_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n_items.max(1));
+    if threads <= 1 {
+        return (0..n_items).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let mut buckets: Vec<Vec<(usize, &mut Option<T>)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % threads].push((i, slot));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (i, slot) in bucket {
+                    *slot = Some(f(i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is assigned to exactly one worker"))
+        .collect()
+}
+
+/// Aggregated outcome of one algorithm on one sweep point.
+#[derive(Debug, Clone, Default)]
+pub struct AlgoStats {
+    /// Number of applications solved schedulably.
+    pub schedulable: usize,
+    /// Applications evaluated.
+    pub total: usize,
+    /// Mean percentage deviation of the cost from the reference
+    /// algorithm, over applications where both found schedulable
+    /// configurations. Zero when no reference is in the algorithm set.
+    pub avg_deviation_pct: f64,
+    /// Mean wall-clock seconds per application.
+    pub avg_time_s: f64,
+    /// Mean number of full analyses per application.
+    pub avg_evaluations: f64,
+}
+
+/// Percentage deviation of a cost from the reference result.
+#[must_use]
+pub fn deviation_pct(alg: &OptResult, reference: &OptResult) -> Option<f64> {
+    if !(alg.is_schedulable() && reference.is_schedulable()) {
+        return None;
+    }
+    let a = alg.cost.value();
+    let s = reference.cost.value();
+    if s.abs() < f64::EPSILON {
+        return None;
+    }
+    // costs are negative laxities: less negative = worse
+    Some((a - s) / s.abs() * 100.0)
+}
+
+/// Folds per-application optimiser results (`per_app[i][alg]`) into one
+/// [`AlgoStats`] per algorithm — the aggregation shared by
+/// [`run_sweep`] and [`fig9::run_experiment`](crate::fig9).
+/// `reference` selects the algorithm deviations are measured against
+/// (fig9: SA); `None` leaves all deviations at zero.
+#[must_use]
+pub fn aggregate_algos(
+    names: &[&str],
+    per_app: &[Vec<OptResult>],
+    reference: Option<usize>,
+) -> Vec<(String, AlgoStats)> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(alg, name)| {
+            let mut stats = AlgoStats {
+                total: per_app.len(),
+                ..AlgoStats::default()
+            };
+            let mut devs = Vec::new();
+            for results in per_app {
+                let r = &results[alg];
+                if r.is_schedulable() {
+                    stats.schedulable += 1;
+                }
+                if let Some(d) = reference.and_then(|s| deviation_pct(r, &results[s])) {
+                    devs.push(d);
+                }
+                stats.avg_time_s += r.elapsed.as_secs_f64() / per_app.len() as f64;
+                stats.avg_evaluations += r.evaluations as f64 / per_app.len() as f64;
+            }
+            if !devs.is_empty() {
+                stats.avg_deviation_pct = devs.iter().sum::<f64>() / devs.len() as f64;
+            }
+            ((*name).to_owned(), stats)
+        })
+        .collect()
+}
+
+/// One of the four bus-configuration algorithms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Basic Bus Configuration (Fig. 5).
+    Bbc,
+    /// Optimised Bus Configuration with curve-fit DYN search (OBCCF).
+    ObcCf,
+    /// Optimised Bus Configuration with exhaustive DYN search (OBCEE).
+    ObcEe,
+    /// The simulated-annealing reference.
+    Sa,
+}
+
+impl Algo {
+    /// All four algorithms, in the fig9 reporting order.
+    pub const ALL: [Algo; 4] = [Algo::Bbc, Algo::ObcCf, Algo::ObcEe, Algo::Sa];
+
+    /// Reporting name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Bbc => "BBC",
+            Algo::ObcCf => "OBCCF",
+            Algo::ObcEe => "OBCEE",
+            Algo::Sa => "SA",
+        }
+    }
+
+    /// Parses a name as accepted by the `sweep` binary.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Algo> {
+        match s.to_ascii_lowercase().as_str() {
+            "bbc" => Some(Algo::Bbc),
+            "obccf" => Some(Algo::ObcCf),
+            "obcee" => Some(Algo::ObcEe),
+            "sa" => Some(Algo::Sa),
+            _ => None,
+        }
+    }
+
+    /// Runs the algorithm on one generated application.
+    #[must_use]
+    pub fn solve(
+        self,
+        platform: &Platform,
+        app: &Application,
+        phy: PhyParams,
+        params: &OptParams,
+        sa: &SaParams,
+    ) -> OptResult {
+        match self {
+            Algo::Bbc => bbc(platform, app, phy, params),
+            Algo::ObcCf => obc(platform, app, phy, params, DynSearch::CurveFit),
+            Algo::ObcEe => obc(platform, app, phy, params, DynSearch::Exhaustive),
+            Algo::Sa => simulated_annealing(platform, app, phy, params, sa),
+        }
+    }
+}
+
+/// The configuration axis a sweep walks, with its points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Node count (the paper stops at 7; the v2 generator does not).
+    NodeCount(Vec<usize>),
+    /// Task-graph depth: chain-shaped graphs of the given sizes.
+    GraphDepth(Vec<usize>),
+    /// Fraction of cross-node dependencies relayed through a gateway.
+    GatewayFraction(Vec<f64>),
+    /// Bus utilisation target (the range collapses onto the value).
+    BusUtil(Vec<f64>),
+}
+
+impl SweepAxis {
+    /// Name of the axis, for reporting.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepAxis::NodeCount(_) => "nodes",
+            SweepAxis::GraphDepth(_) => "depth",
+            SweepAxis::GatewayFraction(_) => "gateway",
+            SweepAxis::BusUtil(_) => "busutil",
+        }
+    }
+
+    /// Number of points on the axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::NodeCount(v) => v.len(),
+            SweepAxis::GraphDepth(v) => v.len(),
+            SweepAxis::GatewayFraction(v) | SweepAxis::BusUtil(v) => v.len(),
+        }
+    }
+
+    /// `true` if the axis has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The generator configuration and label of point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn configure(&self, base: &GeneratorConfig, idx: usize) -> (String, GeneratorConfig) {
+        match self {
+            SweepAxis::NodeCount(v) => {
+                let n = v[idx];
+                let mut cfg = GeneratorConfig {
+                    n_nodes: n,
+                    ..base.clone()
+                };
+                // keep configured gateways; only out-of-range ones are
+                // dropped, falling back to the last node when none is
+                // left on a shrunk cluster
+                cfg.gateways.retain(|&gw| gw < n);
+                if cfg.gateway_fraction > 0.0 && cfg.gateways.is_empty() {
+                    cfg.gateways = vec![n.saturating_sub(1)];
+                }
+                (format!("nodes={n}"), cfg)
+            }
+            SweepAxis::GraphDepth(v) => {
+                let d = v[idx];
+                let cfg = GeneratorConfig {
+                    graph_size: d.max(1),
+                    graph_sizes: None,
+                    shape: GraphShape::Chain,
+                    ..base.clone()
+                };
+                (format!("depth={d}"), cfg)
+            }
+            SweepAxis::GatewayFraction(v) => {
+                let f = v[idx];
+                let mut cfg = GeneratorConfig {
+                    gateway_fraction: f,
+                    ..base.clone()
+                };
+                if f > 0.0 && cfg.gateways.is_empty() {
+                    cfg.gateways = vec![cfg.n_nodes.saturating_sub(1)];
+                }
+                (format!("gateway={f:.2}"), cfg)
+            }
+            SweepAxis::BusUtil(v) => {
+                let u = v[idx];
+                let cfg = GeneratorConfig {
+                    bus_util: (u, u),
+                    ..base.clone()
+                };
+                (format!("busutil={u:.2}"), cfg)
+            }
+        }
+    }
+}
+
+/// Scale and scope of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Base generator configuration the axis perturbs.
+    pub base: GeneratorConfig,
+    /// The swept axis and its points.
+    pub axis: SweepAxis,
+    /// Applications (seeds) per axis point.
+    pub apps_per_point: usize,
+    /// Algorithms to run on every application.
+    pub algos: Vec<Algo>,
+    /// Optimiser parameters.
+    pub params: OptParams,
+    /// SA parameters (used when [`Algo::Sa`] is in the set).
+    pub sa: SaParams,
+    /// Base RNG seed; application `i` of point `p` uses
+    /// `seed0 + 1000·p + i`.
+    pub seed0: u64,
+    /// Worker threads for the per-seed loop: `1` runs serially, `0`
+    /// uses the available hardware parallelism.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            base: GeneratorConfig::paper(5),
+            axis: SweepAxis::NodeCount(vec![2, 5, 10, 20]),
+            apps_per_point: 3,
+            algos: Algo::ALL.to_vec(),
+            params: OptParams::default(),
+            sa: SaParams::default(),
+            seed0: 42,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The effective worker-thread count: `threads`, with `0` resolved
+    /// to the available hardware parallelism.
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Index of the deviation reference within
+    /// [`SweepConfig::algos`]: SA when present, else none.
+    #[must_use]
+    pub fn reference(&self) -> Option<usize> {
+        self.algos.iter().position(|&a| a == Algo::Sa)
+    }
+}
+
+/// All configured algorithms on one axis point.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPoint {
+    /// Axis label of the point (e.g. `nodes=20`).
+    pub label: String,
+    /// Per-algorithm stats, in [`SweepConfig::algos`] order.
+    pub algos: Vec<(String, AlgoStats)>,
+}
+
+impl SweepPoint {
+    /// Equality over the deterministic fields (everything except the
+    /// measured wall-clock times) — the invariant the parallel runner
+    /// must preserve against a serial run.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &SweepPoint) -> bool {
+        self.label == other.label
+            && self.algos.len() == other.algos.len()
+            && self.algos.iter().zip(&other.algos).all(|(a, b)| {
+                a.0 == b.0
+                    && a.1.schedulable == b.1.schedulable
+                    && a.1.total == b.1.total
+                    && a.1.avg_deviation_pct == b.1.avg_deviation_pct
+                    && a.1.avg_evaluations == b.1.avg_evaluations
+            })
+    }
+}
+
+/// Runs the sweep: every axis point, `apps_per_point` seeded
+/// applications each, every configured algorithm per application, the
+/// per-seed loop fanned out over [`scoped_map`] workers.
+///
+/// # Errors
+///
+/// Propagates generator errors (including invalid derived
+/// configurations) and rejects empty axes and algorithm sets.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepPoint>, ModelError> {
+    if cfg.axis.is_empty() {
+        return Err(ModelError::InvalidConfig("sweep axis has no points".into()));
+    }
+    if cfg.algos.is_empty() {
+        return Err(ModelError::InvalidConfig(
+            "sweep algorithm set is empty".into(),
+        ));
+    }
+    let names: Vec<&str> = cfg.algos.iter().map(|a| a.name()).collect();
+    let mut out = Vec::with_capacity(cfg.axis.len());
+    for p in 0..cfg.axis.len() {
+        let (label, gen_cfg) = cfg.axis.configure(&cfg.base, p);
+        gen_cfg.validate()?;
+        let per_app: Vec<Result<Vec<OptResult>, ModelError>> =
+            scoped_map(cfg.apps_per_point, cfg.worker_threads(), |i| {
+                let seed = cfg.seed0 + 1000 * p as u64 + i as u64;
+                let generated = generate(&gen_cfg, seed)?;
+                Ok(cfg
+                    .algos
+                    .iter()
+                    .map(|a| {
+                        a.solve(
+                            &generated.platform,
+                            &generated.app,
+                            gen_cfg.phy,
+                            &cfg.params,
+                            &cfg.sa,
+                        )
+                    })
+                    .collect())
+            });
+        let per_app: Vec<Vec<OptResult>> = per_app.into_iter().collect::<Result<_, _>>()?;
+        out.push(SweepPoint {
+            label,
+            algos: aggregate_algos(&names, &per_app, cfg.reference()),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders a sweep as one text table. `reference` is the name of the
+/// deviation reference algorithm ([`SweepConfig::reference`]); without
+/// one, the deviation column is marked absent instead of printing
+/// misleading zeros.
+#[must_use]
+pub fn render(axis_name: &str, reference: Option<&str>, points: &[SweepPoint]) -> String {
+    let mut rows = Vec::new();
+    for point in points {
+        for (name, s) in &point.algos {
+            rows.push(vec![
+                point.label.clone(),
+                name.clone(),
+                format!("{}/{}", s.schedulable, s.total),
+                if reference.is_some() {
+                    format!("{:+.2}", s.avg_deviation_pct)
+                } else {
+                    "-".to_owned()
+                },
+                format!("{:.3}", s.avg_time_s),
+                format!("{:.0}", s.avg_evaluations),
+            ]);
+        }
+    }
+    let dev_header = reference.map_or("avg %dev (no ref)".to_owned(), |r| {
+        format!("avg %dev vs {r}")
+    });
+    format!(
+        "Sweep over {axis_name}\n{}",
+        crate::render_table(
+            &[
+                "point",
+                "algorithm",
+                "schedulable",
+                &dev_header,
+                "avg time (s)",
+                "avg analyses",
+            ],
+            &rows
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake(schedulable: bool, value: f64) -> OptResult {
+        OptResult {
+            bus: flexray_model::BusConfig::new(PhyParams::bmw_like()),
+            cost: if schedulable {
+                flexray_analysis::Cost { f1: 0.0, f2: value }
+            } else {
+                flexray_analysis::Cost {
+                    f1: value,
+                    f2: value,
+                }
+            },
+            evaluations: 1,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    fn fast_cfg(axis: SweepAxis) -> SweepConfig {
+        SweepConfig {
+            base: GeneratorConfig::small(3),
+            axis,
+            apps_per_point: 2,
+            algos: vec![Algo::Bbc, Algo::Sa],
+            params: OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            },
+            sa: SaParams {
+                iterations: 25,
+                ..SaParams::default()
+            },
+            seed0: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn deviation_requires_both_schedulable() {
+        let sa = fake(true, -100.0);
+        assert_eq!(deviation_pct(&fake(false, 5.0), &sa), None);
+        // -96 laxity vs -100: 4% worse
+        let d = deviation_pct(&fake(true, -96.0), &sa).expect("defined");
+        assert!((d - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_map_is_order_preserving_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = scoped_map(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(scoped_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn aggregate_without_reference_leaves_deviation_zero() {
+        let per_app = vec![vec![fake(true, -90.0)], vec![fake(false, 5.0)]];
+        let stats = aggregate_algos(&["BBC"], &per_app, None);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.schedulable, 1);
+        assert_eq!(stats[0].1.total, 2);
+        assert_eq!(stats[0].1.avg_deviation_pct, 0.0);
+    }
+
+    #[test]
+    fn axis_points_derive_labelled_configs() {
+        let base = GeneratorConfig::paper(5);
+
+        let (label, cfg) = SweepAxis::NodeCount(vec![2, 20]).configure(&base, 1);
+        assert_eq!(label, "nodes=20");
+        assert_eq!(cfg.n_nodes, 20);
+
+        let (label, cfg) = SweepAxis::GraphDepth(vec![4, 12]).configure(&base, 1);
+        assert_eq!(label, "depth=12");
+        assert_eq!(cfg.shape, GraphShape::Chain);
+        assert_eq!(cfg.graph_size, 12);
+
+        let (label, cfg) = SweepAxis::GatewayFraction(vec![0.0, 0.5]).configure(&base, 1);
+        assert_eq!(label, "gateway=0.50");
+        assert_eq!(cfg.gateway_fraction, 0.5);
+        assert_eq!(cfg.gateways, vec![4]);
+
+        let (label, cfg) = SweepAxis::BusUtil(vec![0.2, 0.4]).configure(&base, 0);
+        assert_eq!(label, "busutil=0.20");
+        assert_eq!(cfg.bus_util, (0.2, 0.2));
+
+        for axis in [
+            SweepAxis::NodeCount(vec![2, 20]),
+            SweepAxis::GraphDepth(vec![4]),
+            SweepAxis::GatewayFraction(vec![0.5]),
+            SweepAxis::BusUtil(vec![0.2]),
+        ] {
+            for idx in 0..axis.len() {
+                let (_, cfg) = axis.configure(&base, idx);
+                cfg.validate().expect("derived config validates");
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_axis_keeps_gateways_in_range_when_nodes_shrink() {
+        let base = GeneratorConfig::gateway(8, 0.5); // gateway node 7
+        let (_, cfg) = SweepAxis::NodeCount(vec![3]).configure(&base, 0);
+        assert_eq!(cfg.gateways, vec![2]);
+        cfg.validate().expect("rescaled gateway validates");
+    }
+
+    #[test]
+    fn tiny_sweeps_run_on_all_axes() {
+        for axis in [
+            SweepAxis::NodeCount(vec![2, 3]),
+            SweepAxis::GraphDepth(vec![3, 6]),
+            SweepAxis::GatewayFraction(vec![0.0, 0.6]),
+            SweepAxis::BusUtil(vec![0.15, 0.35]),
+        ] {
+            let name = axis.name();
+            let cfg = fast_cfg(axis);
+            let points = run_sweep(&cfg).expect("sweep runs");
+            assert_eq!(points.len(), 2, "axis {name}");
+            for point in &points {
+                assert_eq!(point.algos.len(), 2);
+                for (_, s) in &point.algos {
+                    assert_eq!(s.total, 2);
+                }
+            }
+            let text = render(name, Some("SA"), &points);
+            assert!(text.contains(name));
+            assert!(text.contains("BBC"));
+            assert!(text.contains("avg %dev vs SA"));
+            let no_ref = render(name, None, &points);
+            assert!(no_ref.contains("avg %dev (no ref)"));
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial() {
+        let serial = fast_cfg(SweepAxis::GatewayFraction(vec![0.0, 0.5]));
+        let parallel = SweepConfig {
+            threads: 4,
+            ..serial.clone()
+        };
+        let s = run_sweep(&serial).expect("serial");
+        let p = run_sweep(&parallel).expect("parallel");
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(&p) {
+            assert!(a.deterministic_eq(b), "{a:?} vs {b:?} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_axis_and_empty_algo_set_are_rejected() {
+        let cfg = fast_cfg(SweepAxis::NodeCount(vec![]));
+        assert!(run_sweep(&cfg).is_err());
+        let mut cfg = fast_cfg(SweepAxis::NodeCount(vec![2]));
+        cfg.algos.clear();
+        assert!(run_sweep(&cfg).is_err());
+    }
+
+    #[test]
+    fn algo_names_round_trip() {
+        for algo in Algo::ALL {
+            assert_eq!(Algo::parse(algo.name()), Some(algo));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+    }
+}

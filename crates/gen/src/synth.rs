@@ -1,15 +1,33 @@
 //! Seeded synthetic application generator.
 //!
-//! Follows the recipe of Section 7: tasks are grouped into random DAGs
-//! of fixed size, mapped evenly onto the nodes, cross-node edges become
-//! messages (static for time-triggered graphs, dynamic for
-//! event-triggered ones), and execution/transmission times are scaled to
-//! hit per-node and bus utilisation targets drawn from the configured
-//! ranges.
+//! Follows the recipe of Section 7: tasks are grouped into DAGs, mapped
+//! evenly onto the nodes, cross-node edges become messages (static for
+//! time-triggered graphs, dynamic for event-triggered ones), and
+//! execution/transmission times are scaled to hit per-node and bus
+//! utilisation targets drawn from the configured ranges.
+//!
+//! Generator v2 extends the paper envelope along four axes, all opt-in
+//! and all RNG-neutral for paper configurations (a paper-envelope
+//! [`GeneratorConfig`] consumes exactly the v1 random stream, so its
+//! output is bit-identical):
+//!
+//! * **shape** — random DAGs (paper), chains, fan-out stars or
+//!   fixed-depth layered graphs ([`GraphShape`](crate::GraphShape));
+//! * **heterogeneous graphs** — per-graph sizes and per-graph period
+//!   pools;
+//! * **gateway traffic** — a configurable fraction of cross-node
+//!   dependencies is relayed through designated gateway nodes as
+//!   `sender → msg → relay task → msg → receiver`, so the analysis and
+//!   the simulator apply unchanged;
+//! * **explicit remainder handling** — when the graph sizes do not tile
+//!   the task count, the leftover tasks form a final smaller graph or
+//!   the configuration is rejected
+//!   ([`RemainderPolicy`](crate::RemainderPolicy)); they are never
+//!   silently dropped.
 
-use crate::GeneratorConfig;
+use crate::{GeneratorConfig, GraphShape};
 use flexray_model::{
-    ActivityId, Application, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
+    ActivityId, Application, GraphId, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -27,19 +45,29 @@ pub struct Generated {
     pub seed: u64,
 }
 
+/// First task index of layer `l` when `size` tasks are split into `d`
+/// contiguous layers (the inverse of `layer(ti) = ti * d / size`).
+fn layer_start(l: usize, size: usize, d: usize) -> usize {
+    l.saturating_mul(size).div_ceil(d)
+}
+
 /// Generates one synthetic application.
 ///
 /// The output is deterministic in `(cfg, seed)`.
 ///
 /// # Errors
 ///
-/// Returns an error if the generated application fails validation
+/// Returns [`ModelError::InvalidConfig`] when the configuration fails
+/// [`GeneratorConfig::validate`] (including a rejected graph-size
+/// remainder), and any validation error of the generated application
 /// (a generator bug — surfaced rather than hidden).
 pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelError> {
+    cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut app = Application::new();
 
-    let n_graphs = cfg.n_graphs();
+    let plan = cfg.graph_plan()?;
+    let n_graphs = plan.len();
     let n_tt = (n_graphs as f64 * cfg.tt_fraction).round() as usize;
 
     // Balanced mapping pool: each node appears `tasks_per_node` times.
@@ -48,14 +76,18 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
         .collect();
     node_pool.shuffle(&mut rng);
 
-    // Per-graph periods and kinds.
+    // Per-graph periods and kinds; the plan assigns every task to
+    // exactly one graph (sum(plan) == total_tasks).
     let mut task_ids: Vec<Vec<ActivityId>> = Vec::with_capacity(n_graphs);
     let mut graph_is_tt: Vec<bool> = Vec::with_capacity(n_graphs);
     let mut pool_cursor = 0usize;
-    for gi in 0..n_graphs {
-        let period_us = *cfg
-            .period_pool_us
-            .get(rng.gen_range(0..cfg.period_pool_us.len()))
+    for (gi, &size) in plan.iter().enumerate() {
+        let pool = cfg
+            .period_pools_us
+            .as_ref()
+            .map_or(&cfg.period_pool_us, |pools| &pools[gi % pools.len()]);
+        let period_us = *pool
+            .get(rng.gen_range(0..pool.len()))
             .expect("non-empty period pool");
         let period = Time::from_us(period_us);
         let is_tt = gi < n_tt;
@@ -71,11 +103,6 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
             deadline,
         );
         graph_is_tt.push(is_tt);
-        // Remaining tasks may not fill a whole graph at the tail.
-        let size = cfg
-            .graph_size
-            .min(cfg.total_tasks().saturating_sub(pool_cursor))
-            .max(1);
         let policy = if is_tt {
             SchedPolicy::Scs
         } else {
@@ -83,7 +110,7 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
         };
         let mut ids = Vec::with_capacity(size);
         for ti in 0..size {
-            let node = node_pool[pool_cursor % node_pool.len()];
+            let node = node_pool[pool_cursor];
             pool_cursor += 1;
             // Raw WCET, rescaled later per node.
             let raw = rng.gen_range(10..100);
@@ -100,37 +127,19 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
         }
         task_ids.push(ids);
     }
+    debug_assert_eq!(pool_cursor, cfg.total_tasks(), "plan assigns every task");
 
-    // Random DAG edges within each graph; cross-node edges get messages.
+    // Shape-dependent DAG edges within each graph; cross-node edges get
+    // messages, a configured fraction of them relayed through a gateway.
     for (gi, ids) in task_ids.iter().enumerate() {
         let g = app.activity(ids[0]).graph;
-        let class = if graph_is_tt[gi] {
-            MessageClass::Static
-        } else {
-            MessageClass::Dynamic
-        };
+        let is_tt = graph_is_tt[gi];
         for ti in 1..ids.len() {
-            let mut preds = vec![rng.gen_range(0..ti)];
-            if ti >= 2 && rng.gen_bool(cfg.fan_in_prob) {
-                let second = rng.gen_range(0..ti);
-                if !preds.contains(&second) {
-                    preds.push(second);
-                }
-            }
+            let preds = draw_preds(cfg, &mut rng, ti, ids.len());
             for &pi in &preds {
-                let from = ids[pi];
-                let to = ids[ti];
-                let node_from = app.activity(from).as_task().expect("task").node;
-                let node_to = app.activity(to).as_task().expect("task").node;
-                if node_from == node_to {
-                    app.add_edge(from, to)?;
-                } else {
-                    let raw_bytes = 2 * rng.gen_range(1..=8u32);
-                    let prio = rng.gen_range(1..1000);
-                    let m =
-                        app.add_message(g, &format!("g{gi}_m{pi}_{ti}"), raw_bytes, class, prio);
-                    app.connect(from, m, to)?;
-                }
+                emit_dependency(
+                    &mut app, cfg, &mut rng, g, gi, is_tt, ids[pi], ids[ti], pi, ti,
+                )?;
             }
         }
     }
@@ -144,6 +153,116 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
         app,
         seed,
     })
+}
+
+/// Predecessor indices of task `ti` under the configured shape. The
+/// [`GraphShape::Random`] arm reproduces the v1 draw sequence exactly.
+fn draw_preds(cfg: &GeneratorConfig, rng: &mut StdRng, ti: usize, size: usize) -> Vec<usize> {
+    match cfg.shape {
+        GraphShape::Random => {
+            let mut preds = vec![rng.gen_range(0..ti)];
+            if ti >= 2 && rng.gen_bool(cfg.fan_in_prob) {
+                let second = rng.gen_range(0..ti);
+                if !preds.contains(&second) {
+                    preds.push(second);
+                }
+            }
+            preds
+        }
+        GraphShape::Chain => vec![ti - 1],
+        GraphShape::FanOut => vec![0],
+        GraphShape::Layered { depth } => {
+            let d = depth.clamp(1, size);
+            let layer = ti * d / size;
+            if layer == 0 {
+                // extra sources in the first layer
+                Vec::new()
+            } else {
+                let lo = layer_start(layer - 1, size, d);
+                let hi = layer_start(layer, size, d);
+                vec![rng.gen_range(lo..hi)]
+            }
+        }
+    }
+}
+
+/// Realises one precedence `from → to`: a plain edge when both tasks
+/// share a node, otherwise a message — direct, or relayed through a
+/// gateway node for a [`GeneratorConfig::gateway_fraction`] of the
+/// cross-node dependencies.
+#[allow(clippy::too_many_arguments)]
+fn emit_dependency(
+    app: &mut Application,
+    cfg: &GeneratorConfig,
+    rng: &mut StdRng,
+    g: GraphId,
+    gi: usize,
+    is_tt: bool,
+    from: ActivityId,
+    to: ActivityId,
+    pi: usize,
+    ti: usize,
+) -> Result<(), ModelError> {
+    let class = if is_tt {
+        MessageClass::Static
+    } else {
+        MessageClass::Dynamic
+    };
+    let node_from = app.activity(from).as_task().expect("task").node;
+    let node_to = app.activity(to).as_task().expect("task").node;
+    if node_from == node_to {
+        return app.add_edge(from, to);
+    }
+    // Gateway routing: only consulted (and only consuming random draws)
+    // when the mode is on, keeping paper streams bit-identical.
+    let gateway = if cfg.gateway_fraction > 0.0 && rng.gen_bool(cfg.gateway_fraction) {
+        let eligible: Vec<NodeId> = cfg
+            .gateways
+            .iter()
+            .map(|&n| NodeId::new(n))
+            .filter(|&n| n != node_from && n != node_to)
+            .collect();
+        match eligible.len() {
+            0 => None, // both endpoints are gateways: send directly
+            1 => Some(eligible[0]),
+            n => Some(eligible[rng.gen_range(0..n)]),
+        }
+    } else {
+        None
+    };
+    let raw_bytes = 2 * rng.gen_range(1..=8u32);
+    let prio = rng.gen_range(1..1000);
+    match gateway {
+        None => {
+            let m = app.add_message(g, &format!("g{gi}_m{pi}_{ti}"), raw_bytes, class, prio);
+            app.connect(from, m, to)
+        }
+        Some(gw) => {
+            // Store-and-forward: both hops carry the same payload; the
+            // relay is an ordinary task on the gateway node, rescaled to
+            // the node utilisation target like every other task.
+            let relay_wcet = rng.gen_range(5..25);
+            let relay_prio = rng.gen_range(1..1000);
+            let out_prio = rng.gen_range(1..1000);
+            let policy = if is_tt {
+                SchedPolicy::Scs
+            } else {
+                SchedPolicy::Fps
+            };
+            let relay = app.add_task(
+                g,
+                &format!("g{gi}_gw{pi}_{ti}"),
+                gw,
+                Time::from_us(f64::from(relay_wcet)),
+                policy,
+                relay_prio,
+            );
+            let m_in = app.add_message(g, &format!("g{gi}_m{pi}_{ti}i"), raw_bytes, class, prio);
+            let m_out =
+                app.add_message(g, &format!("g{gi}_m{pi}_{ti}o"), raw_bytes, class, out_prio);
+            app.connect_relayed(from, m_in, relay, m_out, to)
+        }
+    }
 }
 
 /// Rescales task WCETs so each node's utilisation lands at a target
@@ -208,14 +327,8 @@ fn scale_bus_utilisation(app: &mut Application, cfg: &GeneratorConfig, rng: &mut
 
 /// Replaces the WCET of a task (generator-internal mutation).
 fn set_wcet(app: &mut Application, id: ActivityId, wcet: Time) {
-    let graph = app.activity(id).graph;
-    let name = app.activity(id).name.clone();
     let spec = app.activity(id).as_task().expect("task").clone();
-    // Application has no public mutator for wcet; rebuild via internal
-    // representation would be invasive, so we go through a tiny
-    // clone-and-replace helper exposed for generators.
     app.replace_task_spec(id, flexray_model::TaskSpec { wcet, ..spec });
-    let _ = (graph, name);
 }
 
 /// Replaces the payload size of a message (generator-internal mutation).
@@ -227,6 +340,7 @@ fn set_size(app: &mut Application, id: ActivityId, size_bytes: u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RemainderPolicy;
 
     #[test]
     fn deterministic_in_seed() {
@@ -305,5 +419,158 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn remainder_tasks_form_a_tail_graph_instead_of_vanishing() {
+        // 21 tasks in graphs of 5: v1 silently dropped the 21st task;
+        // v2 assigns it to a fifth, single-task graph.
+        let cfg = GeneratorConfig {
+            tasks_per_node: 7,
+            ..GeneratorConfig::paper(3)
+        };
+        let g = generate(&cfg, 5).expect("generate");
+        let tasks = g
+            .app
+            .ids()
+            .filter(|&id| g.app.activity(id).as_task().is_some())
+            .count();
+        assert_eq!(tasks, 21, "no task is dropped");
+        assert_eq!(g.app.graphs().len(), 5);
+        for n in 0..3 {
+            assert_eq!(g.app.tasks_on(NodeId::new(n)).count(), 7);
+        }
+        // the rejecting policy surfaces the same situation as an error
+        let reject = GeneratorConfig {
+            remainder: RemainderPolicy::Reject,
+            ..cfg
+        };
+        assert!(matches!(
+            generate(&reject, 5),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn chains_are_chains_and_fanouts_are_flat() {
+        let deep = GeneratorConfig::deep(4, 8);
+        let g = generate(&deep, 13).expect("generate");
+        for (gi, graph) in g.app.graphs().iter().enumerate() {
+            let tasks = graph
+                .members
+                .iter()
+                .filter(|&&id| g.app.activity(id).as_task().is_some())
+                .count();
+            let depth = g
+                .app
+                .task_depth(flexray_model::GraphId::new(gi))
+                .expect("acyclic");
+            assert_eq!(depth, tasks, "chain depth == task count");
+        }
+
+        let wide = GeneratorConfig::wide(4, 8);
+        let g = generate(&wide, 13).expect("generate");
+        for gi in 0..g.app.graphs().len() {
+            let depth = g
+                .app
+                .task_depth(flexray_model::GraphId::new(gi))
+                .expect("acyclic");
+            assert!(depth <= 2, "fan-out depth {depth} > 2");
+        }
+    }
+
+    #[test]
+    fn layered_graphs_respect_the_depth_bound() {
+        let cfg = GeneratorConfig {
+            shape: GraphShape::Layered { depth: 3 },
+            graph_size: 10,
+            ..GeneratorConfig::paper(4)
+        };
+        let g = generate(&cfg, 17).expect("generate");
+        for gi in 0..g.app.graphs().len() {
+            let depth = g
+                .app
+                .task_depth(flexray_model::GraphId::new(gi))
+                .expect("acyclic");
+            assert!(
+                (1..=3).contains(&depth),
+                "layered depth {depth} outside 1..=3"
+            );
+        }
+    }
+
+    #[test]
+    fn gateway_mode_relays_through_the_designated_node() {
+        let cfg = GeneratorConfig::gateway(5, 1.0); // relay everything via node 4
+        let g = generate(&cfg, 23).expect("generate");
+        g.app.validate().expect("valid");
+        let gw = NodeId::new(4);
+        let relays: Vec<ActivityId> = g
+            .app
+            .ids()
+            .filter(|&id| g.app.activity(id).name.contains("_gw"))
+            .collect();
+        assert!(!relays.is_empty(), "full gateway fraction inserts relays");
+        for &r in &relays {
+            let t = g.app.activity(r).as_task().expect("relay is a task");
+            assert_eq!(t.node, gw, "relay '{}' off-gateway", g.app.activity(r).name);
+            // exactly one inbound and one outbound message
+            assert_eq!(g.app.preds(r).len(), 1);
+            assert_eq!(g.app.succs(r).len(), 1);
+        }
+        // every message either ends or starts at the gateway, except
+        // direct fallbacks where an endpoint already is the gateway
+        for id in g.app.ids() {
+            if g.app.activity(id).as_message().is_some() {
+                let sender = g.app.sender_of(id).expect("sender");
+                let receivers = g.app.receivers_of(id);
+                assert!(
+                    sender == gw || receivers.contains(&gw),
+                    "message '{}' bypasses the gateway",
+                    g.app.activity(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_off_is_bit_identical_to_v1_stream() {
+        // gateway_fraction = 0 must not consume random draws: the
+        // explicit off-config equals the paper config stream.
+        let paper = GeneratorConfig::paper(4);
+        let off = GeneratorConfig {
+            gateways: vec![3],
+            ..GeneratorConfig::paper(4)
+        };
+        let a = generate(&paper, 31).expect("generate");
+        let b = generate(&off, 31).expect("generate");
+        assert_eq!(a.app, b.app);
+    }
+
+    #[test]
+    fn per_graph_period_pools_are_honoured() {
+        let cfg = GeneratorConfig {
+            period_pools_us: Some(vec![vec![10_000.0], vec![20_000.0]]),
+            ..GeneratorConfig::paper(3)
+        };
+        let g = generate(&cfg, 37).expect("generate");
+        for (gi, graph) in g.app.graphs().iter().enumerate() {
+            let expect = if gi % 2 == 0 { 10_000.0 } else { 20_000.0 };
+            assert_eq!(graph.period, Time::from_us(expect), "graph {gi}");
+        }
+    }
+
+    #[test]
+    fn twenty_node_systems_generate_and_validate() {
+        let cfg = GeneratorConfig::paper(20);
+        let g = generate(&cfg, 41).expect("generate");
+        assert_eq!(g.platform.len(), 20);
+        let tasks = g
+            .app
+            .ids()
+            .filter(|&id| g.app.activity(id).as_task().is_some())
+            .count();
+        assert_eq!(tasks, 200);
+        g.app.validate().expect("valid application");
     }
 }

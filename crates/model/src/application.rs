@@ -290,6 +290,29 @@ impl Application {
         self.add_edge(message, receiver)
     }
 
+    /// Convenience: wires gateway traffic
+    /// `sender → m_in → relay → m_out → receiver` in one call.
+    ///
+    /// The relay is an ordinary task mapped to the gateway node, so the
+    /// holistic analysis and the simulator apply to gateway traffic
+    /// unchanged — the relayed dependency is just two hops with a
+    /// store-and-forward task in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Application::add_edge`].
+    pub fn connect_relayed(
+        &mut self,
+        sender: ActivityId,
+        m_in: ActivityId,
+        relay: ActivityId,
+        m_out: ActivityId,
+        receiver: ActivityId,
+    ) -> Result<(), ModelError> {
+        self.connect(sender, m_in, relay)?;
+        self.connect(relay, m_out, receiver)
+    }
+
     /// Sets an individual release offset on an activity.
     ///
     /// # Panics
@@ -612,6 +635,36 @@ impl Application {
             .find(|&id| self.activities[id.index()].name == name)
     }
 
+    /// Task-wise depth of a graph: the number of tasks on the longest
+    /// precedence path through it (messages do not count). A chain of
+    /// `k` tasks has depth `k`; the paper's random graphs of 5 have
+    /// depth ≤ 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedGraph`] if the precedence relation
+    /// has a cycle.
+    pub fn task_depth(&self, graph: GraphId) -> Result<usize, ModelError> {
+        let order = self.topological_order()?;
+        let mut depth = vec![0usize; self.activities.len()];
+        let mut max = 0;
+        for id in order {
+            let a = &self.activities[id.index()];
+            if a.graph != graph {
+                continue;
+            }
+            let inherited = self.preds[id.index()]
+                .iter()
+                .map(|p| depth[p.index()])
+                .max()
+                .unwrap_or(0);
+            let own = usize::from(a.as_task().is_some());
+            depth[id.index()] = inherited + own;
+            max = max.max(depth[id.index()]);
+        }
+        Ok(max)
+    }
+
     /// Per-node utilisation of all tasks: `Σ C_i / T_i` grouped by node.
     #[must_use]
     pub fn node_utilisation(&self) -> HashMap<NodeId, f64> {
@@ -780,5 +833,59 @@ mod tests {
         let (app, t1, ..) = two_node_app();
         assert_eq!(app.find("t1"), Some(t1));
         assert_eq!(app.find("nope"), None);
+    }
+
+    #[test]
+    fn relayed_connection_validates_and_deepens_the_graph() {
+        let (mut app, t1, t2, m) = two_node_app();
+        let g = app.activity(t1).graph;
+        assert_eq!(app.task_depth(g).expect("acyclic"), 2);
+        // relay t1 → t2 traffic through a gateway on node 2
+        let relay = app.add_task(
+            g,
+            "gw",
+            NodeId::new(2),
+            Time::from_us(1.0),
+            SchedPolicy::Fps,
+            9,
+        );
+        let m_in = app.add_message(g, "m_in", 4, MessageClass::Dynamic, 2);
+        let m_out = app.add_message(g, "m_out", 4, MessageClass::Dynamic, 2);
+        app.connect_relayed(t1, m_in, relay, m_out, t2)
+            .expect("relay wires up");
+        app.validate().expect("relayed app validates");
+        assert_eq!(app.sender_of(m_in), Some(NodeId::new(0)));
+        assert_eq!(app.receivers_of(m_in), vec![NodeId::new(2)]);
+        assert_eq!(app.sender_of(m_out), Some(NodeId::new(2)));
+        assert_eq!(app.receivers_of(m_out), vec![NodeId::new(1)]);
+        // t1 → relay → t2 is now the longest task path
+        assert_eq!(app.task_depth(g).expect("acyclic"), 3);
+        let _ = m;
+    }
+
+    #[test]
+    fn task_depth_of_chain_counts_tasks_only() {
+        let mut app = Application::new();
+        let g = app.add_graph("chain", Time::from_us(100.0), Time::from_us(100.0));
+        let mut prev = None;
+        for i in 0..4 {
+            let t = app.add_task(
+                g,
+                &format!("t{i}"),
+                NodeId::new(i % 2),
+                Time::from_us(1.0),
+                SchedPolicy::Scs,
+                0,
+            );
+            if let Some(p) = prev {
+                let m = app.add_message(g, &format!("m{i}"), 2, MessageClass::Static, 0);
+                app.connect(p, m, t).expect("edges");
+            }
+            prev = Some(t);
+        }
+        assert_eq!(app.task_depth(g).expect("acyclic"), 4);
+        // an unknown-but-well-formed graph id simply has depth 0
+        let empty = app.add_graph("empty", Time::from_us(100.0), Time::from_us(100.0));
+        assert_eq!(app.task_depth(empty).expect("acyclic"), 0);
     }
 }

@@ -53,6 +53,9 @@ pub enum ModelError {
     },
     /// The application hyperperiod cannot be represented.
     HyperperiodOverflow,
+    /// A configuration parameter set (e.g. of the benchmark generator)
+    /// is internally inconsistent.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ModelError {
@@ -82,6 +85,7 @@ impl fmt::Display for ModelError {
             ModelError::HyperperiodOverflow => {
                 write!(f, "application hyperperiod overflows the time range")
             }
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -69,6 +69,116 @@ fn generated_systems_round_trip_through_the_whole_stack() {
     }
 }
 
+/// Lightens a v2 configuration so the optimisers find schedulable
+/// configurations on big/deep/gateway systems within test budgets: the
+/// point of the cross-validation suite is exercising schedulable
+/// non-paper scenarios, not stressing the optimisers.
+fn lighten(cfg: GeneratorConfig) -> GeneratorConfig {
+    GeneratorConfig {
+        node_util: (0.10, 0.20),
+        bus_util: (0.05, 0.15),
+        et_deadline_factor: 4.0,
+        tt_fraction: 0.25,
+        ..cfg
+    }
+}
+
+/// Simulation cross-validation over seeded v2 scenarios: wherever the
+/// analysis declares the optimised system schedulable, the independent
+/// discrete-event simulator must agree — no deadline misses, and every
+/// analytic WCRT bounds the simulated response. Returns the number of
+/// schedulable instances checked.
+fn cross_validate(label: &str, cfg: &GeneratorConfig, seeds: &[u64]) -> usize {
+    let mut checked = 0;
+    for &seed in seeds {
+        let generated = generate(cfg, seed).expect("generator");
+        let result = obc(
+            &generated.platform,
+            &generated.app,
+            cfg.phy,
+            &test_params(),
+            DynSearch::CurveFit,
+        );
+        result
+            .bus
+            .validate_for(&generated.app, generated.platform.len())
+            .expect("optimiser emitted a valid bus configuration");
+        if !result.is_schedulable() {
+            continue;
+        }
+        let sys = System::validated(
+            generated.platform.clone(),
+            generated.app.clone(),
+            result.bus.clone(),
+        )
+        .expect("system validates");
+        let analysis = analyse(&sys, &AnalysisConfig::default()).expect("analysis runs");
+        checked += 1;
+        let report = simulate_default(&sys).expect("simulation runs");
+        assert!(
+            report.violations.is_empty(),
+            "{label} seed {seed}: {:?}",
+            report.violations
+        );
+        for id in sys.app.ids() {
+            if let Some(observed) = report.response(id) {
+                assert!(
+                    observed <= analysis.response(id),
+                    "{label} seed {seed}: '{}' observed {} > WCRT {}",
+                    sys.app.activity(id).name,
+                    observed,
+                    analysis.response(id)
+                );
+                assert!(
+                    observed <= sys.app.deadline_of(id),
+                    "{label} seed {seed}: '{}' misses its deadline in simulation",
+                    sys.app.activity(id).name
+                );
+            }
+        }
+    }
+    checked
+}
+
+#[test]
+fn simulation_cross_validates_large_node_counts() {
+    // 10 and 20 nodes: far beyond the paper's 2–7-node envelope.
+    let ten = lighten(GeneratorConfig::small(10));
+    let twenty = lighten(GeneratorConfig::small(20));
+    let checked =
+        cross_validate("nodes=10", &ten, &[1, 2, 3]) + cross_validate("nodes=20", &twenty, &[1, 2]);
+    assert!(checked > 0, "no schedulable large instance sampled");
+}
+
+#[test]
+fn simulation_cross_validates_deep_chains() {
+    // depth-10 chains: twice as deep as any paper graph.
+    let cfg = lighten(GeneratorConfig::deep(4, 10));
+    let checked = cross_validate("depth=10", &cfg, &[1, 2, 3]);
+    assert!(checked > 0, "no schedulable deep instance sampled");
+}
+
+#[test]
+fn simulation_cross_validates_gateway_traffic() {
+    // 60 % of cross-node dependencies relayed through node 7 (small
+    // task census: scale is covered by the large-node-count test).
+    let cfg = lighten(GeneratorConfig {
+        gateway_fraction: 0.6,
+        gateways: vec![7],
+        ..GeneratorConfig::small(8)
+    });
+    let generated = generate(&cfg, 1).expect("generator");
+    assert!(
+        generated
+            .app
+            .ids()
+            .any(|id| generated.app.activity(id).name.contains("_gw")),
+        "gateway scenario produced no relays"
+    );
+    let checked = cross_validate("gateway=0.6", &cfg, &[1, 2, 3]);
+    assert!(checked > 0, "no schedulable gateway instance sampled");
+}
+
 #[test]
 fn optimiser_ranking_is_consistent() {
     // On any input: OBCEE >= OBCCF is not guaranteed, but SA and OBCEE

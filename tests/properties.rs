@@ -238,6 +238,231 @@ proptest! {
     }
 }
 
+/// A random v2 generator configuration: node counts up to 20, all four
+/// graph shapes, optional heterogeneous per-graph sizes/period pools and
+/// gateway traffic. The physical layer has zero frame overhead so bus
+/// demand is proportional to payload and the utilisation-scaling
+/// contract is exact (modulo payload granularity and the 2–254-byte
+/// clamp).
+#[allow(clippy::too_many_arguments)]
+fn v2_config(
+    n_nodes: usize,
+    tasks_per_node: usize,
+    graph_size: usize,
+    shape_sel: usize,
+    gw_sel: usize,
+    hetero: bool,
+    node_util: (f64, f64),
+    bus_util: (f64, f64),
+) -> flexray::gen::GeneratorConfig {
+    use flexray::gen::{GeneratorConfig, GraphShape};
+    let shape = match shape_sel {
+        0 => GraphShape::Random,
+        1 => GraphShape::Chain,
+        2 => GraphShape::FanOut,
+        3 => GraphShape::Layered { depth: 2 },
+        _ => GraphShape::Layered { depth: 3 },
+    };
+    let gateway_fraction = [0.0, 0.5, 1.0][gw_sel % 3];
+    let gateways = if gw_sel == 2 && n_nodes >= 4 {
+        vec![0, n_nodes - 1]
+    } else {
+        vec![n_nodes - 1]
+    };
+    GeneratorConfig {
+        n_nodes,
+        tasks_per_node,
+        graph_size,
+        graph_sizes: hetero.then(|| vec![graph_size, 2]),
+        shape,
+        tt_fraction: 0.5,
+        node_util,
+        bus_util,
+        period_pools_us: hetero.then(|| vec![vec![10_000.0], vec![20_000.0, 40_000.0]]),
+        gateway_fraction,
+        gateways,
+        phy: PhyParams {
+            gd_bit: Time::from_ns(50),
+            gd_macrotick: Time::MICROSECOND,
+            gd_minislot: Time::MICROSECOND,
+            frame_overhead_bytes: 0,
+        },
+        ..GeneratorConfig::paper(n_nodes)
+    }
+}
+
+/// Total bus demand of all messages under `phy`, as a utilisation.
+fn bus_demand(app: &Application, phy: &PhyParams) -> f64 {
+    let h = app.hyperperiod().expect("hyperperiod");
+    let mut demand = 0.0;
+    for id in app.ids() {
+        if let Some(m) = app.activity(id).as_message() {
+            let c = phy.frame_duration(m.size_bytes);
+            let inst = h / app.period_of(id);
+            demand += c.as_ns() as f64 * inst as f64;
+        }
+    }
+    demand / h.as_ns() as f64
+}
+
+proptest! {
+    // Generation is cheap (no analysis): a moderate case count still
+    // covers shapes × gateway modes × heterogeneity broadly.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generator v2 invariants over the whole configuration envelope:
+    /// determinism in `(cfg, seed)`, acyclic DAGs, balanced task
+    /// mapping with no task dropped, cross-node dependencies always
+    /// carried by exactly one message per hop, relays on gateway nodes
+    /// only, and utilisations inside the configured ranges.
+    #[test]
+    fn generator_v2_invariants(
+        n_nodes in 2usize..21,
+        tasks_per_node in 2usize..8,
+        graph_size in 2usize..9,
+        shape_sel in 0usize..5,
+        gw_sel in 0usize..3,
+        hetero in any::<bool>(),
+        node_util in prop::sample::select(vec![(0.2, 0.4), (0.3, 0.6)]),
+        bus_util in prop::sample::select(vec![(0.1, 0.3), (0.2, 0.5)]),
+        seed in 0u64..100_000,
+    ) {
+        use flexray::gen::generate;
+        use flexray::model::ActivityId;
+
+        let cfg = v2_config(
+            n_nodes, tasks_per_node, graph_size, shape_sel, gw_sel, hetero,
+            node_util, bus_util,
+        );
+        prop_assert!(cfg.validate().is_ok(), "config invalid: {cfg:?}");
+
+        // deterministic in (cfg, seed)
+        let a = generate(&cfg, seed).expect("generate");
+        let b = generate(&cfg, seed).expect("generate");
+        prop_assert_eq!(&a.app, &b.app, "non-deterministic for seed {}", seed);
+        let app = a.app;
+
+        // acyclic and structurally valid
+        prop_assert!(app.topological_order().is_ok());
+        prop_assert!(app.validate().is_ok());
+
+        // every configured task is emitted and balanced over the nodes;
+        // gateway relays (named "_gw") come on top, on gateway nodes only
+        let is_relay = |id: ActivityId| app.activity(id).name.contains("_gw");
+        let plain_tasks = app
+            .ids()
+            .filter(|&id| app.activity(id).as_task().is_some() && !is_relay(id))
+            .count();
+        prop_assert_eq!(plain_tasks, cfg.total_tasks(), "tasks dropped or invented");
+        for n in 0..n_nodes {
+            let node = NodeId::new(n);
+            let on_node = app
+                .ids()
+                .filter(|&id| {
+                    app.activity(id).as_task().map(|t| t.node) == Some(node) && !is_relay(id)
+                })
+                .count();
+            prop_assert_eq!(on_node, tasks_per_node, "node {} unbalanced", n);
+        }
+        for id in app.ids() {
+            if let Some(t) = app.activity(id).as_task() {
+                if is_relay(id) {
+                    prop_assert!(
+                        cfg.gateways.contains(&t.node.index()),
+                        "relay '{}' on non-gateway node {}",
+                        app.activity(id).name,
+                        t.node
+                    );
+                }
+            }
+        }
+
+        // every cross-node dependency is carried by exactly one message
+        // per hop: task→task edges never cross nodes, and each message
+        // links exactly one sender task to exactly one receiver task on
+        // a different node
+        for (from, to) in app.edges() {
+            if let (Some(tf), Some(tt)) = (
+                app.activity(*from).as_task(),
+                app.activity(*to).as_task(),
+            ) {
+                prop_assert_eq!(
+                    tf.node, tt.node,
+                    "cross-node edge {}->{} without a message",
+                    app.activity(*from).name, app.activity(*to).name
+                );
+            }
+        }
+        for id in app.ids() {
+            if app.activity(id).as_message().is_some() {
+                prop_assert_eq!(app.preds(id).len(), 1);
+                prop_assert_eq!(app.succs(id).len(), 1);
+                let sender = app.sender_of(id).expect("sender");
+                prop_assert!(!app.receivers_of(id).contains(&sender));
+            }
+        }
+
+        // per-node utilisation lands inside the configured range
+        for (node, u) in app.node_utilisation() {
+            prop_assert!(
+                (node_util.0 - 0.01..=node_util.1 + 0.01).contains(&u),
+                "node {} utilisation {} outside {:?}",
+                node, u, node_util
+            );
+        }
+
+        // bus utilisation lands inside the configured range whenever the
+        // 2–254-byte payload clamp permits; outside it, every payload is
+        // saturated at the binding bound. `tol` covers the 2-byte
+        // payload granularity per message.
+        let sizes: Vec<u32> = app
+            .ids()
+            .filter_map(|id| app.activity(id).as_message().map(|m| m.size_bytes))
+            .collect();
+        if !sizes.is_empty() {
+            let per_granule = (cfg.phy.frame_duration(4) - cfg.phy.frame_duration(2))
+                .as_ns() as f64;
+            let h = app.hyperperiod().expect("hyperperiod");
+            let tol: f64 = app
+                .ids()
+                .filter(|&id| app.activity(id).as_message().is_some())
+                .map(|id| per_granule * (h / app.period_of(id)) as f64)
+                .sum::<f64>()
+                / h.as_ns() as f64;
+            let demand = bus_demand(&app, &cfg.phy);
+            if demand > bus_util.1 + 1e-9 {
+                prop_assert!(
+                    sizes.contains(&2),
+                    "demand {} above {:?} without the 2-byte floor binding",
+                    demand, bus_util
+                );
+            } else if demand < bus_util.0 - tol - 1e-9 {
+                prop_assert!(
+                    sizes.contains(&254),
+                    "demand {} below {:?} without the 254-byte cap binding (tol {})",
+                    demand, bus_util, tol
+                );
+            }
+        }
+
+        // chain-shaped graphs without relays are exactly as deep as they
+        // are long (the v2 "deeper graphs" axis)
+        if cfg.shape == flexray::gen::GraphShape::Chain && cfg.gateway_fraction == 0.0 {
+            for (gi, graph) in app.graphs().iter().enumerate() {
+                let tasks = graph
+                    .members
+                    .iter()
+                    .filter(|&&id| app.activity(id).as_task().is_some())
+                    .count();
+                let depth = app
+                    .task_depth(flexray::model::GraphId::new(gi))
+                    .expect("acyclic");
+                prop_assert_eq!(depth, tasks, "graph {} not a chain", gi);
+            }
+        }
+    }
+}
+
 proptest! {
     // fig9 runs all four optimisers per application: keep the case count
     // low and the configuration tiny.
