@@ -12,7 +12,6 @@
 //! `FrameID_m` begins.
 
 use flexray_model::{ActivityId, MessageClass, SystemView, Time};
-use std::collections::BTreeMap;
 
 /// How the latest-transmission-start check is performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,143 +114,441 @@ pub fn latest_tx_bound<'a>(
     }
 }
 
-/// Pending interference pool for the filled-cycles computation: per
-/// lower frame identifier, the (extra-consumption, remaining-instances)
-/// list of its messages, sorted by extra descending.
-#[derive(Debug, Clone)]
+/// One lower-identifier interference source of the filled-cycles pool.
+#[derive(Debug, Clone, Copy)]
+struct LfEntry {
+    /// Message whose pending instances this entry tracks.
+    msg: ActivityId,
+    /// Frame identifier those instances occupy.
+    id: u16,
+    /// Extra minislots consumed beyond the idle one.
+    extra: u32,
+    /// Arrival divisor of the message.
+    period: Time,
+    /// Arrivals within the current busy window (monotone in `t`).
+    arrivals: i64,
+    /// Instances not yet consumed by a filled cycle at the current `t`.
+    remaining: i64,
+}
+
+/// Pending interference pool for the filled-cycles computation: one
+/// entry per `lf(m)` message, sorted by (frame identifier, extra
+/// descending). The structure is built once per [`dyn_delay`] call; the
+/// busy-window iteration only updates the pending counts in place
+/// (arrivals are monotone in `t`), so no step of the fixed point
+/// re-sorts or re-allocates.
+#[derive(Debug, Clone, Default)]
 struct LfPool {
-    /// `per_id[i]` = list of (extra minislots beyond the idle one,
-    /// pending instance count) for messages on that identifier.
-    per_id: BTreeMap<u16, Vec<(u32, i64)>>,
+    entries: Vec<LfEntry>,
 }
 
 impl LfPool {
-    fn build(sys: SystemView<'_>, lf: &[ActivityId], t: Time, jitter: &[Time]) -> Self {
-        let mut per_id: BTreeMap<u16, Vec<(u32, i64)>> = BTreeMap::new();
+    /// Rebuilds the pool structure for the `lf` set of one message,
+    /// reusing the backing storage. Counts start at zero; call
+    /// [`LfPool::advance`] to populate them for a busy window.
+    fn rebuild(&mut self, sys: SystemView<'_>, lf: &[ActivityId]) {
+        self.entries.clear();
         for &j in lf {
             let fid = sys.bus.frame_id_of(j).expect("lf has frame id").number();
-            let tj = sys.app.period_of(j);
-            let arrivals = (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
-            if arrivals > 0 {
-                let extra = sys.bus.minislots_of(sys.app, j).saturating_sub(1);
-                per_id.entry(fid).or_default().push((extra, arrivals));
+            self.entries.push(LfEntry {
+                msg: j,
+                id: fid,
+                extra: sys.bus.minislots_of(sys.app, j).saturating_sub(1),
+                period: sys.app.period_of(j),
+                arrivals: 0,
+                remaining: 0,
+            });
+        }
+        // Entries sharing (id, extra) are interchangeable — the packing
+        // only ever observes the (id, extra, pending>0) multiset — so the
+        // allocation-free unstable sort is safe.
+        self.entries
+            .sort_unstable_by_key(|e| (e.id, core::cmp::Reverse(e.extra)));
+    }
+
+    /// Advances the pool to busy window `t`: per entry, the pending
+    /// count is bumped to the (monotone) arrival count and the whole
+    /// pending set becomes available for packing again.
+    fn advance(&mut self, t: Time, jitter: &[Time]) {
+        for e in &mut self.entries {
+            let arrivals = (t + jitter[e.msg.index()])
+                .clamp_non_negative()
+                .div_ceil(e.period);
+            debug_assert!(arrivals >= e.arrivals, "arrivals are monotone in t");
+            e.arrivals = arrivals;
+            e.remaining = arrivals;
+        }
+    }
+
+    /// One scan over the (sorted) entries collecting, per identifier
+    /// with pending instances, its *head* — the largest pending extra —
+    /// together with the head level's total pending count and starting
+    /// entry index, in ascending identifier order.
+    fn heads_into(&self, out: &mut Vec<Head>) {
+        out.clear();
+        let n = self.entries.len();
+        let mut i = 0;
+        while i < n {
+            let id = self.entries[i].id;
+            // skip drained higher-extra levels of this identifier
+            while i < n && self.entries[i].id == id && self.entries[i].remaining == 0 {
+                i += 1;
             }
-        }
-        for list in per_id.values_mut() {
-            list.sort_by_key(|&(extra, _)| core::cmp::Reverse(extra));
-        }
-        LfPool { per_id }
-    }
-
-    /// Largest available extra per identifier (one instance each).
-    fn candidates(&self) -> Vec<(u16, u32)> {
-        self.per_id
-            .iter()
-            .filter_map(|(&id, list)| list.iter().find(|&&(_, n)| n > 0).map(|&(e, _)| (id, e)))
-            .collect()
-    }
-
-    /// All available (id, extra) options, several per identifier.
-    fn options(&self) -> Vec<(u16, u32)> {
-        let mut out = Vec::new();
-        for (&id, list) in &self.per_id {
-            for &(e, n) in list {
-                if n > 0 {
-                    out.push((id, e));
+            if i < n && self.entries[i].id == id {
+                let extra = self.entries[i].extra;
+                let entry_idx = i;
+                let mut count = 0i64;
+                while i < n && self.entries[i].id == id && self.entries[i].extra == extra {
+                    count += self.entries[i].remaining;
+                    i += 1;
+                }
+                out.push(Head {
+                    id,
+                    extra,
+                    count,
+                    entry_idx,
+                });
+                while i < n && self.entries[i].id == id {
+                    i += 1;
                 }
             }
         }
-        out
     }
 
-    fn consume(&mut self, id: u16, extra: u32) {
-        if let Some(list) = self.per_id.get_mut(&id) {
-            if let Some(slot) = list.iter_mut().find(|(e, n)| *e == extra && *n > 0) {
-                slot.1 -= 1;
-            }
+    /// First entry index of the `(id, extra)` level (entries of one
+    /// level are adjacent in the sort order).
+    fn level_start(&self, id: u16, extra: u32) -> usize {
+        self.entries
+            .partition_point(|e| e.id < id || (e.id == id && e.extra > extra))
+    }
+
+    /// Total pending instances at the `(id, extra)` level.
+    fn level_count(&self, id: u16, extra: u32) -> i64 {
+        self.entries[self.level_start(id, extra)..]
+            .iter()
+            .take_while(|e| e.id == id && e.extra == extra)
+            .map(|e| e.remaining)
+            .sum()
+    }
+
+    /// Consumes one pending instance at the `(id, extra)` level.
+    /// Returns whether an instance was actually available — a miss
+    /// means the caller chose an instance the pool does not hold.
+    fn consume(&mut self, id: u16, extra: u32) -> bool {
+        self.consume_n(id, extra, 1) == 1
+    }
+
+    /// Consumes up to `n` pending instances at the `(id, extra)` level,
+    /// returning how many were actually consumed.
+    fn consume_n(&mut self, id: u16, extra: u32, n: i64) -> i64 {
+        let start = self.level_start(id, extra);
+        if self
+            .entries
+            .get(start)
+            .is_none_or(|e| e.id != id || e.extra != extra)
+        {
+            return 0;
         }
+        self.drain_level(start, n)
     }
 
-    fn is_empty(&self) -> bool {
-        self.per_id
-            .values()
-            .all(|list| list.iter().all(|&(_, n)| n == 0))
+    /// Consumes up to `n` instances from the level whose first entry is
+    /// `start`, returning how many were consumed.
+    fn drain_level(&mut self, start: usize, n: i64) -> i64 {
+        let id = self.entries[start].id;
+        let extra = self.entries[start].extra;
+        let mut left = n;
+        for e in &mut self.entries[start..] {
+            if left == 0 || e.id != id || e.extra != extra {
+                break;
+            }
+            let take = e.remaining.min(left);
+            e.remaining -= take;
+            left -= take;
+        }
+        n - left
+    }
+
+    fn has_pending(&self) -> bool {
+        self.entries.iter().any(|e| e.remaining > 0)
     }
 }
 
-/// DP state of the exact filler: total extra consumed plus the chosen
-/// `(frame id, extra)` options that reach it.
-type DpEntry = (u32, Vec<(u16, u32)>);
+/// The head of one identifier's pending interference: its largest
+/// pending extra, how many instances that level still holds, and where
+/// the level starts in the entry list.
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    id: u16,
+    extra: u32,
+    count: i64,
+    entry_idx: usize,
+}
 
-/// Tries to fill one cycle: returns the consumed (id, extra) choices, or
-/// `None` if the pool can no longer reach `need_extra`.
-fn fill_one_cycle(
-    pool: &LfPool,
-    need_extra: u32,
-    mode: DynAnalysisMode,
-) -> Option<Vec<(u16, u32)>> {
-    match mode {
-        DynAnalysisMode::Greedy => {
-            let mut cands = pool.candidates();
-            cands.sort_by_key(|&(_, extra)| core::cmp::Reverse(extra));
-            let mut chosen = Vec::new();
+/// One node of the Exact-mode DP's choice arena: the `(frame id,
+/// extra)` option taken and the arena index of the previous choice on
+/// the same path (`usize::MAX` at the root).
+#[derive(Debug, Clone, Copy)]
+struct DpChoice {
+    id: u16,
+    extra: u32,
+    parent: usize,
+}
+
+/// DP cell: minimal total extra consumed to reach this (saturated)
+/// accumulated sum, plus the arena tail of the choices reaching it.
+type DpCell = Option<(u32, usize)>;
+
+/// Reusable scratch state of the dynamic-message busy-window fixed
+/// point: the interference pool, the per-`hp(m)` arrival counts and the
+/// packing/DP buffers. A fresh scratch per call reproduces the plain
+/// [`dyn_delay`]; a scratch kept alive across calls — as the
+/// [`AnalysisSession`](crate::AnalysisSession) does — makes the hot
+/// path allocation-free in the steady state. Results are bit-identical
+/// either way.
+#[derive(Debug, Default)]
+pub struct DynScratch {
+    pool: LfPool,
+    /// Arrival count per `hp(m)` message at the current busy window.
+    hp_arrivals: Vec<i64>,
+    /// Per-cycle head buffer (one head per identifier).
+    cand: Vec<Head>,
+    /// The `(id, extra)` choices of the cycle being filled (Exact mode).
+    choices: Vec<(u16, u32)>,
+    /// Exact-mode DP tables, indexed by saturated accumulated sum.
+    dp_best: Vec<DpCell>,
+    dp_next: Vec<DpCell>,
+    /// Exact-mode DP choice arena (see [`DpChoice`]).
+    dp_arena: Vec<DpChoice>,
+    /// Session-managed per-message pool skeletons (entries with counts
+    /// zeroed) flattened into one arena, valid for one `skel_gen`.
+    skel_arena: Vec<LfEntry>,
+    /// Per-activity `(start, end)` range into `skel_arena`;
+    /// `(u32::MAX, u32::MAX)` = not cached.
+    skel_range: Vec<(u32, u32)>,
+    /// Generation of the cached skeletons: 0 = unmanaged (every call
+    /// rebuilds), set by the owning session via
+    /// [`DynScratch::set_generation`].
+    skel_gen: u64,
+}
+
+impl DynScratch {
+    /// Declares the (frame-assignment, phy) generation of subsequent
+    /// calls. Pool skeletons are pure functions of that pair, so they
+    /// survive while the generation does and are dropped when it moves
+    /// on. Only the session calls this; a plain scratch stays at
+    /// generation 0 and rebuilds on every call.
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        if self.skel_gen != generation {
+            self.skel_gen = generation;
+            self.skel_arena.clear();
+            self.skel_range.clear();
+        }
+    }
+
+    /// Prepares the scratch for one message's fixed point: restores the
+    /// message's pool skeleton if the generation holds one, otherwise
+    /// rebuilds (and, under session management, caches) it.
+    fn begin(&mut self, sys: SystemView<'_>, m: ActivityId, hp: &[ActivityId], lf: &[ActivityId]) {
+        self.hp_arrivals.clear();
+        self.hp_arrivals.resize(hp.len(), 0);
+        if self.skel_gen == 0 {
+            self.pool.rebuild(sys, lf);
+            return;
+        }
+        if self.skel_range.len() <= m.index() {
+            self.skel_range.resize(m.index() + 1, (u32::MAX, u32::MAX));
+        }
+        let (start, end) = self.skel_range[m.index()];
+        if start != u32::MAX {
+            self.pool.entries.clear();
+            self.pool
+                .entries
+                .extend_from_slice(&self.skel_arena[start as usize..end as usize]);
+        } else {
+            self.pool.rebuild(sys, lf);
+            let start = u32::try_from(self.skel_arena.len()).expect("arena fits u32");
+            self.skel_arena.extend_from_slice(&self.pool.entries);
+            let end = u32::try_from(self.skel_arena.len()).expect("arena fits u32");
+            self.skel_range[m.index()] = (start, end);
+        }
+    }
+
+    /// Sum of the per-identifier head extras still pending — the
+    /// final-cycle delay contribution of the unconsumed pool.
+    fn leftover(&mut self) -> u32 {
+        self.pool.heads_into(&mut self.cand);
+        self.cand.iter().map(|h| h.extra).sum()
+    }
+
+    /// Packs filled cycles until the pool can no longer push the
+    /// counter past the bound, returning the number of filled cycles.
+    /// Cycle-by-cycle identical to a one-cycle-at-a-time formulation:
+    /// the selected cycle repeats verbatim until one of its `(id,
+    /// extra)` levels exhausts — the only event that can change the
+    /// option set — so the repeats are applied as one batch.
+    fn fill(&mut self, need_extra: u32, mode: DynAnalysisMode) -> i64 {
+        match mode {
+            DynAnalysisMode::Greedy => self.fill_greedy(need_extra),
+            DynAnalysisMode::Exact => self.fill_exact(need_extra),
+        }
+    }
+
+    /// Largest-first packing (ref [14]): per cycle, take per-identifier
+    /// heads in descending extra order until the cycle is filled.
+    fn fill_greedy(&mut self, need_extra: u32) -> i64 {
+        let mut filled: i64 = 0;
+        loop {
+            self.pool.heads_into(&mut self.cand);
+            if self.cand.is_empty() {
+                break;
+            }
+            // Ties in extra keep ascending identifier order, exactly as
+            // a stable sort over the per-id candidates would. Zero-extra
+            // heads sort last: an idle identifier contributes nothing
+            // beyond its base minislot, so they never help filling.
+            self.cand
+                .sort_unstable_by_key(|h| (core::cmp::Reverse(h.extra), h.id));
             let mut sum = 0u32;
-            for (id, extra) in cands {
-                if sum >= need_extra {
+            let mut taken = 0usize;
+            let mut repeats = i64::MAX;
+            for h in &self.cand {
+                if sum >= need_extra || h.extra == 0 {
                     break;
                 }
-                // an idle identifier contributes nothing beyond its base
-                // minislot, so zero-extra instances never help filling
-                if extra == 0 {
+                sum += h.extra;
+                repeats = repeats.min(h.count);
+                taken += 1;
+            }
+            if sum < need_extra {
+                break;
+            }
+            debug_assert!(repeats >= 1, "chosen heads must be pending");
+            for k in 0..taken {
+                let h = self.cand[k];
+                let consumed = self.pool.drain_level(h.entry_idx, repeats);
+                debug_assert_eq!(
+                    consumed, repeats,
+                    "head level ({}, {}) exhausted mid-batch",
+                    h.id, h.extra
+                );
+            }
+            filled += repeats;
+        }
+        filled
+    }
+
+    /// Per-cycle optimal packing: repeatedly pick (and consume) the
+    /// minimal-consumption subset that still fills a cycle.
+    fn fill_exact(&mut self, need_extra: u32) -> i64 {
+        let mut filled: i64 = 0;
+        while self.pool.has_pending() {
+            if !self.select_cycle_exact(need_extra) {
+                break;
+            }
+            let repeats = self
+                .choices
+                .iter()
+                .map(|&(id, e)| self.pool.level_count(id, e))
+                .min()
+                .expect("a filled cycle consumes at least one instance");
+            debug_assert!(repeats >= 1, "chosen levels must be pending");
+            if repeats == 1 {
+                for &(id, extra) in &self.choices {
+                    let hit = self.pool.consume(id, extra);
+                    debug_assert!(hit, "chosen instance ({id}, {extra}) missing from pool");
+                }
+            } else {
+                for &(id, extra) in &self.choices {
+                    let consumed = self.pool.consume_n(id, extra, repeats);
+                    debug_assert_eq!(
+                        consumed, repeats,
+                        "level ({id}, {extra}) exhausted mid-batch"
+                    );
+                }
+            }
+            filled += repeats;
+        }
+        filled
+    }
+
+    /// Selects the `(id, extra)` choices of the next Exact-mode filled
+    /// cycle into `self.choices`, or returns `false` if the pool can no
+    /// longer push the counter past the bound.
+    fn select_cycle_exact(&mut self, need_extra: u32) -> bool {
+        self.choices.clear();
+        {
+            // Min-total-consumption subset with sum >= need_extra, at
+            // most one option per identifier: DP over identifiers.
+            let cap = need_extra as usize;
+            self.dp_best.clear();
+            self.dp_best.resize(cap + 1, None);
+            self.dp_best[0] = Some((0, usize::MAX));
+            self.dp_arena.clear();
+            let entries = &self.pool.entries;
+            let mut start = 0;
+            while start < entries.len() {
+                let id = entries[start].id;
+                let mut end = start;
+                while end < entries.len() && entries[end].id == id {
+                    end += 1;
+                }
+                let group = &entries[start..end];
+                start = end;
+                if !group.iter().any(|e| e.extra > 0 && e.remaining > 0) {
                     continue;
                 }
-                chosen.push((id, extra));
-                sum += extra;
-            }
-            (sum >= need_extra).then_some(chosen)
-        }
-        DynAnalysisMode::Exact => {
-            // Min-total-consumption subset with sum >= need_extra, at most
-            // one option per identifier: DP over identifiers.
-            let mut per_id: BTreeMap<u16, Vec<u32>> = BTreeMap::new();
-            for (id, extra) in pool.options() {
-                if extra > 0 {
-                    per_id.entry(id).or_default().push(extra);
-                }
-            }
-            let cap = need_extra as usize;
-            // best[s] = (total, choices) with accumulated sum min(s, cap)
-            let mut best: Vec<Option<DpEntry>> = vec![None; cap + 1];
-            best[0] = Some((0, Vec::new()));
-            for (&id, extras) in &per_id {
-                let mut next = best.clone();
-                for (s, entry) in best.iter().enumerate() {
-                    let Some((total, choices)) = entry else {
+                self.dp_next.clear();
+                self.dp_next.extend_from_slice(&self.dp_best);
+                for s in 0..=cap {
+                    let Some((total, tail)) = self.dp_best[s] else {
                         continue;
                     };
-                    for &e in extras {
-                        let ns = (s + e as usize).min(cap);
-                        let nt = total + e;
-                        let better = match &next[ns] {
-                            Some((t, _)) => nt < *t,
+                    for e in group {
+                        if e.extra == 0 || e.remaining <= 0 {
+                            continue;
+                        }
+                        let ns = (s + e.extra as usize).min(cap);
+                        let nt = total + e.extra;
+                        let better = match self.dp_next[ns] {
+                            Some((t, _)) => nt < t,
                             None => true,
                         };
                         if better {
-                            let mut c = choices.clone();
-                            c.push((id, e));
-                            next[ns] = Some((nt, c));
+                            self.dp_arena.push(DpChoice {
+                                id,
+                                extra: e.extra,
+                                parent: tail,
+                            });
+                            self.dp_next[ns] = Some((nt, self.dp_arena.len() - 1));
                         }
                     }
                 }
-                best = next;
+                std::mem::swap(&mut self.dp_best, &mut self.dp_next);
             }
-            best[cap].take().map(|(_, choices)| choices)
+            let Some((_, mut tail)) = self.dp_best[cap] else {
+                return false;
+            };
+            while tail != usize::MAX {
+                let c = self.dp_arena[tail];
+                self.choices.push((c.id, c.extra));
+                tail = c.parent;
+            }
+            self.choices.reverse();
+            true
         }
     }
 }
 
+/// Iteration cap of the busy-window fixed point of Eq. (3). A window
+/// still growing after this many steps is reported as divergent
+/// (`None`), exactly like one that exceeds the caller's `limit`.
+pub const MAX_FIXED_POINT_ITERS: usize = 10_000;
+
 /// The delay `w_m(t)` of Eq. (3) for the busy window `t`, or `None` if it
-/// exceeds `limit` (the message diverges on this configuration).
+/// exceeds `limit` or fails to converge within
+/// [`MAX_FIXED_POINT_ITERS`] steps (the message diverges on this
+/// configuration).
 #[must_use]
 pub fn dyn_delay<'a>(
     sys: impl Into<SystemView<'a>>,
@@ -261,16 +558,39 @@ pub fn dyn_delay<'a>(
     mode: DynAnalysisMode,
     limit: Time,
 ) -> Option<Time> {
+    let mut scratch = DynScratch::default();
+    dyn_delay_pooled(sys, m, jitter, latest_tx, mode, limit, &mut scratch)
+}
+
+/// [`dyn_delay`] over a caller-owned [`DynScratch`], so repeated calls
+/// — per candidate configuration, per fixed-point iteration — reuse the
+/// pool, packing and DP storage instead of re-allocating it. Results
+/// are bit-identical to [`dyn_delay`].
+#[must_use]
+pub fn dyn_delay_pooled<'a>(
+    sys: impl Into<SystemView<'a>>,
+    m: ActivityId,
+    jitter: &[Time],
+    latest_tx: LatestTxPolicy,
+    mode: DynAnalysisMode,
+    limit: Time,
+    scratch: &mut DynScratch,
+) -> Option<Time> {
     let sys = sys.into();
     let hp = hp_messages(sys, m);
     let lf = lf_messages(sys, m);
-    dyn_delay_with(sys, m, &hp, &lf, jitter, latest_tx, mode, limit)
+    dyn_delay_with(sys, m, &hp, &lf, jitter, latest_tx, mode, limit, scratch)
 }
 
 /// [`dyn_delay`] with the interference sets precomputed — they depend
 /// only on the frame-identifier assignment, so session-style callers
 /// derive them once per assignment and reuse them across the DYN-length
-/// sweep.
+/// sweep — and the scratch state caller-owned.
+///
+/// The fixed point is incremental across busy-window growth: the
+/// interference pool is built (and sorted) once, the per-step update
+/// only adds the arrival deltas (arrivals are monotone in `t`), and
+/// runs of identical filled cycles are applied as batches.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn dyn_delay_with(
     sys: SystemView<'_>,
@@ -281,6 +601,7 @@ pub(crate) fn dyn_delay_with(
     latest_tx: LatestTxPolicy,
     mode: DynAnalysisMode,
     limit: Time,
+    scratch: &mut DynScratch,
 ) -> Option<Time> {
     let fid = sys.bus.frame_id_of(m).expect("validated dyn message");
     let gd_cycle = sys.bus.gd_cycle();
@@ -301,36 +622,26 @@ pub(crate) fn dyn_delay_with(
     let slot_earliest = st_bus + minislot * i64::from(base);
     let sigma = (gd_cycle - slot_earliest).clamp_non_negative();
 
+    scratch.begin(sys, m, hp, lf);
+    let mut hp_filled: i64 = 0;
     let mut t = Time::ZERO;
-    for _ in 0..10_000 {
-        // hp(m): each pending instance occupies slot FrameID_m for a cycle.
-        let mut filled: i64 = 0;
-        for &j in hp {
-            let tj = sys.app.period_of(j);
-            filled += (t + jitter[j.index()]).clamp_non_negative().div_ceil(tj);
+    for _ in 0..MAX_FIXED_POINT_ITERS {
+        // hp(m): each pending instance occupies slot FrameID_m for a
+        // cycle; arrivals are monotone in t, so only the delta is added.
+        for (k, &j) in hp.iter().enumerate() {
+            let arrivals = (t + jitter[j.index()])
+                .clamp_non_negative()
+                .div_ceil(sys.app.period_of(j));
+            hp_filled += arrivals - scratch.hp_arrivals[k];
+            scratch.hp_arrivals[k] = arrivals;
         }
         // lf(m)/ms(m): pack transmissions to push the counter past the
         // bound, cycle by cycle.
-        let mut pool = LfPool::build(sys, lf, t, jitter);
-        while !pool.is_empty() {
-            match fill_one_cycle(&pool, need_extra, mode) {
-                Some(choices) => {
-                    for (id, extra) in choices {
-                        pool.consume(id, extra);
-                    }
-                    filled += 1;
-                }
-                None => break,
-            }
-        }
+        scratch.pool.advance(t, jitter);
+        let filled = hp_filled + scratch.fill(need_extra, mode);
         // Final cycle: leftover lower-identifier traffic delays the start
         // of slot FrameID_m but cannot block it any more.
-        let leftover: u32 = pool
-            .candidates()
-            .iter()
-            .map(|&(_, e)| e)
-            .sum::<u32>()
-            .min(need_extra.saturating_sub(1));
+        let leftover = scratch.leftover().min(need_extra.saturating_sub(1));
         let w_final = st_bus + minislot * i64::from(base + leftover);
         let w = sigma
             .saturating_add(gd_cycle.saturating_mul(filled))
@@ -343,6 +654,8 @@ pub(crate) fn dyn_delay_with(
         }
         t = w;
     }
+    // The busy window was still growing when the iteration guard
+    // tripped: report divergence explicitly.
     None
 }
 
@@ -583,6 +896,150 @@ mod tests {
         .expect("floor");
         assert!(wg >= floor);
         assert!(we >= floor);
+    }
+
+    /// A two-entry pool for the consume unit tests: id 3 with extras
+    /// 5 (two instances) and 2 (one instance).
+    fn test_pool() -> LfPool {
+        let entry = |extra: u32, remaining: i64| LfEntry {
+            msg: ActivityId::new(0),
+            id: 3,
+            extra,
+            period: Time::MICROSECOND,
+            arrivals: remaining,
+            remaining,
+        };
+        LfPool {
+            entries: vec![entry(5, 2), entry(2, 1)],
+        }
+    }
+
+    #[test]
+    fn consume_reports_hit_and_miss() {
+        let mut pool = test_pool();
+        // unknown identifier and unknown extra level: a miss, not a
+        // silent no-op
+        assert!(!pool.consume(4, 5));
+        assert!(!pool.consume(3, 4));
+        assert_eq!(pool.level_count(3, 5), 2);
+        // hits drain the level, then report exhaustion
+        assert!(pool.consume(3, 5));
+        assert!(pool.consume(3, 5));
+        assert!(!pool.consume(3, 5), "exhausted level must miss");
+        assert!(pool.consume(3, 2));
+        assert!(!pool.has_pending());
+    }
+
+    #[test]
+    fn consume_n_reports_shortfall() {
+        let mut pool = test_pool();
+        assert_eq!(pool.consume_n(3, 5, 3), 2, "only two instances exist");
+        assert_eq!(pool.consume_n(3, 5, 1), 0);
+        assert_eq!(pool.consume_n(9, 1, 4), 0, "unknown identifier");
+        assert_eq!(pool.consume_n(3, 2, 1), 1);
+    }
+
+    #[test]
+    fn overloaded_segment_exhausts_iteration_guard() {
+        // The hp sibling's period equals gdCycle exactly: every busy
+        // window extension brings exactly one more blocking instance, so
+        // w(t) grows forever without ever crossing a generous limit —
+        // the fixed point must give up after MAX_FIXED_POINT_ITERS and
+        // report divergence, not fall off the loop with a bogus result.
+        let phy = PhyParams {
+            gd_bit: Time::from_ns(50),
+            gd_macrotick: Time::MICROSECOND,
+            gd_minislot: Time::MICROSECOND,
+            frame_overhead_bytes: 0,
+        };
+        let mut app = Application::new();
+        // gdCycle = st_bus (8) + 10 minislots = 18 us
+        let g_hp = app.add_graph("hp", Time::from_us(18.0), Time::from_us(18.0));
+        let g_lo = app.add_graph("lo", Time::from_us(1000.0), Time::from_us(1000.0));
+        let mk = |app: &mut Application, g, tag: &str, prio| {
+            let s = app.add_task(
+                g,
+                &format!("s{tag}"),
+                NodeId::new(0),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
+            let r = app.add_task(
+                g,
+                &format!("r{tag}"),
+                NodeId::new(1),
+                Time::from_us(1.0),
+                SchedPolicy::Fps,
+                1,
+            );
+            let m = app.add_message(g, &format!("m{tag}"), 4, MessageClass::Dynamic, prio);
+            app.connect(s, m, r).expect("edges");
+            m
+        };
+        let hi = mk(&mut app, g_hp, "hi", 9);
+        let lo = mk(&mut app, g_lo, "lo", 1);
+        let mut bus = BusConfig::new(phy);
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        bus.n_minislots = 10;
+        bus.frame_ids.insert(hi, FrameId::new(1));
+        bus.frame_ids.insert(lo, FrameId::new(1));
+        let sys = System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        // limit far beyond MAX_FIXED_POINT_ITERS * gdCycle: the guard,
+        // not the limit, must end the iteration
+        let limit = Time::from_us(1e9);
+        assert_eq!(
+            dyn_delay(
+                &sys,
+                lo,
+                &jitter,
+                LatestTxPolicy::PerMessage,
+                DynAnalysisMode::Greedy,
+                limit
+            ),
+            None
+        );
+        // the hp sibling itself is fine
+        assert!(dyn_delay(
+            &sys,
+            hi,
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Greedy,
+            limit
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_matches_fresh_calls() {
+        // One scratch across messages, modes and policies must be
+        // bit-identical to a fresh scratch per call.
+        let (sys, ids) = dyn_system(
+            &[
+                (1, 1, 0, 0),
+                (1, 2, 0, 0),
+                (2, 4, 9, 0),
+                (2, 4, 1, 0),
+                (1, 5, 0, 0),
+            ],
+            20,
+        );
+        let jitter = vec![Time::ZERO; sys.app.activities().len()];
+        let limit = Time::from_us(100_000.0);
+        let mut scratch = DynScratch::default();
+        for &m in &ids {
+            for mode in [DynAnalysisMode::Greedy, DynAnalysisMode::Exact] {
+                for policy in [LatestTxPolicy::PerMessage, LatestTxPolicy::PerNode] {
+                    let fresh = dyn_delay(&sys, m, &jitter, policy, mode, limit);
+                    let pooled =
+                        dyn_delay_pooled(&sys, m, &jitter, policy, mode, limit, &mut scratch);
+                    assert_eq!(fresh, pooled, "{m:?} {mode:?} {policy:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! The algorithm itself lives in the session module: [`analyse`] runs it
 //! once over fresh state, while an
 //! [`AnalysisSession`](crate::AnalysisSession) keeps the state alive so
-//! optimiser loops can amortise the allocations and the cached static
-//! schedule across thousands of candidate configurations.
+//! optimiser loops can amortise the allocations, the cached static
+//! schedule and the DYN fixed-point scratch
+//! ([`DynScratch`](crate::DynScratch) — interference pools, packing
+//! buffers, per-message pool skeletons) across thousands of candidate
+//! configurations.
 
 use crate::cost::Cost;
 use crate::dyn_msg::{DynAnalysisMode, LatestTxPolicy};

@@ -56,8 +56,8 @@ mod table;
 pub use availability::Availability;
 pub use cost::{cost_of, Cost};
 pub use dyn_msg::{
-    dyn_delay, hp_messages, latest_tx_bound, lf_messages, unused_lower_slots, DynAnalysisMode,
-    LatestTxPolicy,
+    dyn_delay, dyn_delay_pooled, hp_messages, latest_tx_bound, lf_messages, unused_lower_slots,
+    DynAnalysisMode, DynScratch, LatestTxPolicy, MAX_FIXED_POINT_ITERS,
 };
 pub use fps::{fps_local_response, hp_tasks};
 pub use holistic::{analyse, Analysis, AnalysisConfig};

@@ -30,7 +30,7 @@
 
 use crate::availability::Availability;
 use crate::cost::{cost_of, Cost};
-use crate::dyn_msg::{dyn_delay_with, hp_messages, lf_messages};
+use crate::dyn_msg::{dyn_delay_with, hp_messages, lf_messages, DynScratch};
 use crate::fps::{fps_local_response_with, hp_tasks};
 use crate::holistic::{Analysis, AnalysisConfig};
 use crate::scheduler::{ScheduleBuilder, ScsPlacement};
@@ -100,6 +100,16 @@ pub(crate) struct SessionState {
     /// Bumped on every analysed candidate (invalidates DYN memos, whose
     /// delay depends on the bus configuration itself).
     bus_stamp: u64,
+    /// Pool/packing/DP scratch of the DYN busy-window fixed point,
+    /// reused across messages, fixed-point iterations and candidates so
+    /// DYN-length sweeps run with zero steady-state allocation.
+    dyn_scratch: DynScratch,
+    /// Generation of the scratch's per-message pool skeletons: bumped
+    /// whenever the frame assignment or the physical layer changes (the
+    /// only inputs a skeleton depends on besides the application).
+    skel_gen: u64,
+    /// Physical layer the current skeleton generation was derived for.
+    skel_phy: Option<PhyParams>,
 }
 
 /// One entry of the event-triggered response memo.
@@ -135,6 +145,9 @@ impl Default for SessionState {
             et_memo: Vec::new(),
             avail_stamp: 0,
             bus_stamp: 0,
+            dyn_scratch: DynScratch::default(),
+            skel_gen: 1,
+            skel_phy: None,
         }
     }
 }
@@ -250,7 +263,9 @@ pub(crate) fn analyse_core(
         });
     }
     // DYN interference sets depend only on the frame-identifier
-    // assignment; refresh them when it changes.
+    // assignment; refresh them when it changes. The scratch's pool
+    // skeletons additionally depend on the physical layer, so their
+    // generation moves with either.
     if st.dyn_sets_key.as_ref() != Some(&sys.bus.frame_ids) {
         st.dyn_sets.clear();
         st.dyn_sets.resize(n, (Vec::new(), Vec::new()));
@@ -258,7 +273,13 @@ pub(crate) fn analyse_core(
             st.dyn_sets[m.index()] = (hp_messages(sys, m), lf_messages(sys, m));
         }
         st.dyn_sets_key = Some(sys.bus.frame_ids.clone());
+        st.skel_gen = st.skel_gen.wrapping_add(1);
     }
+    if st.skel_phy != Some(sys.bus.phy) {
+        st.skel_phy = Some(sys.bus.phy);
+        st.skel_gen = st.skel_gen.wrapping_add(1);
+    }
+    st.dyn_scratch.set_generation(st.skel_gen);
     // Every analysed candidate may carry a different bus: DYN-message
     // memos (whose delay reads the bus directly) start cold, FPS memos
     // survive for as long as the availabilities they were computed
@@ -436,6 +457,7 @@ pub(crate) fn analyse_core(
                                 cfg.latest_tx,
                                 cfg.dyn_mode,
                                 limit,
+                                &mut st.dyn_scratch,
                             )
                             .map(|w| w + sys.comm_time(id))
                         }

@@ -8,10 +8,12 @@
 //! evaluates; measured numbers are recorded in `BENCH_eval.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexray_analysis::{analyse, AnalysisConfig};
+use flexray_analysis::{
+    analyse, dyn_delay, dyn_delay_pooled, AnalysisConfig, DynAnalysisMode, DynScratch,
+    LatestTxPolicy,
+};
 use flexray_gen::{generate, GeneratorConfig};
-use flexray_model::PhyParams;
-use flexray_model::{Application, BusConfig, Platform, System};
+use flexray_model::{Application, BusConfig, MessageClass, PhyParams, Platform, System, Time};
 use flexray_opt::{
     bbc_skeleton, determine_dyn_length, dyn_sweep_grid, DynSearch, Evaluator, OptParams,
 };
@@ -104,5 +106,74 @@ fn bench_dyn_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dyn_sweep);
+/// `dyn_delay`-level microbench: one pass over every DYN message of the
+/// 7-node dyn_only set, with a fresh scratch per call (the plain
+/// `dyn_delay` entry) versus one pooled scratch across the pass (the
+/// session's steady state), for both packing modes.
+fn bench_dyn_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyn_delay");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let case = case_for(7, 0.0, &OptParams::default());
+    let mid = case.candidates[case.candidates.len() / 2];
+    let mut bus = case.template.clone();
+    bus.n_minislots = mid;
+    assert!(
+        bus.validate_for(&case.app, case.platform.len()).is_ok(),
+        "mid-grid candidate must be valid"
+    );
+    let sys = System {
+        platform: case.platform.clone(),
+        app: case.app.clone(),
+        bus,
+    };
+    let msgs: Vec<_> = sys.app.messages_of_class(MessageClass::Dynamic).collect();
+    // a non-trivial jitter pattern so the interference pools carry
+    // several pending instances
+    let jitter: Vec<Time> = (0..sys.app.activities().len())
+        .map(|i| Time::from_us(f64::from((i as u32 * 131) % 4000)))
+        .collect();
+    let limit = Time::from_us(1e8);
+    for (label, mode) in [
+        ("greedy", DynAnalysisMode::Greedy),
+        ("exact", DynAnalysisMode::Exact),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fresh", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &m in &msgs {
+                    if let Some(w) =
+                        dyn_delay(&sys, m, &jitter, LatestTxPolicy::PerMessage, mode, limit)
+                    {
+                        acc = acc.wrapping_add(w.as_ns());
+                    }
+                }
+                acc
+            });
+        });
+        let mut scratch = DynScratch::default();
+        group.bench_with_input(BenchmarkId::new("pooled", label), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &m in &msgs {
+                    if let Some(w) = dyn_delay_pooled(
+                        &sys,
+                        m,
+                        &jitter,
+                        LatestTxPolicy::PerMessage,
+                        mode,
+                        limit,
+                        &mut scratch,
+                    ) {
+                        acc = acc.wrapping_add(w.as_ns());
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dyn_sweep, bench_dyn_delay);
 criterion_main!(benches);

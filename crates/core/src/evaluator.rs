@@ -3,9 +3,11 @@
 //!
 //! The evaluator is a thin accounting layer over a long-lived
 //! [`AnalysisSession`]: candidates are analysed *borrowed* (no `System`
-//! clone per call), all analysis scratch state is reused across
-//! candidates, and DYN-length sweeps take the session's incremental
-//! [`reanalyse_dyn_length`](AnalysisSession::reanalyse_dyn_length) path.
+//! clone per call), all analysis scratch state — including the
+//! incremental DYN fixed point's pooled `DynScratch` — is reused across
+//! candidates, and DYN-length sweeps take the session's
+//! [`reanalyse_dyn_length`](AnalysisSession::reanalyse_dyn_length) path,
+//! so the steady state of `evaluate_dyn_lengths` allocates nothing.
 
 use flexray_analysis::{Analysis, AnalysisConfig, AnalysisSession, Cost};
 use flexray_model::{Application, BusConfig, MessageClass, Platform, Time};
