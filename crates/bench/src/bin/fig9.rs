@@ -1,6 +1,6 @@
 //! Regenerates Fig. 9: evaluation of the bus optimisation algorithms.
 //!
-//! Usage: fig9 [apps_per_point] [max_nodes] [fast|full] [threads]
+//! Usage: fig9 [apps_per_point] [max_nodes] [fast|full|smoke] [threads]
 //! Defaults: 5 applications per node count, nodes 2..=5, full search
 //! parameters, one worker thread per hardware thread. The paper uses 25
 //! applications per point; pass 25 for the full run (slow: expect tens
@@ -11,7 +11,7 @@
 //! whose deterministic output is identical to any parallel run).
 
 use flexray_bench::fig9::{render, run_experiment, Fig9Config};
-use flexray_opt::{OptParams, SaParams};
+use flexray_bench::sweep::search_mode;
 
 fn main() {
     let mut cfg = Fig9Config::default();
@@ -21,18 +21,11 @@ fn main() {
     if let Some(maxn) = std::env::args().nth(2).and_then(|s| s.parse().ok()) {
         cfg.node_counts = (2..=maxn).collect();
     }
-    if std::env::args().nth(3).as_deref() == Some("fast") {
-        cfg.params = OptParams {
-            max_extra_slots: 4,
-            max_slot_len_steps: 6,
-            max_dyn_candidates: 96,
-            dyn_step: 8,
-            ..OptParams::default()
-        };
-        cfg.sa = SaParams {
-            iterations: 400,
-            ..SaParams::default()
-        };
+    // the shared preset table; an unrecognised mode keeps the full
+    // search parameters, as this binary always did
+    if let Some((params, sa)) = std::env::args().nth(3).as_deref().and_then(search_mode) {
+        cfg.params = params;
+        cfg.sa = sa;
     }
     if let Some(threads) = std::env::args().nth(4).and_then(|s| s.parse().ok()) {
         cfg.threads = threads;

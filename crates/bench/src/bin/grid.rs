@@ -1,0 +1,241 @@
+//! Factorial grid sweeps over the v2 generator, with a streaming,
+//! resumable JSON-lines/CSV report.
+//!
+//! Usage: grid <axis>=<v1,v2,...> [<axis>=...] [key=value options]
+//!
+//! Axes (any non-empty subset, each at most once; the grid is their
+//! cartesian product, first axis slowest):
+//!
+//! * `nodes=2,5,10` — node count;
+//! * `depth=4,8` — graph depth (chain-shaped DAGs);
+//! * `gateway=0.0,0.5` — gateway-relayed traffic fraction;
+//! * `busutil=0.2,0.6` — bus utilisation target.
+//!
+//! Options:
+//!
+//! * `apps=N` — applications (seeds) per grid point (default 3);
+//! * `mode=fast|full|smoke` — search-parameter scale (default `full`);
+//! * `threads=N` — worker threads (`0` = all cores, `1` = serial; the
+//!   deterministic output is identical either way);
+//! * `seed0=N` — base seed (application `i` of point `p` uses
+//!   `seed0 + 1000·p + i`);
+//! * `algos=bbc,obccf,obcee,sa` — algorithm subset (default all four;
+//!   unknown or duplicate names are rejected);
+//! * `out=FILE` — stream the JSON-lines report to FILE (default:
+//!   stdout);
+//! * `csv=FILE` — additionally write the CSV projection to FILE;
+//! * `resume=FILE` — recover the completed points of a partial report
+//!   (a killed run leaves a well-formed prefix), re-run only the rest
+//!   and rewrite FILE in full; implies `out=FILE` unless `out` is
+//!   given. The file's header must match the configured grid.
+
+use flexray_bench::grid::{render, run_grid_resumed, GridConfig, GridPoint};
+use flexray_bench::report::{from_jsonl, point_to_line, to_csv, GridReportHeader};
+use flexray_bench::sweep::{parse_algo_set, search_mode, SweepAxis};
+use std::io::Write;
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: grid <nodes|depth|gateway|busutil>=<v1,v2,...> [more axes] \
+         [apps=N] [mode=fast|full|smoke] [threads=N] [seed0=N] \
+         [algos=a,b,...] [out=FILE] [csv=FILE] [resume=FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("grid: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_values<T: std::str::FromStr>(key: &str, s: &str) -> Vec<T> {
+    let values: Result<Vec<T>, _> = s.split(',').map(str::parse).collect();
+    match values {
+        Ok(v) if !v.is_empty() => v,
+        _ => {
+            eprintln!("grid: invalid value list '{s}' for axis '{key}'");
+            usage_exit()
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = GridConfig {
+        axes: Vec::new(),
+        ..GridConfig::default()
+    };
+    let mut out_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("grid: expected key=value, got '{arg}'");
+            usage_exit()
+        };
+        match key {
+            "nodes" => cfg
+                .axes
+                .push(SweepAxis::NodeCount(parse_values(key, value))),
+            "depth" => cfg
+                .axes
+                .push(SweepAxis::GraphDepth(parse_values(key, value))),
+            "gateway" => cfg
+                .axes
+                .push(SweepAxis::GatewayFraction(parse_values(key, value))),
+            "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value))),
+            "apps" => match value.parse() {
+                Ok(apps) => cfg.apps_per_point = apps,
+                Err(_) => usage_exit(),
+            },
+            "mode" => match search_mode(value) {
+                Some((params, sa)) => {
+                    cfg.params = params;
+                    cfg.sa = sa;
+                }
+                None => usage_exit(),
+            },
+            "threads" => match value.parse() {
+                Ok(threads) => cfg.threads = threads,
+                Err(_) => usage_exit(),
+            },
+            "seed0" => match value.parse() {
+                Ok(seed0) => cfg.seed0 = seed0,
+                Err(_) => usage_exit(),
+            },
+            "algos" => match parse_algo_set(value) {
+                Ok(algos) => cfg.algos = algos,
+                Err(e) => {
+                    eprintln!("grid: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "out" => out_path = Some(value.to_owned()),
+            "csv" => csv_path = Some(value.to_owned()),
+            "resume" => resume_path = Some(value.to_owned()),
+            _ => {
+                eprintln!("grid: unknown option '{key}'");
+                usage_exit()
+            }
+        }
+    }
+    if cfg.axes.is_empty() {
+        eprintln!("grid: at least one axis is required");
+        usage_exit()
+    }
+    if let Err(e) = cfg.validate() {
+        fail(&e.to_string());
+    }
+    let header = GridReportHeader::of(&cfg);
+
+    // Recover the completed points of a partial report.
+    let mut done: Vec<GridPoint> = Vec::new();
+    if let Some(path) = &resume_path {
+        let content = match std::fs::read_to_string(path) {
+            Ok(content) => content,
+            Err(e) => fail(&format!("cannot read resume report '{path}': {e}")),
+        };
+        match from_jsonl(&content) {
+            Ok((prev_header, points)) => {
+                if prev_header != header {
+                    fail(&format!(
+                        "resume report '{path}' was written by a different grid \
+                         configuration; refusing to mix reports"
+                    ));
+                }
+                done = points;
+            }
+            Err(e) => fail(&format!("resume report '{path}': {e}")),
+        }
+        if out_path.is_none() {
+            out_path = Some(path.clone());
+        }
+    }
+
+    eprintln!(
+        "Grid — {} axes, {} points, {} application(s) per point, algos {:?}, \
+         {} worker thread(s), seed0 {}{}",
+        cfg.axes.len(),
+        cfg.total_points(),
+        cfg.apps_per_point,
+        cfg.algos.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        cfg.worker_threads(),
+        cfg.seed0,
+        if done.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} point(s) recovered)", done.len())
+        },
+    );
+
+    // Open the streaming JSONL sink: a file, or stdout. When the
+    // output rewrites the resume report in place, stream to a `.tmp`
+    // sibling and swap it in only on success — `File::create` would
+    // truncate the recovered report before the first point lands, so a
+    // kill in that window would destroy all completed work.
+    // compare canonicalized paths, not spellings: `out=./g.jsonl
+    // resume=g.jsonl` must still get the protection (canonicalize
+    // fails only when the out file does not exist yet — then it cannot
+    // be the report we just read)
+    let rewrites_resume_source = match (&out_path, &resume_path) {
+        (Some(out), Some(resume)) => {
+            out == resume
+                || matches!(
+                    (std::fs::canonicalize(out), std::fs::canonicalize(resume)),
+                    (Ok(a), Ok(b)) if a == b
+                )
+        }
+        _ => false,
+    };
+    let stream_path = out_path.as_ref().map(|path| {
+        if rewrites_resume_source {
+            format!("{path}.tmp")
+        } else {
+            path.clone()
+        }
+    });
+    let mut sink: Box<dyn Write> = match &stream_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Box::new(std::io::BufWriter::new(file)),
+            Err(e) => fail(&format!("cannot write report '{path}': {e}")),
+        },
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let write_line = |sink: &mut dyn Write, line: &str| {
+        if let Err(e) = writeln!(sink, "{line}").and_then(|()| sink.flush()) {
+            fail(&format!("report write failed: {e}"));
+        }
+    };
+    write_line(sink.as_mut(), &header.to_line());
+
+    let result = run_grid_resumed(&cfg, done, |point| {
+        write_line(sink.as_mut(), &point_to_line(point));
+    });
+    let points = match result {
+        Ok(points) => points,
+        Err(e) => fail(&format!("run failed: {e}")),
+    };
+    drop(sink);
+    if rewrites_resume_source {
+        let (tmp, path) = (
+            stream_path.as_ref().expect("streamed to a file"),
+            out_path.as_ref().expect("rewrites a file"),
+        );
+        if let Err(e) = std::fs::rename(tmp, path) {
+            fail(&format!("cannot replace report '{path}' with '{tmp}': {e}"));
+        }
+    }
+
+    if let Some(path) = &csv_path {
+        if let Err(e) = std::fs::write(path, to_csv(&header, &points)) {
+            fail(&format!("cannot write CSV '{path}': {e}"));
+        }
+    }
+
+    // Human-readable summary on stderr when the JSONL went to a file,
+    // on stdout otherwise left to the JSONL alone.
+    if out_path.is_some() {
+        let reference = cfg.reference().map(|i| cfg.algos[i].name());
+        eprintln!("{}", render(reference, &points));
+    }
+}

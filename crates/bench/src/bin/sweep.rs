@@ -18,8 +18,9 @@
 //!   (default all four; deviations are reported against SA when it is
 //!   in the set).
 
-use flexray_bench::sweep::{render, run_sweep, Algo, SweepAxis, SweepConfig};
-use flexray_opt::{OptParams, SaParams};
+use flexray_bench::sweep::{
+    parse_algo_set, render, run_sweep, search_mode, SweepAxis, SweepConfig,
+};
 
 fn parse_values<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
     let vals: Result<Vec<T>, _> = s.split(',').map(str::parse).collect();
@@ -57,35 +58,14 @@ fn main() {
             Err(_) => usage_exit(),
         }
     }
-    match args.get(3).map(String::as_str) {
-        None | Some("full") => {}
-        Some("fast") => {
-            cfg.params = OptParams {
-                max_extra_slots: 4,
-                max_slot_len_steps: 6,
-                max_dyn_candidates: 96,
-                dyn_step: 8,
-                ..OptParams::default()
-            };
-            cfg.sa = SaParams {
-                iterations: 400,
-                ..SaParams::default()
-            };
+    if let Some(mode) = args.get(3) {
+        match search_mode(mode) {
+            Some((params, sa)) => {
+                cfg.params = params;
+                cfg.sa = sa;
+            }
+            None => usage_exit(),
         }
-        Some("smoke") => {
-            cfg.params = OptParams {
-                max_extra_slots: 2,
-                max_slot_len_steps: 3,
-                max_dyn_candidates: 24,
-                dyn_step: 32,
-                ..OptParams::default()
-            };
-            cfg.sa = SaParams {
-                iterations: 30,
-                ..SaParams::default()
-            };
-        }
-        Some(_) => usage_exit(),
     }
     if let Some(s) = args.get(4) {
         match s.parse() {
@@ -100,10 +80,14 @@ fn main() {
         }
     }
     if let Some(names) = args.get(6) {
-        let algos: Option<Vec<Algo>> = names.split(',').map(Algo::parse).collect();
-        match algos {
-            Some(a) if !a.is_empty() => cfg.algos = a,
-            _ => usage_exit(),
+        // a typo must not silently shrink the algorithm set: reject
+        // unknown, empty and duplicate names with a proper error
+        match parse_algo_set(names) {
+            Ok(algos) => cfg.algos = algos,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(2);
+            }
         }
     }
 

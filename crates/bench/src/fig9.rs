@@ -14,19 +14,20 @@
 //!
 //! The applications of one point are embarrassingly parallel: each is
 //! generated from its own seed (`seed0 + 1000·n + i`) and optimised
-//! independently. [`run_experiment`] fans the per-seed loop out over
-//! [`Fig9Config::threads`] scoped worker threads (the
-//! [`scoped_map`](crate::sweep::scoped_map) pool shared with the generic
-//! [`sweep`](crate::sweep) harness, no external deps) and collects
-//! results by application index, so every deterministic output — costs,
-//! chosen configurations, schedulability counts, deviations, evaluation
+//! independently. [`run_experiment`] is a degenerate node-count grid on
+//! the factorial [`grid`](crate::grid) engine: every `(point, seed)`
+//! pair is one unit on the shared work-stealing
+//! [`scoped_map`](crate::sweep::scoped_map) pool
+//! ([`Fig9Config::threads`] workers, no external deps), and results
+//! merge by index — so every deterministic output — costs, chosen
+//! configurations, schedulability counts, deviations, evaluation
 //! counts — is bit-identical to a serial run (`threads = 1`). Only the
 //! measured wall-clock times differ, as they do between any two runs.
 
-use crate::sweep::{aggregate_algos, scoped_map, Algo};
-use flexray_gen::{generate, GeneratorConfig};
-use flexray_model::{ModelError, PhyParams};
-use flexray_opt::{OptParams, OptResult, SaParams};
+use crate::sweep::Algo;
+use flexray_gen::GeneratorConfig;
+use flexray_model::ModelError;
+use flexray_opt::{OptParams, SaParams};
 
 pub use crate::sweep::AlgoStats;
 
@@ -103,54 +104,45 @@ impl PointStats {
     }
 }
 
-/// Generates and optimises application `i` of point `n` with all four
-/// algorithms — the unit of work distributed over the worker threads.
-fn solve_app(
-    cfg: &Fig9Config,
-    gen_cfg: &GeneratorConfig,
-    phy: PhyParams,
-    n: usize,
-    i: usize,
-) -> Result<Vec<OptResult>, ModelError> {
-    let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
-    let generated = generate(gen_cfg, seed)?;
-    Ok(Algo::ALL
-        .iter()
-        .map(|a| {
-            a.solve(
-                &generated.platform,
-                &generated.app,
-                phy,
-                &cfg.params,
-                &cfg.sa,
-            )
-        })
-        .collect())
-}
-
-/// Runs the experiment.
+/// Runs the experiment: a degenerate one-axis node-count
+/// [`grid`](crate::grid) over the paper configuration. The grid's
+/// [`SeedPolicy::PointOffsets`](crate::grid::SeedPolicy) reproduces
+/// fig9's historical seed schedule (`seed0 + 1000·n + i`, seeded by
+/// *node count* rather than point index), so the deterministic output
+/// is bit-identical to the pre-grid implementation (locked down by the
+/// differential suite in `tests/grid.rs`).
 ///
 /// # Errors
 ///
 /// Propagates generator errors.
 pub fn run_experiment(cfg: &Fig9Config) -> Result<Vec<PointStats>, ModelError> {
-    let phy = PhyParams::bmw_like();
-    let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
-    // SA is the deviation reference, as in the paper.
-    let sa_idx = Algo::ALL.iter().position(|&a| a == Algo::Sa);
-    let mut out = Vec::new();
-    for &n in &cfg.node_counts {
-        let gen_cfg = GeneratorConfig::paper(n);
-        let per_app: Vec<Vec<OptResult>> =
-            scoped_map(cfg.apps_per_point, cfg.worker_threads(), |i| {
-                solve_app(cfg, &gen_cfg, phy, n, i)
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
-        let algos = aggregate_algos(&names, &per_app, sa_idx);
-        out.push(PointStats { n_nodes: n, algos });
+    if cfg.node_counts.is_empty() {
+        return Ok(Vec::new());
     }
-    Ok(out)
+    // paper(n) differs from any other paper(k) only in the node count,
+    // so the node-count axis over a paper base reproduces it exactly;
+    // paper phy is the bmw_like layer fig9 always used.
+    let grid = crate::grid::GridConfig {
+        base: GeneratorConfig::paper(2),
+        axes: vec![crate::sweep::SweepAxis::NodeCount(cfg.node_counts.clone())],
+        apps_per_point: cfg.apps_per_point,
+        algos: Algo::ALL.to_vec(),
+        params: cfg.params.clone(),
+        sa: cfg.sa,
+        seed0: cfg.seed0,
+        seed_policy: crate::grid::SeedPolicy::PointOffsets(
+            cfg.node_counts.iter().map(|&n| 1000 * n as u64).collect(),
+        ),
+        threads: cfg.threads,
+    };
+    Ok(crate::grid::run_grid(&grid)?
+        .into_iter()
+        .zip(&cfg.node_counts)
+        .map(|(p, &n)| PointStats {
+            n_nodes: n,
+            algos: p.algos,
+        })
+        .collect())
 }
 
 /// Renders the two Fig. 9 panels as text tables.

@@ -1,0 +1,740 @@
+//! Factorial (grid) experiment engine over the v2 generator.
+//!
+//! [`run_grid`] generalises the single-axis [`sweep`](crate::sweep)
+//! harness to the cartesian product of **any subset of the axes**
+//! (node count × graph depth × gateway fraction × bus utilisation): a
+//! [`GridConfig`] enumerates the product deterministically, every
+//! `(point, seed)` pair becomes one work unit on the shared
+//! work-stealing [`scoped_map`](crate::sweep::scoped_map) pool — so
+//! workers steal across *points*, not just across the seeds of one
+//! point — and each completed point carries the per-algorithm
+//! [`AlgoStats`] **and** the achieved generator statistics
+//! ([`AggregatedGenStats`]: bus/CPU utilisation, relay and message
+//! counts, graph-depth histogram) of its instances.
+//!
+//! The single-axis harness and fig9 are degenerate grids:
+//! [`run_sweep`](crate::sweep::run_sweep) and
+//! [`fig9::run_experiment`](crate::fig9::run_experiment) both delegate
+//! here, with outputs bit-identical to their pre-grid implementations
+//! (locked down by the differential suite in `tests/grid.rs`).
+//!
+//! # Determinism and ordering
+//!
+//! Points are numbered row-major over [`GridConfig::axes`] — the first
+//! axis varies slowest, the last fastest — and application `i` of point
+//! `p` is seeded by [`SeedPolicy`] (by default `seed0 + 1000·p + i`,
+//! the sweep convention). Each unit is generated and optimised
+//! independently and merged by index, so every deterministic output is
+//! identical for any worker-thread count and any resume split; only
+//! measured wall-clock times vary.
+//!
+//! # Streaming and resume
+//!
+//! [`run_grid_resumed`] emits every finished [`GridPoint`] to a sink
+//! callback *in point order* while later points are still being solved
+//! (a reorder buffer holds out-of-order completions), which is what the
+//! `grid` binary streams to its JSON-lines report. Passing the points
+//! recovered from a partial report skips exactly those points; the
+//! engine re-emits them to the sink in place, so the final report of a
+//! killed-and-resumed run equals a full run's.
+
+use crate::sweep::{aggregate_algos, scoped_consume, Algo, AlgoStats, SweepAxis};
+use flexray_gen::{generate, AggregatedGenStats, GenStats, GeneratorConfig};
+use flexray_model::ModelError;
+use flexray_opt::{OptParams, OptResult, SaParams};
+
+/// How the base seed of a grid point is derived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// `seed0 + 1000·point_index + app` — the sweep convention; a
+    /// single-axis grid reproduces `run_sweep` seeds exactly.
+    PointIndex,
+    /// `seed0 + offsets[point_index] + app` — for harnesses whose seed
+    /// schedule predates the grid engine (fig9 seeds by *node count*,
+    /// not point index). Must hold one offset per grid point.
+    PointOffsets(Vec<u64>),
+}
+
+/// Scale and scope of one factorial experiment.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Base generator configuration the axes perturb.
+    pub base: GeneratorConfig,
+    /// The factorial axes; the grid is their cartesian product, first
+    /// axis slowest. An empty list yields the single base point.
+    pub axes: Vec<SweepAxis>,
+    /// Applications (seeds) per grid point.
+    pub apps_per_point: usize,
+    /// Algorithms to run on every application.
+    pub algos: Vec<Algo>,
+    /// Optimiser parameters.
+    pub params: OptParams,
+    /// SA parameters (used when [`Algo::Sa`] is in the set).
+    pub sa: SaParams,
+    /// Base RNG seed, combined per [`GridConfig::seed_policy`].
+    pub seed0: u64,
+    /// Per-point seed derivation.
+    pub seed_policy: SeedPolicy,
+    /// Worker threads for the unit pool: `1` runs serially, `0` uses
+    /// the available hardware parallelism.
+    pub threads: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            base: GeneratorConfig::paper(5),
+            axes: vec![
+                SweepAxis::NodeCount(vec![2, 5]),
+                SweepAxis::BusUtil(vec![0.2, 0.5]),
+            ],
+            apps_per_point: 3,
+            algos: Algo::ALL.to_vec(),
+            params: OptParams::default(),
+            sa: SaParams::default(),
+            seed0: 42,
+            seed_policy: SeedPolicy::PointIndex,
+            threads: 0,
+        }
+    }
+}
+
+/// Fully derived description of one grid point: its label, its
+/// axis coordinates and the generator configuration it runs.
+#[derive(Debug, Clone)]
+pub struct PointSpec {
+    /// Flat point index in enumeration order.
+    pub index: usize,
+    /// Human-readable label, e.g. `nodes=5,busutil=0.20` (or `base`
+    /// for an axis-less grid).
+    pub label: String,
+    /// `(axis name, value)` pairs in axis order.
+    pub coords: Vec<(String, String)>,
+    /// The generator configuration of the point.
+    pub config: GeneratorConfig,
+}
+
+impl GridConfig {
+    /// Number of grid points: the product of the axis lengths (1 for an
+    /// axis-less grid).
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.axes.iter().map(SweepAxis::len).product()
+    }
+
+    /// The effective worker-thread count: `threads`, with `0` resolved
+    /// to the available hardware parallelism.
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Index of the deviation reference within [`GridConfig::algos`]:
+    /// SA when present, else none.
+    #[must_use]
+    pub fn reference(&self) -> Option<usize> {
+        self.algos.iter().position(|&a| a == Algo::Sa)
+    }
+
+    /// Per-axis indices of flat point `p`, row-major (first axis
+    /// slowest, last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn axis_indices(&self, p: usize) -> Vec<usize> {
+        assert!(p < self.total_points(), "point {p} out of range");
+        let mut indices = vec![0usize; self.axes.len()];
+        let mut rem = p;
+        for k in (0..self.axes.len()).rev() {
+            let len = self.axes[k].len();
+            indices[k] = rem % len;
+            rem /= len;
+        }
+        indices
+    }
+
+    /// Derives grid point `p`: applies every axis to the base
+    /// configuration and assembles the label and coordinates (in axis
+    /// order).
+    ///
+    /// The axes are *applied* in a canonical order — node count, depth,
+    /// bus utilisation, gateway fraction last — independent of the
+    /// order they were configured in, so `nodes=… gateway=…` and
+    /// `gateway=… nodes=…` derive the same topology (the gateway
+    /// fallback picks the last node of the *final* cluster size, never
+    /// of the base configuration's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn point(&self, p: usize) -> PointSpec {
+        let indices = self.axis_indices(p);
+        let coords: Vec<(String, String)> = self
+            .axes
+            .iter()
+            .zip(&indices)
+            .map(|(axis, &idx)| (axis.name().to_owned(), axis.value(idx)))
+            .collect();
+        let apply_rank = |axis: &SweepAxis| match axis {
+            SweepAxis::NodeCount(_) => 0usize,
+            SweepAxis::GraphDepth(_) => 1,
+            SweepAxis::BusUtil(_) => 2,
+            SweepAxis::GatewayFraction(_) => 3,
+        };
+        let mut order: Vec<usize> = (0..self.axes.len()).collect();
+        order.sort_by_key(|&k| apply_rank(&self.axes[k]));
+        let mut config = self.base.clone();
+        for &k in &order {
+            let (_, next) = self.axes[k].configure(&config, indices[k]);
+            config = next;
+        }
+        let label = if coords.is_empty() {
+            "base".to_owned()
+        } else {
+            coords
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        PointSpec {
+            index: p,
+            label,
+            coords,
+            config,
+        }
+    }
+
+    /// Seed of application `app` of point `p` under the configured
+    /// [`SeedPolicy`].
+    #[must_use]
+    pub fn seed(&self, p: usize, app: usize) -> u64 {
+        let offset = match &self.seed_policy {
+            SeedPolicy::PointIndex => 1000 * p as u64,
+            SeedPolicy::PointOffsets(offsets) => offsets[p],
+        };
+        self.seed0 + offset + app as u64
+    }
+
+    /// Checks the grid for internal consistency (axes, algorithm set,
+    /// seed policy); the per-point generator configurations are
+    /// validated separately by [`run_grid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] on an empty axis, a
+    /// duplicate axis, an empty algorithm set, zero applications per
+    /// point, or a seed-offset table of the wrong length.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let fail = |msg: String| Err(ModelError::InvalidConfig(msg));
+        for (k, axis) in self.axes.iter().enumerate() {
+            if axis.is_empty() {
+                return fail(format!("grid axis {k} ({}) has no points", axis.name()));
+            }
+            if self.axes[..k].iter().any(|a| a.name() == axis.name()) {
+                return fail(format!("duplicate grid axis '{}'", axis.name()));
+            }
+        }
+        if self.algos.is_empty() {
+            return fail("grid algorithm set is empty".into());
+        }
+        if self.apps_per_point == 0 {
+            return fail("grid needs at least one application per point".into());
+        }
+        if let SeedPolicy::PointOffsets(offsets) = &self.seed_policy {
+            if offsets.len() != self.total_points() {
+                return fail(format!(
+                    "seed policy holds {} offsets for {} grid points",
+                    offsets.len(),
+                    self.total_points()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All configured algorithms plus the achieved generator statistics on
+/// one grid point.
+#[derive(Debug, Clone, Default)]
+pub struct GridPoint {
+    /// Flat point index in enumeration order.
+    pub index: usize,
+    /// Point label, e.g. `nodes=5,busutil=0.20`.
+    pub label: String,
+    /// `(axis name, value)` coordinates in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Per-algorithm stats, in [`GridConfig::algos`] order.
+    pub algos: Vec<(String, AlgoStats)>,
+    /// Achieved generator statistics, aggregated over the point's
+    /// applications.
+    pub gen: AggregatedGenStats,
+}
+
+impl GridPoint {
+    /// Equality over the deterministic fields — everything except the
+    /// measured wall-clock times — the invariant any parallel or
+    /// resumed run must preserve against a serial full run.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &GridPoint) -> bool {
+        self.index == other.index
+            && self.label == other.label
+            && self.coords == other.coords
+            && self.gen == other.gen
+            && self.algos.len() == other.algos.len()
+            && self.algos.iter().zip(&other.algos).all(|(a, b)| {
+                a.0 == b.0
+                    && a.1.schedulable == b.1.schedulable
+                    && a.1.total == b.1.total
+                    && a.1.avg_deviation_pct == b.1.avg_deviation_pct
+                    && a.1.avg_evaluations == b.1.avg_evaluations
+            })
+    }
+}
+
+/// One solved application: the per-algorithm optimiser results and the
+/// achieved generator statistics of its instance.
+type AppRun = (Vec<OptResult>, GenStats);
+
+/// Runs the whole grid and returns every point in enumeration order.
+///
+/// # Errors
+///
+/// See [`run_grid_resumed`].
+pub fn run_grid(cfg: &GridConfig) -> Result<Vec<GridPoint>, ModelError> {
+    run_grid_resumed(cfg, Vec::new(), |_| {})
+}
+
+/// Runs the grid, skipping the `done` points recovered from a partial
+/// report, and emits every point (recovered or computed) to `sink` in
+/// point order as soon as its prefix is complete.
+///
+/// Work units are `(point, application)` pairs fanned out over the
+/// shared work-stealing pool, so long-running points overlap with their
+/// neighbours instead of serialising the grid.
+///
+/// # Errors
+///
+/// Propagates grid validation ([`GridConfig::validate`]), per-point
+/// generator-configuration validation, generation errors, and rejects
+/// `done` points that do not belong to this grid (index out of range,
+/// label mismatch, duplicate, or wrong algorithm set).
+pub fn run_grid_resumed<S>(
+    cfg: &GridConfig,
+    done: Vec<GridPoint>,
+    mut sink: S,
+) -> Result<Vec<GridPoint>, ModelError>
+where
+    S: FnMut(&GridPoint),
+{
+    cfg.validate()?;
+    let total = cfg.total_points();
+    let specs: Vec<PointSpec> = (0..total).map(|p| cfg.point(p)).collect();
+    for spec in &specs {
+        spec.config.validate()?;
+    }
+    let names: Vec<&str> = cfg.algos.iter().map(|a| a.name()).collect();
+
+    let mut slots: Vec<Option<GridPoint>> = vec![None; total];
+    for point in done {
+        if point.index >= total {
+            return Err(ModelError::InvalidConfig(format!(
+                "resume point {} out of range for a {total}-point grid",
+                point.index
+            )));
+        }
+        if point.label != specs[point.index].label {
+            return Err(ModelError::InvalidConfig(format!(
+                "resume point {} is labelled '{}' but this grid expects '{}'",
+                point.index, point.label, specs[point.index].label
+            )));
+        }
+        if point.algos.len() != names.len()
+            || point
+                .algos
+                .iter()
+                .zip(&names)
+                .any(|((n, _), want)| n != want)
+        {
+            return Err(ModelError::InvalidConfig(format!(
+                "resume point {} carries a different algorithm set",
+                point.index
+            )));
+        }
+        if slots[point.index].is_some() {
+            return Err(ModelError::InvalidConfig(format!(
+                "duplicate resume point {}",
+                point.index
+            )));
+        }
+        let index = point.index;
+        slots[index] = Some(point);
+    }
+
+    let todo: Vec<usize> = (0..total).filter(|&p| slots[p].is_none()).collect();
+    let units: Vec<(usize, usize)> = todo
+        .iter()
+        .flat_map(|&p| (0..cfg.apps_per_point).map(move |i| (p, i)))
+        .collect();
+    // position of each todo point in `todo`, for the completion buffers
+    let mut todo_pos = vec![usize::MAX; total];
+    for (k, &p) in todo.iter().enumerate() {
+        todo_pos[p] = k;
+    }
+    let mut pending: Vec<Vec<Option<AppRun>>> = todo
+        .iter()
+        .map(|_| vec![None; cfg.apps_per_point])
+        .collect();
+    let mut next_emit = 0usize;
+    let mut first_error: Option<ModelError> = None;
+
+    // Emit the ready prefix (recovered points, then completed ones).
+    let flush = |slots: &[Option<GridPoint>], next_emit: &mut usize, sink: &mut S| {
+        while *next_emit < total {
+            match &slots[*next_emit] {
+                Some(point) => {
+                    sink(point);
+                    *next_emit += 1;
+                }
+                None => break,
+            }
+        }
+    };
+    flush(&slots, &mut next_emit, &mut sink);
+
+    // A failed unit aborts the run: later units bail out immediately
+    // instead of burning the rest of a long grid before the error is
+    // finally reported. Units already in flight still finish.
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let abort = &abort;
+    let solve_unit = |u: usize| -> Result<AppRun, ModelError> {
+        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(ModelError::InvalidConfig(
+                "grid run aborted after an earlier unit failed".into(),
+            ));
+        }
+        let (p, i) = units[u];
+        let spec = &specs[p];
+        let generated = generate(&spec.config, cfg.seed(p, i))?;
+        let stats = generated.stats(&spec.config.phy)?;
+        let results = cfg
+            .algos
+            .iter()
+            .map(|a| {
+                a.solve(
+                    &generated.platform,
+                    &generated.app,
+                    spec.config.phy,
+                    &cfg.params,
+                    &cfg.sa,
+                )
+            })
+            .collect();
+        Ok((results, stats))
+    };
+
+    scoped_consume(
+        units.len(),
+        cfg.worker_threads(),
+        solve_unit,
+        |u, outcome| {
+            let (p, i) = units[u];
+            match outcome {
+                Err(e) => {
+                    abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                    // the first consumed error is a real one: abort
+                    // placeholders only exist after the flag is set
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Ok(run) => {
+                    let apps = &mut pending[todo_pos[p]];
+                    apps[i] = Some(run);
+                    if apps.iter().all(Option::is_some) {
+                        let mut per_app = Vec::with_capacity(apps.len());
+                        let mut gens = Vec::with_capacity(apps.len());
+                        for app in apps.iter_mut() {
+                            let (results, stats) = app.take().expect("checked above");
+                            per_app.push(results);
+                            gens.push(stats);
+                        }
+                        slots[p] = Some(GridPoint {
+                            index: p,
+                            label: specs[p].label.clone(),
+                            coords: specs[p].coords.clone(),
+                            algos: aggregate_algos(&names, &per_app, cfg.reference()),
+                            gen: GenStats::aggregate(&gens),
+                        });
+                        flush(&slots, &mut next_emit, &mut sink);
+                    }
+                }
+            }
+        },
+    );
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every grid point is recovered or computed"))
+        .collect())
+}
+
+/// Renders a grid as one text table: per point and algorithm the
+/// schedulability, deviation, timing and evaluation figures, plus the
+/// point's achieved generator stats (mean bus/CPU utilisation, relay
+/// and message counts). `reference` names the deviation reference
+/// ([`GridConfig::reference`]); without one the deviation column is
+/// marked absent.
+#[must_use]
+pub fn render(reference: Option<&str>, points: &[GridPoint]) -> String {
+    let mut rows = Vec::new();
+    for point in points {
+        for (name, s) in &point.algos {
+            rows.push(vec![
+                point.label.clone(),
+                name.clone(),
+                format!("{}/{}", s.schedulable, s.total),
+                if reference.is_some() {
+                    format!("{:+.2}", s.avg_deviation_pct)
+                } else {
+                    "-".to_owned()
+                },
+                format!("{:.3}", s.avg_time_s),
+                format!("{:.0}", s.avg_evaluations),
+                format!("{:.3}", point.gen.avg_bus_util),
+                format!("{:.3}", point.gen.node_util.mean),
+                format!("{:.1}", point.gen.avg_relay_tasks),
+                format!(
+                    "{:.1}",
+                    point.gen.avg_st_messages + point.gen.avg_dyn_messages
+                ),
+            ]);
+        }
+    }
+    let dev_header = reference.map_or("avg %dev (no ref)".to_owned(), |r| {
+        format!("avg %dev vs {r}")
+    });
+    format!(
+        "Factorial grid\n{}",
+        crate::render_table(
+            &[
+                "point",
+                "algorithm",
+                "schedulable",
+                &dev_header,
+                "avg time (s)",
+                "avg analyses",
+                "bus util",
+                "cpu util",
+                "relays",
+                "messages",
+            ],
+            &rows
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_opt::{OptParams, SaParams};
+
+    fn fast_grid(axes: Vec<SweepAxis>) -> GridConfig {
+        GridConfig {
+            base: GeneratorConfig::small(3),
+            axes,
+            apps_per_point: 2,
+            algos: vec![Algo::Bbc, Algo::Sa],
+            params: OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            },
+            sa: SaParams {
+                iterations: 25,
+                ..SaParams::default()
+            },
+            seed0: 7,
+            seed_policy: SeedPolicy::PointIndex,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn enumeration_is_row_major() {
+        let cfg = fast_grid(vec![
+            SweepAxis::NodeCount(vec![2, 3]),
+            SweepAxis::BusUtil(vec![0.2, 0.4, 0.6]),
+        ]);
+        assert_eq!(cfg.total_points(), 6);
+        let labels: Vec<String> = (0..6).map(|p| cfg.point(p).label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "nodes=2,busutil=0.20",
+                "nodes=2,busutil=0.40",
+                "nodes=2,busutil=0.60",
+                "nodes=3,busutil=0.20",
+                "nodes=3,busutil=0.40",
+                "nodes=3,busutil=0.60",
+            ]
+        );
+        assert_eq!(cfg.axis_indices(4), vec![1, 1]);
+    }
+
+    #[test]
+    fn axis_less_grid_is_the_single_base_point() {
+        let cfg = fast_grid(vec![]);
+        assert_eq!(cfg.total_points(), 1);
+        assert_eq!(cfg.point(0).label, "base");
+        let points = run_grid(&cfg).expect("runs");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].gen.apps, 2);
+    }
+
+    #[test]
+    fn derived_configs_are_independent_of_axis_order() {
+        let ab = fast_grid(vec![
+            SweepAxis::GatewayFraction(vec![0.0, 0.5]),
+            SweepAxis::NodeCount(vec![2, 10]),
+        ]);
+        let ba = fast_grid(vec![
+            SweepAxis::NodeCount(vec![2, 10]),
+            SweepAxis::GatewayFraction(vec![0.0, 0.5]),
+        ]);
+        // match points across the two grids by their coordinate sets
+        for p in 0..ab.total_points() {
+            let spec = ab.point(p);
+            let mut want = spec.coords.clone();
+            want.sort();
+            let partner = (0..ba.total_points())
+                .map(|q| ba.point(q))
+                .find(|s| {
+                    let mut have = s.coords.clone();
+                    have.sort();
+                    have == want
+                })
+                .expect("same coordinate set exists in both grids");
+            assert_eq!(
+                spec.config, partner.config,
+                "axis order changed the derived config at {want:?}"
+            );
+        }
+        // in particular, the gateway fallback must target the final
+        // cluster's last node, not the base configuration's
+        let corner = ab.point(3); // gateway=0.50, nodes=10
+        assert_eq!(corner.config.n_nodes, 10);
+        assert_eq!(corner.config.gateways, vec![9]);
+    }
+
+    #[test]
+    fn seeds_follow_the_policy() {
+        let mut cfg = fast_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
+        assert_eq!(cfg.seed(1, 2), 7 + 1000 + 2);
+        cfg.seed_policy = SeedPolicy::PointOffsets(vec![5000, 9000]);
+        assert_eq!(cfg.seed(1, 2), 7 + 9000 + 2);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_grids() {
+        let mut cfg = fast_grid(vec![SweepAxis::NodeCount(vec![])]);
+        assert!(cfg.validate().is_err(), "empty axis");
+        cfg = fast_grid(vec![
+            SweepAxis::NodeCount(vec![2]),
+            SweepAxis::NodeCount(vec![3]),
+        ]);
+        assert!(cfg.validate().is_err(), "duplicate axis");
+        cfg = fast_grid(vec![SweepAxis::NodeCount(vec![2])]);
+        cfg.algos.clear();
+        assert!(cfg.validate().is_err(), "no algorithms");
+        cfg = fast_grid(vec![SweepAxis::NodeCount(vec![2])]);
+        cfg.apps_per_point = 0;
+        assert!(cfg.validate().is_err(), "no applications");
+        cfg = fast_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
+        cfg.seed_policy = SeedPolicy::PointOffsets(vec![0]);
+        assert!(cfg.validate().is_err(), "offset table too short");
+    }
+
+    #[test]
+    fn tiny_grid_runs_and_streams_in_order() {
+        let cfg = GridConfig {
+            threads: 4,
+            ..fast_grid(vec![
+                SweepAxis::NodeCount(vec![2, 3]),
+                SweepAxis::GatewayFraction(vec![0.0, 1.0]),
+            ])
+        };
+        let mut streamed = Vec::new();
+        let points =
+            run_grid_resumed(&cfg, Vec::new(), |p| streamed.push(p.index)).expect("grid runs");
+        assert_eq!(points.len(), 4);
+        assert_eq!(streamed, vec![0, 1, 2, 3], "sink sees points in order");
+        for (p, point) in points.iter().enumerate() {
+            assert_eq!(point.index, p);
+            assert_eq!(point.algos.len(), 2);
+            assert_eq!(point.gen.apps, 2);
+            assert!(point.gen.avg_bus_util > 0.0);
+            assert!(point.gen.node_util.max > 0.0);
+            assert!(!point.gen.depth_histogram.is_empty());
+        }
+        // gateway=0.00 points carry no relays; with 2 nodes the only
+        // gateway is always an endpoint (direct fallback), so relays
+        // can only appear on the 3-node full-gateway point
+        assert_eq!(points[0].gen.avg_relay_tasks, 0.0);
+        assert_eq!(points[2].gen.avg_relay_tasks, 0.0);
+        assert!(points[3].gen.avg_relay_tasks > 0.0);
+        let text = render(Some("SA"), &points);
+        assert!(text.contains("nodes=3,gateway=1.00"));
+        assert!(text.contains("bus util"));
+    }
+
+    #[test]
+    fn parallel_grid_equals_serial() {
+        let serial = fast_grid(vec![
+            SweepAxis::GraphDepth(vec![3, 5]),
+            SweepAxis::BusUtil(vec![0.2, 0.4]),
+        ]);
+        let parallel = GridConfig {
+            threads: 4,
+            ..serial.clone()
+        };
+        let s = run_grid(&serial).expect("serial");
+        let p = run_grid(&parallel).expect("parallel");
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(&p) {
+            assert!(a.deterministic_eq(b), "{a:?} vs {b:?} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_points() {
+        let cfg = fast_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
+        let full = run_grid(&cfg).expect("full");
+        // out of range
+        let mut bad = full[0].clone();
+        bad.index = 7;
+        assert!(run_grid_resumed(&cfg, vec![bad], |_| {}).is_err());
+        // label mismatch
+        let mut bad = full[0].clone();
+        bad.label = "nodes=9".into();
+        assert!(run_grid_resumed(&cfg, vec![bad], |_| {}).is_err());
+        // duplicate
+        assert!(run_grid_resumed(&cfg, vec![full[0].clone(), full[0].clone()], |_| {}).is_err());
+        // different algorithm set
+        let mut bad = full[0].clone();
+        bad.algos.pop();
+        assert!(run_grid_resumed(&cfg, vec![bad], |_| {}).is_err());
+    }
+}

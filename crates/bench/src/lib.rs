@@ -10,6 +10,10 @@
 //! * [`sweep`] — generic single-axis sweeps over the v2 generator
 //!   (node count beyond 7, graph depth, gateway traffic, bus
 //!   utilisation), generalising `fig9`;
+//! * [`grid`] — the factorial (cartesian-product) experiment engine
+//!   behind `sweep` and `fig9`, with per-point generator statistics
+//!   and a streaming, resumable JSON-lines/CSV [`report`];
+//! * [`report`] — the schema-versioned grid report codec;
 //! * [`cruise`] — the vehicle cruise-controller case study;
 //! * [`ablation`] — ablations of the reproduction's design choices.
 //!
@@ -26,6 +30,8 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig7;
 pub mod fig9;
+pub mod grid;
+pub mod report;
 pub mod sweep;
 mod table;
 

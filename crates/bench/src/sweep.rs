@@ -22,44 +22,74 @@
 //! deviations, evaluation counts, chosen configurations) is identical
 //! for any worker-thread count. Only measured wall-clock times vary.
 
-use flexray_gen::{generate, GeneratorConfig, GraphShape};
+use flexray_gen::{GeneratorConfig, GraphShape};
 use flexray_model::{Application, ModelError, PhyParams, Platform};
 use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
 
 /// Runs `f(0..n_items)` over `threads` scoped worker threads and
-/// returns the results in index order — the per-seed worker pool shared
-/// by [`run_sweep`] and [`fig9::run_experiment`](crate::fig9).
+/// returns the results in index order — the worker pool shared by
+/// [`run_sweep`], [`fig9::run_experiment`](crate::fig9) and the
+/// [`grid`](crate::grid) engine.
 ///
-/// `threads <= 1` runs serially; workers own disjoint interleaved index
-/// subsets, so results land by index and the merge is deterministic.
+/// `threads <= 1` runs serially. Workers *steal* the next unclaimed
+/// index from a shared atomic cursor (rather than owning pre-assigned
+/// subsets), so a few slow items cannot idle the rest of the pool;
+/// results still land by index, keeping the merge deterministic.
 pub fn scoped_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    scoped_consume(n_items, threads, f, |i, item| slots[i] = Some(item));
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+        .collect()
+}
+
+/// The pool behind [`scoped_map`], exposing completion instead of
+/// collection: `consume(i, result)` runs on the calling thread and
+/// *owns* each result, in completion order (nondeterministic across
+/// runs — index order only on the serial path). This is the streaming
+/// hook the grid engine uses to aggregate points and emit report
+/// records while later units are still being solved, without holding a
+/// second copy of the results.
+pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, mut consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
     let threads = threads.max(1).min(n_items.max(1));
     if threads <= 1 {
-        return (0..n_items).map(f).collect();
+        for i in 0..n_items {
+            consume(i, f(i));
+        }
+        return;
     }
-    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    let mut buckets: Vec<Vec<(usize, &mut Option<T>)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, slot) in slots.iter_mut().enumerate() {
-        buckets[i % threads].push((i, slot));
-    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
     let f = &f;
+    let cursor = &cursor;
     std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
-                for (i, slot) in bucket {
-                    *slot = Some(f(i));
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
                 }
             });
         }
+        drop(tx);
+        for (i, item) in rx {
+            consume(i, item);
+        }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every slot is assigned to exactly one worker"))
-        .collect()
 }
 
 /// Aggregated outcome of one algorithm on one sweep point.
@@ -192,6 +222,81 @@ impl Algo {
     }
 }
 
+/// Parses a comma-separated algorithm subset (`bbc,obccf,obcee,sa`,
+/// case-insensitive) as accepted by the `sweep` and `grid` binaries.
+///
+/// Unlike a lenient filter, every token must name a known algorithm:
+/// unknown names, empty tokens and duplicates are rejected with an
+/// error naming the offending token, so a typo (`obc` for `obccf`)
+/// cannot silently shrink the algorithm set.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] naming the first offending
+/// token.
+pub fn parse_algo_set(s: &str) -> Result<Vec<Algo>, ModelError> {
+    let mut algos = Vec::new();
+    for token in s.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(ModelError::InvalidConfig(format!(
+                "empty algorithm name in subset '{s}' (expected bbc, obccf, obcee or sa)"
+            )));
+        }
+        let Some(algo) = Algo::parse(token) else {
+            return Err(ModelError::InvalidConfig(format!(
+                "unknown algorithm '{token}' in subset '{s}' (expected bbc, obccf, obcee or sa)"
+            )));
+        };
+        if algos.contains(&algo) {
+            return Err(ModelError::InvalidConfig(format!(
+                "duplicate algorithm '{token}' in subset '{s}'"
+            )));
+        }
+        algos.push(algo);
+    }
+    Ok(algos)
+}
+
+/// The `fast`/`full`/`smoke` search-parameter presets shared by the
+/// `fig9`, `sweep` and `grid` binaries (and the differential test
+/// suite): `full` keeps the defaults, `fast` shrinks the search caps
+/// for a quick qualitative run, `smoke` shrinks them further for CI.
+/// Returns `None` for an unknown mode name.
+#[must_use]
+pub fn search_mode(mode: &str) -> Option<(OptParams, SaParams)> {
+    match mode {
+        "full" => Some((OptParams::default(), SaParams::default())),
+        "fast" => Some((
+            OptParams {
+                max_extra_slots: 4,
+                max_slot_len_steps: 6,
+                max_dyn_candidates: 96,
+                dyn_step: 8,
+                ..OptParams::default()
+            },
+            SaParams {
+                iterations: 400,
+                ..SaParams::default()
+            },
+        )),
+        "smoke" => Some((
+            OptParams {
+                max_extra_slots: 2,
+                max_slot_len_steps: 3,
+                max_dyn_candidates: 24,
+                dyn_step: 32,
+                ..OptParams::default()
+            },
+            SaParams {
+                iterations: 30,
+                ..SaParams::default()
+            },
+        )),
+        _ => None,
+    }
+}
+
 /// The configuration axis a sweep walks, with its points.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepAxis {
@@ -233,6 +338,22 @@ impl SweepAxis {
         self.len() == 0
     }
 
+    /// Canonical rendering of point `idx`'s value — the single source
+    /// of the axis-value strings used in point labels, report
+    /// coordinates and header axis listings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> String {
+        match self {
+            SweepAxis::NodeCount(v) => v[idx].to_string(),
+            SweepAxis::GraphDepth(v) => v[idx].to_string(),
+            SweepAxis::GatewayFraction(v) | SweepAxis::BusUtil(v) => format!("{:.2}", v[idx]),
+        }
+    }
+
     /// The generator configuration and label of point `idx`.
     ///
     /// # Panics
@@ -254,7 +375,7 @@ impl SweepAxis {
                 if cfg.gateway_fraction > 0.0 && cfg.gateways.is_empty() {
                     cfg.gateways = vec![n.saturating_sub(1)];
                 }
-                (format!("nodes={n}"), cfg)
+                (format!("nodes={}", self.value(idx)), cfg)
             }
             SweepAxis::GraphDepth(v) => {
                 let d = v[idx];
@@ -264,7 +385,7 @@ impl SweepAxis {
                     shape: GraphShape::Chain,
                     ..base.clone()
                 };
-                (format!("depth={d}"), cfg)
+                (format!("depth={}", self.value(idx)), cfg)
             }
             SweepAxis::GatewayFraction(v) => {
                 let f = v[idx];
@@ -275,7 +396,7 @@ impl SweepAxis {
                 if f > 0.0 && cfg.gateways.is_empty() {
                     cfg.gateways = vec![cfg.n_nodes.saturating_sub(1)];
                 }
-                (format!("gateway={f:.2}"), cfg)
+                (format!("gateway={}", self.value(idx)), cfg)
             }
             SweepAxis::BusUtil(v) => {
                 let u = v[idx];
@@ -283,7 +404,7 @@ impl SweepAxis {
                     bus_util: (u, u),
                     ..base.clone()
                 };
-                (format!("busutil={u:.2}"), cfg)
+                (format!("busutil={}", self.value(idx)), cfg)
             }
         }
     }
@@ -375,8 +496,13 @@ impl SweepPoint {
 }
 
 /// Runs the sweep: every axis point, `apps_per_point` seeded
-/// applications each, every configured algorithm per application, the
-/// per-seed loop fanned out over [`scoped_map`] workers.
+/// applications each, every configured algorithm per application —
+/// executed as a degenerate one-axis [`grid`](crate::grid), so the
+/// `(point, seed)` units share the work-stealing pool and the seed
+/// schedule (`seed0 + 1000·p + i`) of the factorial engine. The
+/// deterministic output is bit-identical to the pre-grid single-axis
+/// implementation (locked down by the differential suite in
+/// `tests/grid.rs`).
 ///
 /// # Errors
 ///
@@ -391,36 +517,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepPoint>, ModelError> {
             "sweep algorithm set is empty".into(),
         ));
     }
-    let names: Vec<&str> = cfg.algos.iter().map(|a| a.name()).collect();
-    let mut out = Vec::with_capacity(cfg.axis.len());
-    for p in 0..cfg.axis.len() {
-        let (label, gen_cfg) = cfg.axis.configure(&cfg.base, p);
-        gen_cfg.validate()?;
-        let per_app: Vec<Result<Vec<OptResult>, ModelError>> =
-            scoped_map(cfg.apps_per_point, cfg.worker_threads(), |i| {
-                let seed = cfg.seed0 + 1000 * p as u64 + i as u64;
-                let generated = generate(&gen_cfg, seed)?;
-                Ok(cfg
-                    .algos
-                    .iter()
-                    .map(|a| {
-                        a.solve(
-                            &generated.platform,
-                            &generated.app,
-                            gen_cfg.phy,
-                            &cfg.params,
-                            &cfg.sa,
-                        )
-                    })
-                    .collect())
-            });
-        let per_app: Vec<Vec<OptResult>> = per_app.into_iter().collect::<Result<_, _>>()?;
-        out.push(SweepPoint {
-            label,
-            algos: aggregate_algos(&names, &per_app, cfg.reference()),
-        });
-    }
-    Ok(out)
+    let grid = crate::grid::GridConfig {
+        base: cfg.base.clone(),
+        axes: vec![cfg.axis.clone()],
+        apps_per_point: cfg.apps_per_point,
+        algos: cfg.algos.clone(),
+        params: cfg.params.clone(),
+        sa: cfg.sa,
+        seed0: cfg.seed0,
+        seed_policy: crate::grid::SeedPolicy::PointIndex,
+        threads: cfg.threads,
+    };
+    Ok(crate::grid::run_grid(&grid)?
+        .into_iter()
+        .map(|p| SweepPoint {
+            label: p.label,
+            algos: p.algos,
+        })
+        .collect())
 }
 
 /// Renders a sweep as one text table. `reference` is the name of the
@@ -524,6 +638,23 @@ mod tests {
             assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
         }
         assert!(scoped_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn scoped_consume_hands_over_every_item_exactly_once() {
+        for threads in [1usize, 4] {
+            let mut seen = [0usize; 9];
+            scoped_consume(
+                9,
+                threads,
+                |i| i * 2,
+                |i, item| {
+                    assert_eq!(item, i * 2, "consumer owns the right item");
+                    seen[i] += 1;
+                },
+            );
+            assert!(seen.iter().all(|&count| count == 1), "threads {threads}");
+        }
     }
 
     #[test]
@@ -636,5 +767,35 @@ mod tests {
             assert_eq!(Algo::parse(algo.name()), Some(algo));
         }
         assert_eq!(Algo::parse("nope"), None);
+    }
+
+    #[test]
+    fn algo_set_parser_accepts_known_subsets() {
+        assert_eq!(
+            parse_algo_set("bbc,obccf,obcee,sa").expect("all four"),
+            Algo::ALL.to_vec()
+        );
+        assert_eq!(
+            parse_algo_set("SA , bbc").expect("case and spaces"),
+            vec![Algo::Sa, Algo::Bbc]
+        );
+        assert_eq!(parse_algo_set("obcee").expect("single"), vec![Algo::ObcEe]);
+    }
+
+    #[test]
+    fn algo_set_parser_rejects_unknown_empty_and_duplicate_names() {
+        for (input, needle) in [
+            ("obc", "unknown algorithm 'obc'"),
+            ("bbc,nope,sa", "unknown algorithm 'nope'"),
+            ("", "empty algorithm name"),
+            ("bbc,,sa", "empty algorithm name"),
+            ("bbc,sa,bbc", "duplicate algorithm 'bbc'"),
+        ] {
+            let err = parse_algo_set(input).expect_err(input);
+            assert!(
+                matches!(&err, ModelError::InvalidConfig(msg) if msg.contains(needle)),
+                "{input}: {err}"
+            );
+        }
     }
 }

@@ -1,0 +1,522 @@
+//! Differential and property suite locking down the factorial grid
+//! engine:
+//!
+//! * cartesian-product completeness and deterministic enumeration;
+//! * resume(partial ∪ rest) == full run, for every split point;
+//! * the refactored single-axis sweep and fig9 harnesses against
+//!   byte-level reference reimplementations of their pre-grid loops
+//!   (bit-identical deterministic output);
+//! * JSON-lines report round-trips, torn-tail recovery;
+//! * a golden-file test pinning the JSONL/CSV schema — bumping
+//!   [`GRID_SCHEMA_VERSION`] breaks it on purpose.
+
+use flexray_bench::fig9::{run_experiment, Fig9Config, PointStats};
+use flexray_bench::grid::{run_grid, run_grid_resumed, GridConfig, GridPoint, SeedPolicy};
+use flexray_bench::report::{from_jsonl, to_csv, to_jsonl, GridReportHeader, GRID_SCHEMA_VERSION};
+use flexray_bench::sweep::{
+    aggregate_algos, run_sweep, Algo, AlgoStats, SweepAxis, SweepConfig, SweepPoint,
+};
+use flexray_gen::{generate, AggregatedGenStats, GeneratorConfig};
+use flexray_model::{PhyParams, UtilSummary};
+use flexray_opt::{OptParams, OptResult, SaParams};
+
+/// Smoke-scale search parameters shared by every differential run —
+/// the same preset table the binaries use.
+fn smoke_params() -> OptParams {
+    flexray_bench::sweep::search_mode("smoke")
+        .expect("known mode")
+        .0
+}
+
+fn smoke_sa() -> SaParams {
+    flexray_bench::sweep::search_mode("smoke")
+        .expect("known mode")
+        .1
+}
+
+fn smoke_grid(axes: Vec<SweepAxis>) -> GridConfig {
+    GridConfig {
+        base: GeneratorConfig::small(3),
+        axes,
+        apps_per_point: 2,
+        algos: vec![Algo::Bbc, Algo::Sa],
+        params: smoke_params(),
+        sa: smoke_sa(),
+        seed0: 7,
+        seed_policy: SeedPolicy::PointIndex,
+        threads: 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enumeration properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn cartesian_product_is_complete_and_deterministically_ordered() {
+    let cfg = smoke_grid(vec![
+        SweepAxis::NodeCount(vec![2, 3, 4]),
+        SweepAxis::GatewayFraction(vec![0.0, 0.5]),
+        SweepAxis::BusUtil(vec![0.2, 0.4]),
+    ]);
+    assert_eq!(cfg.total_points(), 12);
+
+    // the enumeration is exactly the nested loop, first axis slowest
+    let mut expected = Vec::new();
+    for n in [2usize, 3, 4] {
+        for g in [0.0f64, 0.5] {
+            for u in [0.2f64, 0.4] {
+                expected.push(format!("nodes={n},gateway={g:.2},busutil={u:.2}"));
+            }
+        }
+    }
+    let labels: Vec<String> = (0..12).map(|p| cfg.point(p).label).collect();
+    assert_eq!(labels, expected);
+
+    // completeness: every combination appears exactly once
+    let mut sorted = labels.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 12, "a combination is missing or duplicated");
+
+    // the derived configs carry the coordinates
+    for p in 0..12 {
+        let spec = cfg.point(p);
+        assert_eq!(spec.index, p);
+        assert_eq!(spec.coords.len(), 3);
+        let n: usize = spec.coords[0].1.parse().expect("nodes value");
+        assert_eq!(spec.config.n_nodes, n);
+        spec.config.validate().expect("derived config validates");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resume properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn resume_of_any_partial_prefix_equals_the_full_run() {
+    let cfg = smoke_grid(vec![
+        SweepAxis::NodeCount(vec![2, 3]),
+        SweepAxis::BusUtil(vec![0.2, 0.4]),
+    ]);
+    let full = run_grid(&cfg).expect("full run");
+    assert_eq!(full.len(), 4);
+
+    for split in 0..=full.len() {
+        let done: Vec<GridPoint> = full[..split].to_vec();
+        let mut streamed = Vec::new();
+        let resumed =
+            run_grid_resumed(&cfg, done, |p| streamed.push(p.index)).expect("resumed run");
+        assert_eq!(
+            streamed,
+            (0..full.len()).collect::<Vec<_>>(),
+            "split {split}: sink must see every point in order"
+        );
+        assert_eq!(resumed.len(), full.len());
+        for (a, b) in full.iter().zip(&resumed) {
+            assert!(
+                a.deterministic_eq(b),
+                "split {split}: {a:?} vs {b:?} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_of_a_non_prefix_subset_also_completes() {
+    let cfg = smoke_grid(vec![SweepAxis::NodeCount(vec![2, 3, 4])]);
+    let full = run_grid(&cfg).expect("full run");
+    // recover only the middle point: the engine must fill both gaps
+    let done = vec![full[1].clone()];
+    let mut streamed = Vec::new();
+    let resumed = run_grid_resumed(&cfg, done, |p| streamed.push(p.index)).expect("resumed run");
+    assert_eq!(streamed, vec![0, 1, 2]);
+    for (a, b) in full.iter().zip(&resumed) {
+        assert!(a.deterministic_eq(b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate grids vs the single-axis harnesses
+// ---------------------------------------------------------------------
+
+fn sweep_cfg(axis: SweepAxis) -> SweepConfig {
+    SweepConfig {
+        base: GeneratorConfig::small(3),
+        axis,
+        apps_per_point: 2,
+        algos: vec![Algo::Bbc, Algo::Sa],
+        params: smoke_params(),
+        sa: smoke_sa(),
+        seed0: 7,
+        threads: 1,
+    }
+}
+
+#[test]
+fn degenerate_grid_equals_single_axis_sweep_bit_for_bit() {
+    for axis in [
+        SweepAxis::NodeCount(vec![2, 3]),
+        SweepAxis::GraphDepth(vec![3, 5]),
+        SweepAxis::GatewayFraction(vec![0.0, 0.6]),
+        SweepAxis::BusUtil(vec![0.2, 0.4]),
+    ] {
+        let cfg = sweep_cfg(axis.clone());
+        let sweep = run_sweep(&cfg).expect("sweep");
+        let grid_cfg = GridConfig {
+            base: cfg.base.clone(),
+            axes: vec![axis],
+            apps_per_point: cfg.apps_per_point,
+            algos: cfg.algos.clone(),
+            params: cfg.params.clone(),
+            sa: cfg.sa,
+            seed0: cfg.seed0,
+            seed_policy: SeedPolicy::PointIndex,
+            threads: cfg.threads,
+        };
+        let grid = run_grid(&grid_cfg).expect("grid");
+        assert_eq!(sweep.len(), grid.len());
+        for (s, g) in sweep.iter().zip(&grid) {
+            let as_sweep = SweepPoint {
+                label: g.label.clone(),
+                algos: g.algos.clone(),
+            };
+            assert!(
+                s.deterministic_eq(&as_sweep),
+                "{s:?} vs {as_sweep:?} diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: refactored harnesses vs their pre-grid reference loops
+// ---------------------------------------------------------------------
+
+/// The single-axis sweep exactly as implemented before the grid
+/// refactor: a serial per-point loop over per-seed applications.
+fn reference_sweep(cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let names: Vec<&str> = cfg.algos.iter().map(|a| a.name()).collect();
+    let mut out = Vec::new();
+    for p in 0..cfg.axis.len() {
+        let (label, gen_cfg) = cfg.axis.configure(&cfg.base, p);
+        gen_cfg.validate().expect("derived config");
+        let per_app: Vec<Vec<OptResult>> = (0..cfg.apps_per_point)
+            .map(|i| {
+                let seed = cfg.seed0 + 1000 * p as u64 + i as u64;
+                let generated = generate(&gen_cfg, seed).expect("generator");
+                cfg.algos
+                    .iter()
+                    .map(|a| {
+                        a.solve(
+                            &generated.platform,
+                            &generated.app,
+                            gen_cfg.phy,
+                            &cfg.params,
+                            &cfg.sa,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push(SweepPoint {
+            label,
+            algos: aggregate_algos(&names, &per_app, cfg.reference()),
+        });
+    }
+    out
+}
+
+/// Fig9 exactly as implemented before the grid refactor: paper
+/// configuration per node count, seeds `seed0 + 1000·n + i`.
+fn reference_fig9(cfg: &Fig9Config) -> Vec<PointStats> {
+    let phy = PhyParams::bmw_like();
+    let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
+    let sa_idx = Algo::ALL.iter().position(|&a| a == Algo::Sa);
+    let mut out = Vec::new();
+    for &n in &cfg.node_counts {
+        let gen_cfg = GeneratorConfig::paper(n);
+        let per_app: Vec<Vec<OptResult>> = (0..cfg.apps_per_point)
+            .map(|i| {
+                let seed = cfg.seed0 + 1000 * n as u64 + i as u64;
+                let generated = generate(&gen_cfg, seed).expect("generator");
+                Algo::ALL
+                    .iter()
+                    .map(|a| {
+                        a.solve(
+                            &generated.platform,
+                            &generated.app,
+                            phy,
+                            &cfg.params,
+                            &cfg.sa,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push(PointStats {
+            n_nodes: n,
+            algos: aggregate_algos(&names, &per_app, sa_idx),
+        });
+    }
+    out
+}
+
+#[test]
+fn refactored_sweep_matches_the_pre_grid_reference_implementation() {
+    for axis in [
+        SweepAxis::NodeCount(vec![2, 3]),
+        SweepAxis::GatewayFraction(vec![0.0, 0.6]),
+    ] {
+        // the reference runs serially; the engine must match at any
+        // worker count
+        for threads in [1usize, 4] {
+            let cfg = SweepConfig {
+                threads,
+                ..sweep_cfg(axis.clone())
+            };
+            let engine = run_sweep(&cfg).expect("engine sweep");
+            let reference = reference_sweep(&cfg);
+            assert_eq!(engine.len(), reference.len());
+            for (e, r) in engine.iter().zip(&reference) {
+                assert!(
+                    e.deterministic_eq(r),
+                    "threads {threads}: {e:?} vs {r:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refactored_fig9_matches_the_pre_grid_reference_implementation() {
+    for threads in [1usize, 4] {
+        let cfg = Fig9Config {
+            node_counts: vec![2, 3],
+            apps_per_point: 2,
+            params: smoke_params(),
+            sa: SaParams {
+                iterations: 30,
+                ..SaParams::default()
+            },
+            seed0: 7,
+            threads,
+        };
+        let engine = run_experiment(&cfg).expect("engine fig9");
+        let reference = reference_fig9(&cfg);
+        assert_eq!(engine.len(), reference.len());
+        for (e, r) in engine.iter().zip(&reference) {
+            assert!(
+                e.deterministic_eq(r),
+                "threads {threads}: {e:?} vs {r:?} diverged"
+            );
+        }
+    }
+
+    let empty = Fig9Config {
+        node_counts: Vec::new(),
+        ..Fig9Config::default()
+    };
+    assert!(
+        run_experiment(&empty).expect("empty").is_empty(),
+        "empty node-count list keeps returning an empty experiment"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Report round-trips
+// ---------------------------------------------------------------------
+
+/// Full equality including the wall-clock fields (the codec must not
+/// lose precision; `deterministic_eq` deliberately skips times).
+fn fully_eq(a: &GridPoint, b: &GridPoint) -> bool {
+    a.deterministic_eq(b)
+        && a.algos
+            .iter()
+            .zip(&b.algos)
+            .all(|(x, y)| x.1.avg_time_s.to_bits() == y.1.avg_time_s.to_bits())
+}
+
+#[test]
+fn jsonl_report_round_trips_exactly() {
+    let cfg = smoke_grid(vec![
+        SweepAxis::NodeCount(vec![2, 3]),
+        SweepAxis::GatewayFraction(vec![0.0, 1.0]),
+    ]);
+    let points = run_grid(&cfg).expect("grid");
+    let header = GridReportHeader::of(&cfg);
+    let text = to_jsonl(&header, &points);
+    let (back_header, back_points) = from_jsonl(&text).expect("parses");
+    assert_eq!(back_header, header);
+    assert_eq!(back_points.len(), points.len());
+    for (a, b) in points.iter().zip(&back_points) {
+        assert!(fully_eq(a, b), "{a:?} vs {b:?} diverged through the codec");
+    }
+    // a second write is byte-identical (stable float rendering)
+    assert_eq!(to_jsonl(&back_header, &back_points), text);
+}
+
+#[test]
+fn torn_tail_is_recovered_and_mid_file_corruption_is_rejected() {
+    let cfg = smoke_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
+    let points = run_grid(&cfg).expect("grid");
+    let header = GridReportHeader::of(&cfg);
+    let text = to_jsonl(&header, &points);
+
+    // kill mid-write: drop the trailing half of the last line
+    let torn = &text[..text.len() - 40];
+    let (_, recovered) = from_jsonl(torn).expect("torn tail is recoverable");
+    assert_eq!(recovered.len(), points.len() - 1);
+    assert!(fully_eq(&recovered[0], &points[0]));
+
+    // corruption before the tail is an error, not silent loss
+    let corrupted = text.replacen("\"label\"", "\"labe", 1);
+    assert!(from_jsonl(&corrupted).is_err());
+
+    // resuming from the recovered prefix completes to the full result
+    let resumed = run_grid_resumed(&cfg, recovered, |_| {}).expect("resume");
+    for (a, b) in points.iter().zip(&resumed) {
+        assert!(a.deterministic_eq(b));
+    }
+}
+
+#[test]
+fn header_mismatch_guards_resume() {
+    let cfg = smoke_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
+    let header = GridReportHeader::of(&cfg);
+    let other = GridConfig {
+        seed0: 8,
+        ..cfg.clone()
+    };
+    assert_ne!(
+        GridReportHeader::of(&other),
+        header,
+        "seed is fingerprinted"
+    );
+    let other = GridConfig {
+        apps_per_point: 3,
+        ..cfg.clone()
+    };
+    assert_ne!(GridReportHeader::of(&other), header);
+    let other = GridConfig {
+        params: OptParams::default(),
+        ..cfg.clone()
+    };
+    assert_ne!(GridReportHeader::of(&other), header, "params fingerprinted");
+    // a different base workload must not be able to adopt the report,
+    // even when every axis point list is identical
+    let other = GridConfig {
+        base: GeneratorConfig::paper(3),
+        ..cfg.clone()
+    };
+    assert_ne!(
+        GridReportHeader::of(&other),
+        header,
+        "base generator config is fingerprinted"
+    );
+    // the worker-thread count does not affect the output and is not
+    // part of the fingerprint
+    let other = GridConfig { threads: 9, ..cfg };
+    assert_eq!(GridReportHeader::of(&other), header);
+}
+
+#[test]
+fn header_seeds_beyond_f64_precision_round_trip_exactly() {
+    let cfg = GridConfig {
+        seed0: (1u64 << 53) + 1, // not representable as f64
+        ..smoke_grid(vec![SweepAxis::NodeCount(vec![2])])
+    };
+    let header = GridReportHeader::of(&cfg);
+    let back = GridReportHeader::parse(&header.to_line()).expect("parses");
+    assert_eq!(back.seed0, (1u64 << 53) + 1);
+    assert_eq!(back, header, "resume must accept the identical grid");
+}
+
+// ---------------------------------------------------------------------
+// Golden-file schema test
+// ---------------------------------------------------------------------
+
+/// A fixed, hand-written report: two points, exact binary fractions
+/// everywhere so the rendering is stable across platforms.
+fn golden_fixture() -> (GridReportHeader, Vec<GridPoint>) {
+    let header = GridReportHeader {
+        version: GRID_SCHEMA_VERSION,
+        axes: vec![
+            ("nodes".into(), vec!["2".into(), "3".into()]),
+            ("busutil".into(), vec!["0.25".into()]),
+        ],
+        apps_per_point: 2,
+        algos: vec!["BBC".into(), "SA".into()],
+        seed0: 42,
+        params: "fixture".into(),
+        total_points: 2,
+    };
+    let algo = |sched: usize, dev: f64, time: f64, evals: f64| AlgoStats {
+        schedulable: sched,
+        total: 2,
+        avg_deviation_pct: dev,
+        avg_time_s: time,
+        avg_evaluations: evals,
+    };
+    let point = |index: usize, nodes: &str, tasks: f64| GridPoint {
+        index,
+        label: format!("nodes={nodes},busutil=0.25"),
+        coords: vec![
+            ("nodes".into(), nodes.into()),
+            ("busutil".into(), "0.25".into()),
+        ],
+        algos: vec![
+            ("BBC".into(), algo(1, 1.5, 0.125, 26.0)),
+            ("SA".into(), algo(2, 0.0, 0.5, 31.0)),
+        ],
+        gen: AggregatedGenStats {
+            apps: 2,
+            avg_tasks: tasks,
+            avg_relay_tasks: 0.5,
+            avg_st_messages: 4.0,
+            avg_dyn_messages: 6.5,
+            avg_graphs: 4.0,
+            node_util: UtilSummary {
+                min: 0.25,
+                mean: 0.375,
+                max: 0.5,
+            },
+            avg_bus_util: 0.1875,
+            depth_histogram: vec![0, 0, 1, 3],
+        },
+    };
+    (header, vec![point(0, "2", 20.0), point(1, "3", 30.0)])
+}
+
+#[test]
+fn report_schema_matches_the_golden_files() {
+    assert_eq!(
+        GRID_SCHEMA_VERSION, 1,
+        "schema version changed: regenerate tests/golden/grid_report.{{jsonl,csv}} \
+         and update this assertion together with the version bump"
+    );
+    let (header, points) = golden_fixture();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+        std::fs::create_dir_all(dir).expect("golden dir");
+        std::fs::write(
+            format!("{dir}/grid_report.jsonl"),
+            to_jsonl(&header, &points),
+        )
+        .expect("write jsonl golden");
+        std::fs::write(format!("{dir}/grid_report.csv"), to_csv(&header, &points))
+            .expect("write csv golden");
+        return;
+    }
+    assert_eq!(
+        to_jsonl(&header, &points),
+        include_str!("golden/grid_report.jsonl"),
+        "JSONL schema drifted: bump GRID_SCHEMA_VERSION and regenerate the golden file"
+    );
+    assert_eq!(
+        to_csv(&header, &points),
+        include_str!("golden/grid_report.csv"),
+        "CSV schema drifted: bump GRID_SCHEMA_VERSION and regenerate the golden file"
+    );
+}

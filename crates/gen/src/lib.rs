@@ -32,9 +32,11 @@
 mod config;
 mod cruise;
 mod fig7;
+mod stats;
 mod synth;
 
 pub use config::{GeneratorConfig, GraphShape, RemainderPolicy};
 pub use cruise::{cruise_controller, cruise_controller_with};
 pub use fig7::{fig7_system, FIG7_NODES};
+pub use stats::{AggregatedGenStats, GenStats};
 pub use synth::{generate, Generated};

@@ -1,0 +1,145 @@
+//! Achieved statistics of generated instances, and their aggregation
+//! over the seeds of one experiment point.
+//!
+//! The generator *aims* at configured utilisation and topology targets;
+//! [`GenStats`] records what one instance actually achieved (payload
+//! clamping and WCET rounding move the result off the target), plus the
+//! generator-private figures the model layer cannot see — the number of
+//! gateway relay tasks inserted. [`AggregatedGenStats`] folds the
+//! per-seed stats of one experiment point into the per-point record the
+//! grid-sweep report carries.
+
+use flexray_model::{UtilSummary, WorkloadStats};
+
+/// Achieved statistics of one generated instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenStats {
+    /// Seed the instance was generated from.
+    pub seed: u64,
+    /// Gateway relay tasks inserted (on top of the configured task
+    /// count).
+    pub relay_tasks: usize,
+    /// Model-level workload statistics: census, achieved node/bus
+    /// utilisation, task-depth histogram.
+    pub workload: WorkloadStats,
+}
+
+/// Per-point aggregation of [`GenStats`] over an experiment point's
+/// applications (seeds): means for counts and utilisations, extrema for
+/// the node-utilisation envelope, and the summed depth histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregatedGenStats {
+    /// Number of applications aggregated.
+    pub apps: usize,
+    /// Mean number of tasks per application (relay tasks included).
+    pub avg_tasks: f64,
+    /// Mean number of gateway relay tasks per application.
+    pub avg_relay_tasks: f64,
+    /// Mean number of static messages per application.
+    pub avg_st_messages: f64,
+    /// Mean number of dynamic messages per application.
+    pub avg_dyn_messages: f64,
+    /// Mean number of task graphs per application.
+    pub avg_graphs: f64,
+    /// Node-utilisation envelope over all applications: min of the
+    /// per-app minima, mean of the per-app means, max of the per-app
+    /// maxima.
+    pub node_util: UtilSummary,
+    /// Mean achieved bus utilisation.
+    pub avg_bus_util: f64,
+    /// Summed task-depth histogram: entry `d` counts the graphs of
+    /// depth `d` across all applications of the point.
+    pub depth_histogram: Vec<usize>,
+}
+
+impl GenStats {
+    /// Aggregates per-seed statistics into one per-point record; an
+    /// empty slice yields all zeros.
+    #[must_use]
+    pub fn aggregate(stats: &[GenStats]) -> AggregatedGenStats {
+        let n = stats.len();
+        if n == 0 {
+            return AggregatedGenStats::default();
+        }
+        let mut agg = AggregatedGenStats {
+            apps: n,
+            node_util: UtilSummary {
+                min: f64::INFINITY,
+                mean: 0.0,
+                max: f64::NEG_INFINITY,
+            },
+            ..AggregatedGenStats::default()
+        };
+        let nf = n as f64;
+        for s in stats {
+            let c = &s.workload.census;
+            agg.avg_tasks += (c.scs_tasks + c.fps_tasks) as f64 / nf;
+            agg.avg_relay_tasks += s.relay_tasks as f64 / nf;
+            agg.avg_st_messages += c.st_messages as f64 / nf;
+            agg.avg_dyn_messages += c.dyn_messages as f64 / nf;
+            agg.avg_graphs += s.workload.graphs as f64 / nf;
+            agg.node_util.min = agg.node_util.min.min(s.workload.node_util.min);
+            agg.node_util.mean += s.workload.node_util.mean / nf;
+            agg.node_util.max = agg.node_util.max.max(s.workload.node_util.max);
+            agg.avg_bus_util += s.workload.bus_util / nf;
+            if s.workload.depth_histogram.len() > agg.depth_histogram.len() {
+                agg.depth_histogram
+                    .resize(s.workload.depth_histogram.len(), 0);
+            }
+            for (d, &count) in s.workload.depth_histogram.iter().enumerate() {
+                agg.depth_histogram[d] += count;
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexray_model::Census;
+
+    fn stat(tasks: usize, relays: usize, bus: f64, hist: Vec<usize>) -> GenStats {
+        GenStats {
+            seed: 1,
+            relay_tasks: relays,
+            workload: WorkloadStats {
+                census: Census {
+                    scs_tasks: tasks / 2,
+                    fps_tasks: tasks - tasks / 2,
+                    st_messages: 2,
+                    dyn_messages: 3,
+                },
+                graphs: hist.iter().sum(),
+                node_util: UtilSummary {
+                    min: 0.2,
+                    mean: 0.4,
+                    max: 0.6,
+                },
+                bus_util: bus,
+                depth_histogram: hist,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_sums() {
+        let a = stat(10, 1, 0.2, vec![0, 2, 1]);
+        let b = stat(20, 3, 0.4, vec![0, 1, 0, 4]);
+        let agg = GenStats::aggregate(&[a, b]);
+        assert_eq!(agg.apps, 2);
+        assert!((agg.avg_tasks - 15.0).abs() < 1e-12);
+        assert!((agg.avg_relay_tasks - 2.0).abs() < 1e-12);
+        assert!((agg.avg_st_messages - 2.0).abs() < 1e-12);
+        assert!((agg.avg_dyn_messages - 3.0).abs() < 1e-12);
+        assert!((agg.avg_bus_util - 0.3).abs() < 1e-12);
+        assert_eq!(agg.node_util.min, 0.2);
+        assert_eq!(agg.node_util.max, 0.6);
+        assert_eq!(agg.depth_histogram, vec![0, 3, 1, 4]);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_zeros() {
+        assert_eq!(GenStats::aggregate(&[]), AggregatedGenStats::default());
+    }
+}

@@ -25,9 +25,10 @@
 //!   ([`RemainderPolicy`](crate::RemainderPolicy)); they are never
 //!   silently dropped.
 
-use crate::{GeneratorConfig, GraphShape};
+use crate::{GenStats, GeneratorConfig, GraphShape};
 use flexray_model::{
-    ActivityId, Application, GraphId, MessageClass, ModelError, NodeId, Platform, SchedPolicy, Time,
+    ActivityId, Application, GraphId, MessageClass, ModelError, NodeId, PhyParams, Platform,
+    SchedPolicy, Time, WorkloadStats,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -43,6 +44,25 @@ pub struct Generated {
     pub app: Application,
     /// The seed it was generated from (for reporting).
     pub seed: u64,
+    /// Gateway relay tasks inserted during generation (on top of the
+    /// configured task count).
+    pub relay_tasks: usize,
+}
+
+impl Generated {
+    /// Achieved statistics of this instance, measuring message payloads
+    /// against `phy` (usually [`GeneratorConfig::phy`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkloadStats::collect`].
+    pub fn stats(&self, phy: &PhyParams) -> Result<GenStats, ModelError> {
+        Ok(GenStats {
+            seed: self.seed,
+            relay_tasks: self.relay_tasks,
+            workload: WorkloadStats::collect(&self.platform, &self.app, phy)?,
+        })
+    }
 }
 
 /// First task index of layer `l` when `size` tasks are split into `d`
@@ -131,15 +151,16 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
 
     // Shape-dependent DAG edges within each graph; cross-node edges get
     // messages, a configured fraction of them relayed through a gateway.
+    let mut relay_tasks = 0usize;
     for (gi, ids) in task_ids.iter().enumerate() {
         let g = app.activity(ids[0]).graph;
         let is_tt = graph_is_tt[gi];
         for ti in 1..ids.len() {
             let preds = draw_preds(cfg, &mut rng, ti, ids.len());
             for &pi in &preds {
-                emit_dependency(
+                relay_tasks += usize::from(emit_dependency(
                     &mut app, cfg, &mut rng, g, gi, is_tt, ids[pi], ids[ti], pi, ti,
-                )?;
+                )?);
             }
         }
     }
@@ -152,6 +173,7 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
         platform: Platform::with_nodes(cfg.n_nodes),
         app,
         seed,
+        relay_tasks,
     })
 }
 
@@ -189,7 +211,8 @@ fn draw_preds(cfg: &GeneratorConfig, rng: &mut StdRng, ti: usize, size: usize) -
 /// Realises one precedence `from → to`: a plain edge when both tasks
 /// share a node, otherwise a message — direct, or relayed through a
 /// gateway node for a [`GeneratorConfig::gateway_fraction`] of the
-/// cross-node dependencies.
+/// cross-node dependencies. Returns `true` when a relay task was
+/// inserted, so [`generate`] can report the achieved relay count.
 #[allow(clippy::too_many_arguments)]
 fn emit_dependency(
     app: &mut Application,
@@ -202,7 +225,7 @@ fn emit_dependency(
     to: ActivityId,
     pi: usize,
     ti: usize,
-) -> Result<(), ModelError> {
+) -> Result<bool, ModelError> {
     let class = if is_tt {
         MessageClass::Static
     } else {
@@ -211,7 +234,8 @@ fn emit_dependency(
     let node_from = app.activity(from).as_task().expect("task").node;
     let node_to = app.activity(to).as_task().expect("task").node;
     if node_from == node_to {
-        return app.add_edge(from, to);
+        app.add_edge(from, to)?;
+        return Ok(false);
     }
     // Gateway routing: only consulted (and only consuming random draws)
     // when the mode is on, keeping paper streams bit-identical.
@@ -235,7 +259,8 @@ fn emit_dependency(
     match gateway {
         None => {
             let m = app.add_message(g, &format!("g{gi}_m{pi}_{ti}"), raw_bytes, class, prio);
-            app.connect(from, m, to)
+            app.connect(from, m, to)?;
+            Ok(false)
         }
         Some(gw) => {
             // Store-and-forward: both hops carry the same payload; the
@@ -260,7 +285,8 @@ fn emit_dependency(
             let m_in = app.add_message(g, &format!("g{gi}_m{pi}_{ti}i"), raw_bytes, class, prio);
             let m_out =
                 app.add_message(g, &format!("g{gi}_m{pi}_{ti}o"), raw_bytes, class, out_prio);
-            app.connect_relayed(from, m_in, relay, m_out, to)
+            app.connect_relayed(from, m_in, relay, m_out, to)?;
+            Ok(true)
         }
     }
 }
@@ -531,6 +557,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stats_report_achieved_figures() {
+        let cfg = GeneratorConfig::gateway(5, 1.0);
+        let g = generate(&cfg, 23).expect("generate");
+        let stats = g.stats(&cfg.phy).expect("stats");
+        let named_relays = g
+            .app
+            .ids()
+            .filter(|&id| g.app.activity(id).name.contains("_gw"))
+            .count();
+        assert_eq!(stats.relay_tasks, named_relays);
+        assert!(
+            stats.relay_tasks > 0,
+            "full gateway fraction inserts relays"
+        );
+        let c = &stats.workload.census;
+        assert_eq!(
+            c.scs_tasks + c.fps_tasks,
+            cfg.total_tasks() + stats.relay_tasks,
+            "relay tasks come on top of the configured census"
+        );
+        assert!(stats.workload.bus_util > 0.0);
+        assert_eq!(
+            stats.workload.depth_histogram.iter().sum::<usize>(),
+            g.app.graphs().len(),
+            "every graph lands in exactly one histogram bucket"
+        );
+
+        let plain = generate(&GeneratorConfig::paper(3), 7).expect("generate");
+        assert_eq!(plain.relay_tasks, 0, "paper configs never insert relays");
     }
 
     #[test]

@@ -665,6 +665,38 @@ impl Application {
         Ok(max)
     }
 
+    /// Task-depth histogram over all graphs: entry `d` is the number of
+    /// graphs whose [`Application::task_depth`] is `d`. One topological
+    /// sort covers every graph, so this is cheaper than calling
+    /// `task_depth` per graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedGraph`] if the precedence relation
+    /// has a cycle.
+    pub fn depth_histogram(&self) -> Result<Vec<usize>, ModelError> {
+        let order = self.topological_order()?;
+        let mut depth = vec![0usize; self.activities.len()];
+        let mut graph_depth = vec![0usize; self.graphs.len()];
+        for id in order {
+            let a = &self.activities[id.index()];
+            let inherited = self.preds[id.index()]
+                .iter()
+                .map(|p| depth[p.index()])
+                .max()
+                .unwrap_or(0);
+            let own = usize::from(a.as_task().is_some());
+            depth[id.index()] = inherited + own;
+            let g = a.graph.index();
+            graph_depth[g] = graph_depth[g].max(depth[id.index()]);
+        }
+        let mut hist = vec![0usize; graph_depth.iter().max().map_or(0, |&d| d + 1)];
+        for d in graph_depth {
+            hist[d] += 1;
+        }
+        Ok(hist)
+    }
+
     /// Per-node utilisation of all tasks: `Σ C_i / T_i` grouped by node.
     #[must_use]
     pub fn node_utilisation(&self) -> HashMap<NodeId, f64> {

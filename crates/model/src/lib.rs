@@ -53,6 +53,7 @@ mod bus;
 mod error;
 mod ids;
 mod protocol;
+mod stats;
 mod system;
 mod time;
 mod view;
@@ -68,6 +69,7 @@ pub use protocol::{
     PhyParams, BITS_PER_PAYLOAD_GRANULE, MAX_CYCLE, MAX_MINISLOTS, MAX_STATIC_SLOTS,
     MAX_STATIC_SLOT_MACROTICKS, PAYLOAD_GRANULARITY_BYTES,
 };
+pub use stats::{UtilSummary, WorkloadStats};
 pub use system::{Census, Platform, System};
 pub use time::Time;
 pub use view::SystemView;

@@ -1,0 +1,186 @@
+//! Workload statistics: the *achieved* structural and utilisation
+//! figures of an application, for experiment reporting.
+//!
+//! The synthetic generator aims at configured utilisation and topology
+//! targets; what a generated instance actually achieves (after payload
+//! clamping, WCET rounding and relay insertion) is what an experiment
+//! report has to carry per point. [`WorkloadStats`] collects those
+//! achieved figures from any `(platform, application, phy)` triple, so
+//! the generator, the grid-sweep engine and the cross-validation tests
+//! all measure with the same ruler.
+
+use crate::{Application, Census, MessageClass, ModelError, PhyParams, Platform};
+
+/// Minimum / mean / maximum summary of a per-node quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UtilSummary {
+    /// Smallest value observed.
+    pub min: f64,
+    /// Arithmetic mean over all values.
+    pub mean: f64,
+    /// Largest value observed.
+    pub max: f64,
+}
+
+impl UtilSummary {
+    /// Summarises an iterator of values; an empty iterator yields all
+    /// zeros.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            return UtilSummary::default();
+        }
+        UtilSummary {
+            min,
+            mean: sum / n as f64,
+            max,
+        }
+    }
+}
+
+/// Achieved structural and utilisation statistics of one workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadStats {
+    /// Activity counts by class (SCS/FPS tasks, static/dynamic
+    /// messages).
+    pub census: Census,
+    /// Number of task graphs.
+    pub graphs: usize,
+    /// Achieved per-node CPU utilisation (`Σ C_i / T_i` per node),
+    /// summarised over every platform node (nodes without tasks count
+    /// as zero).
+    pub node_util: UtilSummary,
+    /// Achieved bus utilisation: total frame-transmission demand per
+    /// hyperperiod divided by the hyperperiod (message payloads through
+    /// [`PhyParams::frame_duration`]; slot overhead is not counted).
+    pub bus_util: f64,
+    /// Task-depth histogram over the graphs: `depth_histogram[d]` is the
+    /// number of graphs whose longest task chain has `d` tasks (index 0
+    /// stays zero for any non-empty graph).
+    pub depth_histogram: Vec<usize>,
+}
+
+impl WorkloadStats {
+    /// Collects the statistics of an application on a platform, using
+    /// `phy` to convert message payloads to bus time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hyperperiod errors ([`Application::hyperperiod`]) and
+    /// topology errors ([`Application::depth_histogram`]).
+    pub fn collect(
+        platform: &Platform,
+        app: &Application,
+        phy: &PhyParams,
+    ) -> Result<Self, ModelError> {
+        let census = Census::of(app);
+        let util = app.node_utilisation();
+        let node_util = UtilSummary::of(
+            platform
+                .nodes()
+                .map(|n| util.get(&n).copied().unwrap_or(0.0)),
+        );
+        let h = app.hyperperiod()?;
+        let mut demand = 0.0;
+        for class in [MessageClass::Static, MessageClass::Dynamic] {
+            for m in app.messages_of_class(class) {
+                let size = app.activity(m).as_message().expect("message").size_bytes;
+                let inst = h / app.period_of(m);
+                demand += phy.frame_duration(size).as_ns() as f64 * inst as f64;
+            }
+        }
+        Ok(WorkloadStats {
+            census,
+            graphs: app.graphs().len(),
+            node_util,
+            bus_util: demand / h.as_ns() as f64,
+            depth_histogram: app.depth_histogram()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, SchedPolicy, Time};
+
+    fn sample() -> (Platform, Application) {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let t1 = app.add_task(
+            g,
+            "t1",
+            NodeId::new(0),
+            Time::from_us(10.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t2 = app.add_task(
+            g,
+            "t2",
+            NodeId::new(1),
+            Time::from_us(20.0),
+            SchedPolicy::Fps,
+            3,
+        );
+        let m = app.add_message(g, "m", 8, MessageClass::Dynamic, 1);
+        app.connect(t1, m, t2).expect("edges");
+        (Platform::with_nodes(3), app)
+    }
+
+    #[test]
+    fn util_summary_of_values() {
+        let s = UtilSummary::of([0.2, 0.4, 0.6]);
+        assert_eq!(s.min, 0.2);
+        assert!((s.mean - 0.4).abs() < 1e-12);
+        assert_eq!(s.max, 0.6);
+        assert_eq!(UtilSummary::of([]), UtilSummary::default());
+    }
+
+    #[test]
+    fn collect_measures_the_sample() {
+        let (platform, app) = sample();
+        let stats = WorkloadStats::collect(&platform, &app, &PhyParams::unit()).expect("collect");
+        assert_eq!(stats.census.scs_tasks, 1);
+        assert_eq!(stats.census.fps_tasks, 1);
+        assert_eq!(stats.census.dyn_messages, 1);
+        assert_eq!(stats.graphs, 1);
+        // node 2 carries no task, so min utilisation is zero
+        assert_eq!(stats.node_util.min, 0.0);
+        assert!((stats.node_util.max - 0.2).abs() < 1e-12, "20µs / 100µs");
+        assert!(stats.bus_util > 0.0);
+        // one graph with a two-task chain
+        assert_eq!(stats.depth_histogram, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn bus_util_matches_system_level_computation() {
+        use crate::{BusConfig, FrameId, PhyParams, System};
+        let (platform, app) = sample();
+        let phy = PhyParams::unit();
+        let stats = WorkloadStats::collect(&platform, &app, &phy).expect("collect");
+        let m = app.find("m").expect("m");
+        let mut bus = BusConfig::new(phy);
+        bus.static_slot_len = Time::from_us(4.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        bus.n_minislots = 40;
+        bus.frame_ids.insert(m, FrameId::new(1));
+        let sys = System::validated(platform, app, bus).expect("valid");
+        let sys_util = sys.bus_utilisation().expect("bus utilisation");
+        assert!(
+            (stats.bus_util - sys_util).abs() < 1e-12,
+            "{} vs {sys_util}",
+            stats.bus_util
+        );
+    }
+}

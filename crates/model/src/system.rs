@@ -191,20 +191,18 @@ impl System {
     /// Count of activities by convenience class, for reporting.
     #[must_use]
     pub fn census(&self) -> Census {
-        let mut census = Census::default();
-        for id in self.app.ids() {
-            match &self.app.activity(id).kind {
-                crate::ActivityKind::Task(t) => match t.policy {
-                    SchedPolicy::Scs => census.scs_tasks += 1,
-                    SchedPolicy::Fps => census.fps_tasks += 1,
-                },
-                crate::ActivityKind::Message(m) => match m.class {
-                    MessageClass::Static => census.st_messages += 1,
-                    MessageClass::Dynamic => census.dyn_messages += 1,
-                },
-            }
-        }
-        census
+        Census::of(&self.app)
+    }
+
+    /// Achieved workload statistics (census, node/bus utilisation,
+    /// depth histogram) of this system, measured with the bus's
+    /// physical layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::WorkloadStats::collect`].
+    pub fn workload_stats(&self) -> Result<crate::WorkloadStats, ModelError> {
+        crate::WorkloadStats::collect(&self.platform, &self.app, &self.bus.phy)
     }
 }
 
@@ -222,6 +220,25 @@ pub struct Census {
 }
 
 impl Census {
+    /// Counts the activities of an application by class.
+    #[must_use]
+    pub fn of(app: &Application) -> Census {
+        let mut census = Census::default();
+        for id in app.ids() {
+            match &app.activity(id).kind {
+                crate::ActivityKind::Task(t) => match t.policy {
+                    SchedPolicy::Scs => census.scs_tasks += 1,
+                    SchedPolicy::Fps => census.fps_tasks += 1,
+                },
+                crate::ActivityKind::Message(m) => match m.class {
+                    MessageClass::Static => census.st_messages += 1,
+                    MessageClass::Dynamic => census.dyn_messages += 1,
+                },
+            }
+        }
+        census
+    }
+
     /// Total number of activities.
     #[must_use]
     pub fn total(&self) -> usize {

@@ -92,6 +92,16 @@ impl<'a> SystemView<'a> {
         nodes
     }
 
+    /// Achieved workload statistics (census, node/bus utilisation,
+    /// depth histogram), measured with the bus's physical layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::WorkloadStats::collect`].
+    pub fn workload_stats(&self) -> Result<crate::WorkloadStats, ModelError> {
+        crate::WorkloadStats::collect(self.platform, self.app, &self.bus.phy)
+    }
+
     /// Dynamic messages sorted by frame identifier (then priority,
     /// descending) — the order the dynamic slot counter serves them.
     #[must_use]

@@ -180,6 +180,151 @@ fn simulation_cross_validates_gateway_traffic() {
 }
 
 #[test]
+fn simulation_cross_validates_the_grid_corner_points() {
+    // The extreme corner of the factorial grid envelope: maximum node
+    // count × maximum chain depth × nonzero gateway traffic, derived
+    // through the same axis chaining the grid engine uses.
+    use flexray_bench::grid::{GridConfig, SeedPolicy};
+    use flexray_bench::sweep::{Algo, SweepAxis};
+
+    let grid = GridConfig {
+        base: lighten(GeneratorConfig {
+            tasks_per_node: 4,
+            graph_size: 4,
+            ..GeneratorConfig::paper(2)
+        }),
+        axes: vec![
+            SweepAxis::NodeCount(vec![4, 10]),
+            SweepAxis::GraphDepth(vec![4, 8]),
+            SweepAxis::GatewayFraction(vec![0.0, 0.5]),
+        ],
+        apps_per_point: 1,
+        algos: vec![Algo::ObcCf],
+        params: test_params(),
+        sa: SaParams::default(),
+        seed0: 1,
+        seed_policy: SeedPolicy::PointIndex,
+        threads: 1,
+    };
+    grid.validate().expect("grid validates");
+    let corner = grid.point(grid.total_points() - 1);
+    assert_eq!(corner.label, "nodes=10,depth=8,gateway=0.50");
+    assert_eq!(corner.config.n_nodes, 10);
+    assert_eq!(corner.config.graph_size, 8);
+    assert_eq!(corner.config.gateway_fraction, 0.5);
+
+    let checked = cross_validate(&corner.label, &corner.config, &[1, 2, 3, 4]);
+    assert!(checked > 0, "no schedulable corner instance sampled");
+}
+
+#[test]
+fn generator_stats_match_the_validated_system_ground_truth() {
+    // The per-point generator statistics the grid report carries must
+    // agree with quantities recomputed independently on the validated,
+    // optimised and simulated system — not just with the generator's
+    // own bookkeeping.
+    let cfg = lighten(GeneratorConfig {
+        gateway_fraction: 0.6,
+        gateways: vec![7],
+        ..GeneratorConfig::small(8)
+    });
+    let mut validated_schedulable = 0;
+    for seed in [1u64, 2, 3] {
+        let generated = generate(&cfg, seed).expect("generator");
+        let stats = generated.stats(&cfg.phy).expect("stats");
+
+        // relay count == the relays visible in the emitted application
+        let named_relays = generated
+            .app
+            .ids()
+            .filter(|&id| generated.app.activity(id).name.contains("_gw"))
+            .count();
+        assert_eq!(stats.relay_tasks, named_relays, "seed {seed}");
+
+        // census and depth histogram against the application structure
+        let tasks = generated
+            .app
+            .ids()
+            .filter(|&id| generated.app.activity(id).as_task().is_some())
+            .count();
+        let c = &stats.workload.census;
+        assert_eq!(c.scs_tasks + c.fps_tasks, tasks, "seed {seed}");
+        assert_eq!(
+            stats.workload.depth_histogram.iter().sum::<usize>(),
+            generated.app.graphs().len(),
+            "seed {seed}: every graph in exactly one depth bucket"
+        );
+        let max_depth = (0..generated.app.graphs().len())
+            .map(|gi| {
+                generated
+                    .app
+                    .task_depth(flexray::model::GraphId::new(gi))
+                    .expect("acyclic")
+            })
+            .max()
+            .expect("graphs exist");
+        assert_eq!(
+            stats.workload.depth_histogram.len(),
+            max_depth + 1,
+            "seed {seed}"
+        );
+
+        // node utilisation summary against an independent recomputation
+        let util = generated.app.node_utilisation();
+        let per_node: Vec<f64> = generated
+            .platform
+            .nodes()
+            .map(|n| util.get(&n).copied().unwrap_or(0.0))
+            .collect();
+        let max = per_node.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (stats.workload.node_util.max - max).abs() < 1e-12,
+            "seed {seed}"
+        );
+
+        // optimise, validate, simulate: the achieved bus utilisation
+        // must equal the one the validated system reports (payload
+        // sizes are untouched by the optimisers)
+        let result = obc(
+            &generated.platform,
+            &generated.app,
+            cfg.phy,
+            &test_params(),
+            DynSearch::CurveFit,
+        );
+        let sys = System::validated(
+            generated.platform.clone(),
+            generated.app.clone(),
+            result.bus.clone(),
+        )
+        .expect("system validates");
+        let sys_util = sys.bus_utilisation().expect("bus utilisation");
+        assert!(
+            (stats.workload.bus_util - sys_util).abs() < 1e-12,
+            "seed {seed}: generator-reported {} vs system {sys_util}",
+            stats.workload.bus_util
+        );
+        let sys_stats = sys.workload_stats().expect("system stats");
+        assert_eq!(sys_stats.census, stats.workload.census, "seed {seed}");
+        assert_eq!(
+            sys_stats.depth_histogram, stats.workload.depth_histogram,
+            "seed {seed}"
+        );
+
+        // and the simulator accepts the same system the stats describe
+        if result.is_schedulable() {
+            let report = simulate_default(&sys).expect("simulation runs");
+            assert!(report.violations.is_empty(), "seed {seed}");
+            validated_schedulable += 1;
+        }
+    }
+    assert!(
+        validated_schedulable > 0,
+        "no schedulable instance reached the simulator"
+    );
+}
+
+#[test]
 fn optimiser_ranking_is_consistent() {
     // On any input: OBCEE >= OBCCF is not guaranteed, but SA and OBCEE
     // must both be at least as good as BBC (they explore supersets /
