@@ -1,17 +1,15 @@
 //! Criterion benches for the discrete-event simulator substrate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexray_analysis::ScheduleTable;
 use flexray_gen::cruise_controller;
 use flexray_model::{PhyParams, System};
 use flexray_opt::{obc, DynSearch, OptParams};
-use flexray_sim::{simulate, SimConfig};
+use flexray_sim::{simulate, ExecutionOrder, SimConfig};
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.measurement_time(std::time::Duration::from_secs(8));
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
-    // A schedulable cruise-controller configuration from OBCCF.
+/// A schedulable cruise-controller configuration from OBCCF, with its
+/// static schedule table.
+fn cruise_system() -> (System, ScheduleTable) {
     let (platform, app) = cruise_controller(120.0).expect("cruise model");
     let result = obc(
         &platform,
@@ -27,6 +25,15 @@ fn bench_simulator(c: &mut Criterion) {
     };
     let bounds: Vec<_> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
     let table = flexray_analysis::build_schedule(&sys, &bounds).expect("schedule");
+    (sys, table)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    let (sys, table) = cruise_system();
 
     for reps in [1i64, 4] {
         group.bench_with_input(BenchmarkId::new("cruise", reps), &reps, |b, &reps| {
@@ -40,5 +47,56 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// Million-cycle soak: simulate enough hyperperiods that the bus runs
+/// at least 10^6 communication cycles, with hyperperiod compression on
+/// vs off. Compression detects the repeating boundary state after a few
+/// hyperperiods and fast-forwards over the rest, so its cost is nearly
+/// independent of the horizon; the uncompressed run replays every
+/// cycle.
+fn bench_soak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soak");
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let (sys, table) = cruise_system();
+    let horizon = sys.app.hyperperiod().expect("hyperperiod");
+    let cycles_per_rep = horizon.div_ceil(sys.bus.gd_cycle()).max(1);
+    let reps = (1_000_000 + cycles_per_rep - 1) / cycles_per_rep;
+    eprintln!(
+        "soak: {cycles_per_rep} cycles/hyperperiod, {reps} hyperperiods \
+         ({} cycles)",
+        cycles_per_rep * reps
+    );
+
+    for compress in [false, true] {
+        let label = if compress {
+            "compressed"
+        } else {
+            "uncompressed"
+        };
+        group.bench_with_input(
+            BenchmarkId::new("million_cycles", label),
+            &compress,
+            |b, &compress| {
+                let cfg = SimConfig {
+                    reps,
+                    compress,
+                    order: ExecutionOrder::Canonical,
+                    ..SimConfig::default()
+                };
+                b.iter(|| {
+                    let report = simulate(&sys, &table, &cfg).expect("simulation");
+                    assert_eq!(
+                        report.hyperperiods_simulated + report.hyperperiods_skipped,
+                        reps
+                    );
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_soak);
 criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Grid-driven execution-order fuzz campaign for the simulator.
+//!
+//! Usage: fuzz <axis>=<v1,v2,...> [<axis>=...] [key=value options]
+//!
+//! Axes (any non-empty subset, each at most once; the grid is their
+//! cartesian product, first axis slowest):
+//!
+//! * `nodes=2,5,10` — node count;
+//! * `depth=4,8` — graph depth (chain-shaped DAGs);
+//! * `gateway=0.0,0.5` — gateway-relayed traffic fraction;
+//! * `busutil=0.2,0.6` — bus utilisation target.
+//!
+//! Options:
+//!
+//! * `apps=N` — applications (seeds) per grid point (default 2);
+//! * `orders=s1,s2,...` — execution-order seeds fuzzed per schedulable
+//!   application, on top of the canonical baseline (default `1,2,3,4`);
+//! * `reps=N` — hyperperiods per simulation run (default 4);
+//! * `compress=on|off` — hyperperiod compression (default `on`);
+//! * `mode=fast|full|smoke` — optimiser search scale (default `full`);
+//! * `threads=N` — worker threads (`0` = all cores, `1` = serial; the
+//!   deterministic output is identical either way);
+//! * `seed0=N` — base seed (application `i` of point `p` uses
+//!   `seed0 + 1000·p + i`);
+//! * `out=FILE` — stream the JSON-lines report to FILE (default:
+//!   stdout).
+//!
+//! Exits non-zero if any divergence is found: a precedence violation,
+//! an observed response above its analytic WCRT, or a deadline miss,
+//! under any execution order.
+
+use flexray_bench::fuzz::{render, run_fuzz, FuzzConfig};
+use flexray_bench::sweep::{search_mode, SweepAxis};
+use std::io::Write;
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: fuzz <nodes|depth|gateway|busutil>=<v1,v2,...> [more axes] \
+         [apps=N] [orders=s1,s2,...] [reps=N] [compress=on|off] \
+         [mode=fast|full|smoke] [threads=N] [seed0=N] [out=FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fuzz: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_values<T: std::str::FromStr>(key: &str, s: &str) -> Vec<T> {
+    let values: Result<Vec<T>, _> = s.split(',').map(str::parse).collect();
+    match values {
+        Ok(v) if !v.is_empty() => v,
+        _ => {
+            eprintln!("fuzz: invalid value list '{s}' for '{key}'");
+            usage_exit()
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::default();
+    let mut out_path: Option<String> = None;
+
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("fuzz: expected key=value, got '{arg}'");
+            usage_exit()
+        };
+        match key {
+            "nodes" => cfg
+                .axes
+                .push(SweepAxis::NodeCount(parse_values(key, value))),
+            "depth" => cfg
+                .axes
+                .push(SweepAxis::GraphDepth(parse_values(key, value))),
+            "gateway" => cfg
+                .axes
+                .push(SweepAxis::GatewayFraction(parse_values(key, value))),
+            "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value))),
+            "apps" => match value.parse() {
+                Ok(apps) => cfg.apps_per_point = apps,
+                Err(_) => usage_exit(),
+            },
+            "orders" => cfg.order_seeds = parse_values(key, value),
+            "reps" => match value.parse() {
+                Ok(reps) => cfg.reps = reps,
+                Err(_) => usage_exit(),
+            },
+            "compress" => match value {
+                "on" => cfg.compress = true,
+                "off" => cfg.compress = false,
+                _ => usage_exit(),
+            },
+            "mode" => match search_mode(value) {
+                Some((params, _)) => cfg.params = params,
+                None => usage_exit(),
+            },
+            "threads" => match value.parse() {
+                Ok(threads) => cfg.threads = threads,
+                Err(_) => usage_exit(),
+            },
+            "seed0" => match value.parse() {
+                Ok(seed0) => cfg.seed0 = seed0,
+                Err(_) => usage_exit(),
+            },
+            "out" => out_path = Some(value.to_owned()),
+            _ => {
+                eprintln!("fuzz: unknown option '{key}'");
+                usage_exit()
+            }
+        }
+    }
+    if cfg.axes.is_empty() {
+        eprintln!("fuzz: at least one axis is required");
+        usage_exit()
+    }
+    if let Err(e) = cfg.validate() {
+        fail(&e.to_string());
+    }
+
+    eprintln!(
+        "Fuzz — {} axes, {} points, {} application(s) per point, \
+         {} order seed(s) + canonical, {} hyperperiod(s), compression {}, seed0 {}",
+        cfg.axes.len(),
+        cfg.total_points(),
+        cfg.apps_per_point,
+        cfg.order_seeds.len(),
+        cfg.reps,
+        if cfg.compress { "on" } else { "off" },
+        cfg.seed0,
+    );
+
+    let mut sink: Box<dyn Write> = match &out_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Box::new(std::io::BufWriter::new(file)),
+            Err(e) => fail(&format!("cannot write report '{path}': {e}")),
+        },
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let write_line = |sink: &mut dyn Write, line: &str| {
+        if let Err(e) = writeln!(sink, "{line}").and_then(|()| sink.flush()) {
+            fail(&format!("report write failed: {e}"));
+        }
+    };
+    write_line(sink.as_mut(), &cfg.header_line());
+
+    let result = run_fuzz(&cfg, |point| {
+        write_line(sink.as_mut(), &point.to_line());
+    });
+    let points = match result {
+        Ok(points) => points,
+        Err(e) => fail(&format!("run failed: {e}")),
+    };
+    drop(sink);
+
+    if out_path.is_some() {
+        eprintln!("{}", render(&points));
+    }
+
+    let divergences: usize = points.iter().map(|p| p.divergences.len()).sum();
+    if divergences > 0 {
+        for p in &points {
+            for d in &p.divergences {
+                eprintln!("fuzz: DIVERGENCE: {d}");
+            }
+        }
+        fail(&format!("{divergences} divergence(s) found"));
+    }
+    let runs: usize = points.iter().map(|p| p.runs).sum();
+    eprintln!("fuzz: {runs} simulation run(s), no divergences");
+}

@@ -13,6 +13,9 @@
 //! * [`grid`] — the factorial (cartesian-product) experiment engine
 //!   behind `sweep` and `fig9`, with per-point generator statistics
 //!   and a streaming, resumable JSON-lines/CSV [`report`];
+//! * [`fuzz`] — a grid-driven divergence-hunting campaign that fuzzes
+//!   the simulator's execution order of simultaneous events across
+//!   generator corners and audits every run against the analysis;
 //! * [`report`] — the schema-versioned grid report codec;
 //! * [`cruise`] — the vehicle cruise-controller case study;
 //! * [`ablation`] — ablations of the reproduction's design choices.
@@ -30,6 +33,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig7;
 pub mod fig9;
+pub mod fuzz;
 pub mod grid;
 pub mod report;
 pub mod sweep;

@@ -51,6 +51,7 @@
 mod application;
 mod bus;
 mod error;
+mod fingerprint;
 mod ids;
 mod protocol;
 mod stats;
@@ -64,6 +65,7 @@ pub use application::{
 };
 pub use bus::BusConfig;
 pub use error::ModelError;
+pub use fingerprint::{mix64, mix_words, Fingerprint, SplitMix64};
 pub use ids::{ActivityId, FrameId, GraphId, NodeId, SlotId};
 pub use protocol::{
     PhyParams, BITS_PER_PAYLOAD_GRANULE, MAX_CYCLE, MAX_MINISLOTS, MAX_STATIC_SLOTS,

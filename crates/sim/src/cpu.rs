@@ -7,22 +7,22 @@
 //! version-guarded so that preemptions invalidate stale completion
 //! events.
 
-use crate::event::JobIndex;
+use crate::event::JobRef;
 use flexray_analysis::Availability;
-use flexray_model::Time;
+use flexray_model::{Fingerprint, Time};
 
 /// A ready FPS job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ReadyJob {
     priority: u32,
     arrival: Time,
-    job: JobIndex,
+    job: JobRef,
     remaining: Time,
 }
 
 impl ReadyJob {
-    /// Dispatch order: higher priority, then earlier arrival, then lower
-    /// job index.
+    /// Dispatch order: higher priority, then earlier arrival, then the
+    /// canonical job order (activity-major — see [`JobRef`]).
     fn beats(&self, other: &ReadyJob) -> bool {
         (
             self.priority,
@@ -122,7 +122,7 @@ impl Cpu {
     pub fn arrive(
         &mut self,
         now: Time,
-        job: JobIndex,
+        job: JobRef,
         priority: u32,
         wcet: Time,
         limit: Time,
@@ -145,7 +145,7 @@ impl Cpu {
         now: Time,
         version: u64,
         limit: Time,
-    ) -> (Option<JobIndex>, Projected) {
+    ) -> (Option<JobRef>, Projected) {
         if version != self.version {
             return (
                 None,
@@ -169,12 +169,72 @@ impl Cpu {
 
     /// Jobs that never completed (for end-of-simulation reporting).
     #[must_use]
-    pub fn unfinished(&self) -> Vec<JobIndex> {
-        let mut jobs: Vec<JobIndex> = self.ready.iter().map(|j| j.job).collect();
+    pub fn unfinished(&self) -> Vec<JobRef> {
+        let mut jobs: Vec<JobRef> = self.ready.iter().map(|j| j.job).collect();
         if let Some(cur) = &self.current {
             jobs.push(cur.job);
         }
         jobs
+    }
+
+    /// Staleness of a completion-event version relative to the current
+    /// dispatch version (0 = current; negative = stale). Behaviourally
+    /// equivalent states have equal staleness streams even though their
+    /// absolute version counters differ, so fingerprints use this
+    /// instead of raw versions.
+    #[must_use]
+    pub fn version_delta(&self, version: u64) -> i64 {
+        i64::try_from(version.min(self.version) as i128 - self.version as i128).unwrap_or(i64::MIN)
+    }
+
+    /// Appends the CPU state to a boundary fingerprint, normalising
+    /// times relative to `now` (the boundary) and job hyperperiods
+    /// relative to `b_rep`. Syncs accounting to `now` first — a
+    /// semantically neutral refresh.
+    pub fn fingerprint_into(&mut self, now: Time, b_rep: i64, fp: &mut Fingerprint) {
+        fn push_job(fp: &mut Fingerprint, now: Time, b_rep: i64, j: &ReadyJob) {
+            fp.push(u64::from(j.priority));
+            fp.push_time(j.arrival - now);
+            fp.push(u64::from(j.job.act));
+            fp.push_i64(j.job.rep - b_rep);
+            fp.push(u64::from(j.job.k));
+            fp.push_time(j.remaining);
+        }
+        self.sync(now);
+        // The ready list order is dispatch-irrelevant (the dispatcher
+        // takes a strict maximum), so fingerprint it in dispatch order
+        // for stability across behaviourally identical states.
+        let mut ready: Vec<&ReadyJob> = self.ready.iter().collect();
+        ready.sort_by(|a, b| {
+            if a.beats(b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        fp.push_usize(ready.len());
+        for j in ready {
+            push_job(fp, now, b_rep, j);
+        }
+        match &self.current {
+            Some(cur) => {
+                fp.push(1);
+                push_job(fp, now, b_rep, cur);
+            }
+            None => fp.push(0),
+        }
+    }
+
+    /// Relocates the whole CPU state `dt` forward in time and `dreps`
+    /// hyperperiods forward in job coordinates (compression
+    /// fast-forward). Exact because the availability is periodic in the
+    /// hyperperiod and `dt` is a whole number of hyperperiods.
+    pub fn shift(&mut self, dt: Time, dreps: i64) {
+        for j in self.ready.iter_mut().chain(self.current.as_mut()) {
+            j.arrival += dt;
+            j.job.rep += dreps;
+        }
+        self.synced_at += dt;
     }
 }
 
@@ -186,6 +246,14 @@ mod tests {
         Time::from_us(v)
     }
 
+    fn job(n: u32) -> JobRef {
+        JobRef {
+            act: n,
+            rep: 0,
+            k: 0,
+        }
+    }
+
     fn idle_cpu() -> Cpu {
         Cpu::new(Availability::idle(us(1000.0)))
     }
@@ -193,49 +261,49 @@ mod tests {
     #[test]
     fn single_job_runs_to_completion() {
         let mut cpu = idle_cpu();
-        let p = cpu.arrive(us(0.0), 0, 5, us(10.0), us(100_000.0));
+        let p = cpu.arrive(us(0.0), job(0), 5, us(10.0), us(100_000.0));
         assert_eq!(p.at, Some(us(10.0)));
         let (done, next) = cpu.complete(us(10.0), p.version, us(100_000.0));
-        assert_eq!(done, Some(0));
+        assert_eq!(done, Some(job(0)));
         assert_eq!(next.at, None);
     }
 
     #[test]
     fn higher_priority_preempts() {
         let mut cpu = idle_cpu();
-        let p0 = cpu.arrive(us(0.0), 0, 1, us(10.0), us(100_000.0));
+        let p0 = cpu.arrive(us(0.0), job(0), 1, us(10.0), us(100_000.0));
         assert_eq!(p0.at, Some(us(10.0)));
         // at t=4 a higher-priority job arrives
-        let p1 = cpu.arrive(us(4.0), 1, 9, us(3.0), us(100_000.0));
+        let p1 = cpu.arrive(us(4.0), job(1), 9, us(3.0), us(100_000.0));
         assert_eq!(p1.at, Some(us(7.0)));
         // the stale completion at 10 is ignored
         let (done, _) = cpu.complete(us(10.0), p0.version, us(100_000.0));
         assert_eq!(done, None);
         // job 1 completes at 7
         let (done, next) = cpu.complete(us(7.0), p1.version, us(100_000.0));
-        assert_eq!(done, Some(1));
+        assert_eq!(done, Some(job(1)));
         // job 0 resumes with 6 remaining -> 13
         assert_eq!(next.at, Some(us(13.0)));
         let (done, _) = cpu.complete(us(13.0), next.version, us(100_000.0));
-        assert_eq!(done, Some(0));
+        assert_eq!(done, Some(job(0)));
     }
 
     #[test]
     fn scs_windows_stall_execution() {
         let avail = Availability::new(us(100.0), vec![(us(10.0), us(50.0))]);
         let mut cpu = Cpu::new(avail);
-        let p = cpu.arrive(us(0.0), 0, 1, us(20.0), us(100_000.0));
+        let p = cpu.arrive(us(0.0), job(0), 1, us(20.0), us(100_000.0));
         // 10 free, then busy until 50, 10 more -> 60
         assert_eq!(p.at, Some(us(60.0)));
         let (done, _) = cpu.complete(us(60.0), p.version, us(100_000.0));
-        assert_eq!(done, Some(0));
+        assert_eq!(done, Some(job(0)));
     }
 
     #[test]
     fn equal_priority_is_fifo() {
         let mut cpu = idle_cpu();
-        let p0 = cpu.arrive(us(0.0), 0, 5, us(10.0), us(100_000.0));
-        let _p1 = cpu.arrive(us(1.0), 1, 5, us(10.0), us(100_000.0));
+        let p0 = cpu.arrive(us(0.0), job(0), 5, us(10.0), us(100_000.0));
+        let _p1 = cpu.arrive(us(1.0), job(1), 5, us(10.0), us(100_000.0));
         // job 0 keeps running (equal priority, earlier arrival)
         let (done, next) = cpu.complete(us(10.0), p0.version, us(100_000.0));
         // p0's version is stale (arrival of job 1 bumped it)
@@ -244,15 +312,33 @@ mod tests {
         // the arrival at t=1 rescheduled it under a newer version:
         let (done2, _) = cpu.complete(us(10.0), next.version.max(2), us(100_000.0));
         // ensure job 0 finished before job 1 starts
-        assert!(done2 == Some(0) || done == Some(0));
+        assert!(done2 == Some(job(0)) || done == Some(job(0)));
     }
 
     #[test]
     fn unfinished_jobs_reported() {
         let full = Availability::new(us(10.0), vec![(us(0.0), us(10.0))]);
         let mut cpu = Cpu::new(full);
-        let p = cpu.arrive(us(0.0), 7, 1, us(1.0), us(100.0));
+        let p = cpu.arrive(us(0.0), job(7), 1, us(1.0), us(100.0));
         assert_eq!(p.at, None); // starved within limit
-        assert_eq!(cpu.unfinished(), vec![7]);
+        assert_eq!(cpu.unfinished(), vec![job(7)]);
+    }
+
+    #[test]
+    fn shifted_state_fingerprints_identically() {
+        let mut a = Cpu::new(Availability::new(us(100.0), vec![(us(10.0), us(50.0))]));
+        let mut b = Cpu::new(Availability::new(us(100.0), vec![(us(10.0), us(50.0))]));
+        let _ = a.arrive(us(5.0), job(1), 3, us(30.0), us(1e6));
+        let _ = b.arrive(us(5.0), job(1), 3, us(30.0), us(1e6));
+        // relocate b three hyperperiods forward: boundary-relative
+        // fingerprints must agree
+        b.shift(us(300.0), 3);
+        let (mut fa, mut fb) = (Fingerprint::new(), Fingerprint::new());
+        a.fingerprint_into(us(100.0), 1, &mut fa);
+        b.fingerprint_into(us(400.0), 4, &mut fb);
+        assert_eq!(fa, fb);
+        // staleness is version-base independent
+        assert_eq!(a.version_delta(0), b.version_delta(0));
+        assert_eq!(a.version_delta(1), 0);
     }
 }

@@ -1,20 +1,52 @@
-//! The simulation engine: FlexRay MAC plus node CPUs.
+//! The simulation engine: a component-based discrete-event kernel.
 //!
 //! The engine executes a [`System`] against a static [`ScheduleTable`]
 //! for a number of hyperperiods and reports the observed response time
-//! of every activity. Static activities follow the table verbatim (with
-//! precedence auditing); FPS tasks run preemptively in the table slack;
-//! DYN messages are arbitrated per cycle by the dynamic slot counter,
-//! minislot counter and latest-transmission-start rule of Section 3 of
-//! the paper.
+//! of every activity. It is composed of [`crate::component`]s — one CPU
+//! per node, an activation releaser, the static segment and the
+//! dynamic-segment arbiter — woken from a time-ordered queue whose
+//! same-instant ordering policy is documented in [`crate::event`].
+//!
+//! Two features sit on top of the component structure:
+//!
+//! * **Fuzzed execution orders** ([`ExecutionOrder::Fuzzed`]): the
+//!   mutual order of same-instant wake-ups *within one phase* is not
+//!   specified by the protocol, so a fuzzed run permutes each
+//!   within-phase span with a deterministic permutation derived
+//!   statelessly from `(order seed, position in the hyperperiod, phase,
+//!   span length)`. Phase boundaries — the causal backbone — are never
+//!   crossed. [`ExecutionOrder::Canonical`] (the default) services
+//!   wake-ups in exactly the historical order of the monolithic engine.
+//! * **Hyperperiod compression** ([`SimConfig::compress`], default on):
+//!   at every hyperperiod boundary the engine fingerprints its complete
+//!   boundary-normalised state; when a boundary state recurs, the run
+//!   between the two boundaries is a proven cycle and the engine
+//!   fast-forwards over all whole repetitions of it, relocating the
+//!   queue and component state instead of re-simulating. The comparison
+//!   is exact (word-stream equality, no hashing), so a compressed run
+//!   reports identical responses, counts and violations to an
+//!   uncompressed one.
 
+use crate::component::{Component, CpuComponent, DynSegment, Releaser, StaticSegment};
 use crate::cpu::Cpu;
-use crate::event::{Event, EventQueue, JobIndex};
+use crate::event::{Entry, JobRef, Signal};
+use crate::kernel::{JobStore, Kernel};
 use flexray_analysis::{Availability, LatestTxPolicy, ScheduleTable};
-use flexray_model::{
-    ActivityId, ActivityKind, MessageClass, ModelError, NodeId, SchedPolicy, System, Time,
-};
+use flexray_model::{mix_words, ActivityId, Fingerprint, ModelError, SplitMix64, System, Time};
 use std::collections::HashMap;
+
+/// How same-instant, same-phase wake-ups are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionOrder {
+    /// The canonical order (bit-identical to the monolithic engine).
+    Canonical,
+    /// Deterministically permuted per-batch order derived from `seed`.
+    /// Two runs with the same `(system, config, seed)` are identical.
+    Fuzzed {
+        /// The order seed.
+        seed: u64,
+    },
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +58,11 @@ pub struct SimConfig {
     /// CPU-starvation guard: projections beyond `reps · H · factor` are
     /// treated as never completing.
     pub limit_factor: i64,
+    /// Service order of same-instant, same-phase wake-ups.
+    pub order: ExecutionOrder,
+    /// Detect repeating hyperperiod boundary states and fast-forward
+    /// over proven cycles (exact; output is unaffected).
+    pub compress: bool,
 }
 
 impl Default for SimConfig {
@@ -34,6 +71,8 @@ impl Default for SimConfig {
             reps: 2,
             latest_tx: LatestTxPolicy::default(),
             limit_factor: 4,
+            order: ExecutionOrder::Canonical,
+            compress: true,
         }
     }
 }
@@ -49,8 +88,14 @@ pub struct SimReport {
     /// Total job instances.
     pub total_jobs: usize,
     /// Precedence or buffering violations detected while following the
-    /// static table (a correct schedule produces none).
+    /// static table (a correct schedule produces none). Sorted and
+    /// deduplicated; times are hyperperiod-relative so canonical,
+    /// fuzzed and compressed runs report comparably.
     pub violations: Vec<String>,
+    /// Hyperperiods actually event-stepped.
+    pub hyperperiods_simulated: i64,
+    /// Hyperperiods skipped by the compression fast-forward.
+    pub hyperperiods_skipped: i64,
 }
 
 impl SimReport {
@@ -67,388 +112,484 @@ impl SimReport {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Job {
-    activity: ActivityId,
-    activation: Time,
-    pending: usize,
-    ready_at: Time,
-    completed: Option<Time>,
-}
-
-/// A frame waiting in a CHI send buffer.
-#[derive(Debug, Clone, Copy)]
-struct ChiFrame {
-    enqueued: Time,
-    priority: u32,
-    job: JobIndex,
-}
-
 /// Runs the simulation.
 ///
 /// # Errors
 ///
-/// Propagates model errors (hyperperiod overflow, malformed graphs).
+/// Propagates model errors (hyperperiod overflow, malformed graphs,
+/// job-index overflow).
 pub fn simulate(
     sys: &System,
     table: &ScheduleTable,
     cfg: &SimConfig,
 ) -> Result<SimReport, ModelError> {
-    Simulator::new(sys, table, cfg)?.run()
+    Engine::new(sys, table, *cfg)?.run()
 }
 
 /// Convenience: builds the static schedule first (with duration bounds
-/// for event-triggered predecessors) and then simulates.
+/// for event-triggered predecessors) and then simulates with the given
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn simulate_configured(sys: &System, cfg: &SimConfig) -> Result<SimReport, ModelError> {
+    let bounds: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
+    let table = flexray_analysis::build_schedule(sys, &bounds)?;
+    simulate(sys, &table, cfg)
+}
+
+/// Convenience: [`simulate_configured`] with the default configuration.
 ///
 /// # Errors
 ///
 /// Propagates model errors.
 pub fn simulate_default(sys: &System) -> Result<SimReport, ModelError> {
-    let bounds: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
-    let table = flexray_analysis::build_schedule(sys, &bounds)?;
-    simulate(sys, &table, &SimConfig::default())
+    simulate_configured(sys, &SimConfig::default())
 }
 
-struct Simulator<'a> {
-    sys: &'a System,
-    cfg: &'a SimConfig,
+/// Compression gives up after this many distinct boundary states.
+const MAX_HISTORY: usize = 4096;
+
+struct Engine<'a> {
+    cfg: SimConfig,
     horizon: Time,
-    limit: Time,
-    jobs: Vec<Job>,
-    job_base: Vec<usize>,
-    inst_per_h: Vec<i64>,
-    cpus: Vec<Cpu>,
-    chi: HashMap<u16, Vec<ChiFrame>>,
-    frame_node: HashMap<u16, NodeId>,
+    table: &'a ScheduleTable,
+    kernel: Kernel<'a>,
+    components: Vec<Box<dyn Component + 'a>>,
+    /// Per-cycle (dynamic-segment start, effective minislot budget),
+    /// hyperperiod-relative (mirrors the dynamic segment's copy; the
+    /// engine needs it to seed the per-cycle slot chains).
     cycle_info: Vec<(Time, u32)>,
-    queue: EventQueue,
-    violations: Vec<String>,
-    responses: Vec<Option<Time>>,
 }
 
-impl<'a> Simulator<'a> {
-    fn new(sys: &'a System, table: &ScheduleTable, cfg: &'a SimConfig) -> Result<Self, ModelError> {
+impl<'a> Engine<'a> {
+    fn new(sys: &'a System, table: &'a ScheduleTable, cfg: SimConfig) -> Result<Self, ModelError> {
         let horizon = sys.hyperperiod()?;
-        let limit = horizon.saturating_mul(cfg.reps.max(1) * cfg.limit_factor.max(1));
-        let n = sys.app.activities().len();
+        let limit = horizon.saturating_mul(cfg.reps.max(1).saturating_mul(cfg.limit_factor.max(1)));
+        let jobs = JobStore::new(sys, horizon)?;
+        let kernel = Kernel::new(sys, horizon, limit, jobs);
 
-        // Flatten job instances.
-        let mut job_base = vec![0usize; n];
-        let mut inst_per_h = vec![0i64; n];
-        let mut jobs = Vec::new();
-        for id in sys.app.ids() {
-            job_base[id.index()] = jobs.len();
-            let period = sys.app.period_of(id);
-            let iph = horizon / period;
-            inst_per_h[id.index()] = iph;
-            for rep in 0..cfg.reps {
-                for k in 0..iph {
-                    jobs.push(Job {
-                        activity: id,
-                        activation: period * (rep * iph + k),
-                        pending: sys.app.preds(id).len() + 1,
-                        ready_at: Time::ZERO,
-                        completed: None,
-                    });
-                }
-            }
-        }
-
-        // CPUs with their SCS availability.
-        let cpus: Vec<Cpu> = sys
-            .platform
-            .nodes()
-            .map(|node| Cpu::new(Availability::new(horizon, table.busy_windows(node))))
-            .collect();
-
-        // Frame-id ownership map.
-        let mut frame_node = HashMap::new();
-        for (&m, &fid) in &sys.bus.frame_ids {
-            if let Some(node) = sys.app.sender_of(m) {
-                frame_node.insert(fid.number(), node);
-            }
-        }
-
-        // Cycle layout: start of the dynamic segment and its effective
-        // minislot budget per simulated cycle (the grid restarts at every
-        // hyperperiod; the final cycle of a period may be truncated).
+        // Cycle layout over one hyperperiod: start of the dynamic
+        // segment and its effective minislot budget (the final cycle
+        // may be truncated by the hyperperiod boundary).
         let gd_cycle = sys.bus.gd_cycle();
         let st_bus = sys.bus.st_bus();
         let ms = sys.bus.phy.gd_minislot;
         let mut cycle_info = Vec::new();
         if gd_cycle > Time::ZERO && sys.bus.n_minislots > 0 {
-            for rep in 0..cfg.reps {
-                let rep_start = horizon * rep;
-                let n_cycles = horizon.div_ceil(gd_cycle);
-                for c in 0..n_cycles {
-                    let cycle_start = rep_start + gd_cycle * c;
-                    let dyn_start = cycle_start + st_bus;
-                    let boundary = (cycle_start + gd_cycle).min(rep_start + horizon);
-                    if dyn_start >= boundary {
-                        continue;
-                    }
-                    let budget = (boundary - dyn_start) / ms;
-                    let eff = u32::try_from(budget.max(0))
-                        .unwrap_or(u32::MAX)
-                        .min(sys.bus.n_minislots);
-                    cycle_info.push((dyn_start, eff));
+            let n_cycles = horizon.div_ceil(gd_cycle);
+            for c in 0..n_cycles {
+                let cycle_start = gd_cycle * c;
+                let dyn_start = cycle_start + st_bus;
+                let boundary = (cycle_start + gd_cycle).min(horizon);
+                if dyn_start >= boundary {
+                    continue;
                 }
+                let budget = (boundary - dyn_start) / ms;
+                let eff = u32::try_from(budget.max(0))
+                    .unwrap_or(u32::MAX)
+                    .min(sys.bus.n_minislots);
+                cycle_info.push((dyn_start, eff));
             }
         }
+        u32::try_from(cycle_info.len()).map_err(|_| {
+            ModelError::InvalidConfig(format!(
+                "{} communication cycles per hyperperiod — too many to simulate",
+                cycle_info.len()
+            ))
+        })?;
 
-        let mut sim = Simulator {
+        let mut components: Vec<Box<dyn Component + 'a>> = Vec::new();
+        for node in sys.platform.nodes() {
+            let avail = Availability::new(horizon, table.busy_windows(node));
+            components.push(Box::new(CpuComponent::new(node.index(), Cpu::new(avail))));
+        }
+        components.push(Box::new(Releaser::new(kernel.releaser_id())));
+        components.push(Box::new(StaticSegment::new(kernel.static_id())));
+        components.push(Box::new(DynSegment::new(
             sys,
+            kernel.dyn_id(),
+            cfg.latest_tx,
+            cycle_info.clone(),
+        )));
+
+        Ok(Engine {
             cfg,
             horizon,
-            limit,
-            jobs,
-            job_base,
-            inst_per_h,
-            cpus,
-            chi: HashMap::new(),
-            frame_node,
+            table,
+            kernel,
+            components,
             cycle_info,
-            queue: EventQueue::new(),
-            violations: Vec::new(),
-            responses: vec![None; n],
-        };
-        sim.seed_events(table);
-        Ok(sim)
-    }
-
-    fn job_index(&self, activity: ActivityId, rep: i64, k: i64) -> JobIndex {
-        self.job_base[activity.index()]
-            + usize::try_from(rep * self.inst_per_h[activity.index()] + k).expect("job index")
-    }
-
-    fn seed_events(&mut self, table: &ScheduleTable) {
-        // Activation tokens.
-        for j in 0..self.jobs.len() {
-            let at = self.jobs[j].activation + self.sys.app.activity(self.jobs[j].activity).release;
-            self.queue.push(at, Event::Activation { job: j });
-        }
-        // Table-driven SCS and ST events, repeated per hyperperiod.
-        for rep in 0..self.cfg.reps {
-            let off = self.horizon * rep;
-            for e in table.tasks() {
-                let job = self.job_index(e.activity, rep, e.instance);
-                self.queue.push(e.start + off, Event::ScsStart { job });
-                self.queue.push(e.finish + off, Event::ScsFinish { job });
-            }
-            for e in table.messages() {
-                let job = self.job_index(e.activity, rep, e.instance);
-                self.queue.push(e.slot_end + off, Event::StDelivery { job });
-            }
-        }
-        // Dynamic slot chains.
-        for (cycle, &(dyn_start, eff)) in self.cycle_info.iter().enumerate() {
-            if eff > 0 && self.sys.bus.dyn_slot_count() > 0 {
-                self.queue.push(
-                    dyn_start,
-                    Event::DynSlot {
-                        cycle: i64::try_from(cycle).expect("cycle index"),
-                        fid: 1,
-                        counter: 1,
-                    },
-                );
-            }
-        }
-    }
-
-    fn run(mut self) -> Result<SimReport, ModelError> {
-        while let Some((t, event)) = self.queue.pop() {
-            match event {
-                Event::Activation { job } => self.resolve_dependency(job, t),
-                Event::ScsStart { job } => {
-                    if self.jobs[job].pending > 0 {
-                        let name = &self.sys.app.activity(self.jobs[job].activity).name;
-                        self.violations.push(format!(
-                            "SCS task '{name}' starts at {t} before its inputs are ready"
-                        ));
-                    }
-                }
-                Event::ScsFinish { job } => self.complete(job, t),
-                Event::StDelivery { job } => {
-                    if self.jobs[job].pending > 0 {
-                        let name = &self.sys.app.activity(self.jobs[job].activity).name;
-                        self.violations.push(format!(
-                            "ST message '{name}' transmitted at {t} before being produced"
-                        ));
-                    }
-                    self.complete(job, t);
-                }
-                Event::DynDelivery { job } => self.complete(job, t),
-                Event::FpsCompletion { node, version } => {
-                    let (finished, next) = self.cpus[node].complete(t, version, self.limit);
-                    if let Some(job) = finished {
-                        self.complete(job, t);
-                    }
-                    if let Some(at) = next.at {
-                        self.queue.push(
-                            at,
-                            Event::FpsCompletion {
-                                node,
-                                version: next.version,
-                            },
-                        );
-                    }
-                }
-                Event::DynSlot {
-                    cycle,
-                    fid,
-                    counter,
-                } => self.dyn_slot(t, cycle, fid, counter),
-            }
-        }
-        let completed = self.jobs.iter().filter(|j| j.completed.is_some()).count();
-        Ok(SimReport {
-            responses: self.responses,
-            completed_jobs: completed,
-            total_jobs: self.jobs.len(),
-            violations: self.violations,
         })
     }
 
-    /// One dependency (activation token or predecessor) of `job` resolved.
-    fn resolve_dependency(&mut self, job: JobIndex, t: Time) {
-        {
-            let j = &mut self.jobs[job];
-            j.pending = j.pending.saturating_sub(1);
-            j.ready_at = j.ready_at.max(t);
-            if j.pending > 0 {
-                return;
+    /// Seeds all wake-ups of hyperperiod `rep`: activation tokens,
+    /// table-driven SCS/ST events and the per-cycle dynamic slot
+    /// chains. Unlike the monolithic engine (which materialised every
+    /// hyperperiod up front) seeding is incremental so that compression
+    /// can skip whole hyperperiods without ever instantiating them.
+    fn seed_rep(&mut self, rep: i64) -> Result<(), ModelError> {
+        self.kernel.jobs.seed_slab(rep);
+        let sys = self.kernel.sys;
+        let off = self.horizon.saturating_mul(rep);
+        let releaser = self.kernel.releaser_id();
+        for id in sys.app.ids() {
+            let act = u32::try_from(id.index())
+                .map_err(|_| ModelError::InvalidConfig("activity index out of range".into()))?;
+            let release = sys.app.activity(id).release;
+            let period = sys.app.period_of(id);
+            for k in 0..self.kernel.jobs.iph(act as usize) {
+                let job = JobRef { act, rep, k };
+                let at = off + period * i64::from(k) + release;
+                self.kernel
+                    .queue
+                    .push(at, releaser, Signal::Activate { job });
             }
         }
-        let (activity, ready) = (self.jobs[job].activity, self.jobs[job].ready_at);
-        match &self.sys.app.activity(activity).kind {
-            ActivityKind::Task(spec) if spec.policy == SchedPolicy::Fps => {
-                let node = spec.node.index();
-                let p = self.cpus[node].arrive(ready, job, spec.priority, spec.wcet, self.limit);
-                if let Some(at) = p.at {
-                    self.queue.push(
-                        at,
-                        Event::FpsCompletion {
-                            node,
-                            version: p.version,
+        let static_id = self.kernel.static_id();
+        for e in self.table.tasks() {
+            let job = self.table_job(e.activity, rep, e.instance)?;
+            self.kernel
+                .queue
+                .push(e.start + off, static_id, Signal::ScsStart { job });
+            self.kernel
+                .queue
+                .push(e.finish + off, static_id, Signal::ScsFinish { job });
+        }
+        for e in self.table.messages() {
+            let job = self.table_job(e.activity, rep, e.instance)?;
+            self.kernel
+                .queue
+                .push(e.slot_end + off, static_id, Signal::StDelivery { job });
+        }
+        let dyn_id = self.kernel.dyn_id();
+        if self.kernel.sys.bus.dyn_slot_count() > 0 {
+            for (c, &(dyn_start, eff)) in self.cycle_info.iter().enumerate() {
+                if eff > 0 {
+                    #[allow(clippy::cast_possible_truncation)] // length checked in new()
+                    let cycle = c as u32;
+                    self.kernel.queue.push(
+                        off + dyn_start,
+                        dyn_id,
+                        Signal::DynSlot {
+                            rep,
+                            cycle,
+                            fid: 1,
+                            counter: 1,
                         },
                     );
                 }
             }
-            ActivityKind::Message(spec) if spec.class == MessageClass::Dynamic => {
-                if let Some(fid) = self.sys.bus.frame_id_of(activity) {
-                    self.chi.entry(fid.number()).or_default().push(ChiFrame {
-                        enqueued: ready,
-                        priority: spec.priority,
-                        job,
-                    });
+        }
+        Ok(())
+    }
+
+    fn table_job(
+        &self,
+        activity: ActivityId,
+        rep: i64,
+        instance: i64,
+    ) -> Result<JobRef, ModelError> {
+        let act = u32::try_from(activity.index())
+            .map_err(|_| ModelError::InvalidConfig("activity index out of range".into()))?;
+        let k = u32::try_from(instance).map_err(|_| {
+            ModelError::InvalidConfig(format!(
+                "schedule-table instance {instance} of activity '{}' is out of range",
+                self.kernel.sys.app.activity(activity).name
+            ))
+        })?;
+        Ok(JobRef { act, rep, k })
+    }
+
+    fn run(mut self) -> Result<SimReport, ModelError> {
+        let reps = self.cfg.reps.max(1);
+        let per_rep = self.kernel.jobs.per_rep() as usize;
+        let total_jobs = per_rep * usize::try_from(reps).unwrap_or(usize::MAX);
+        let mut history: Option<HashMap<Vec<u64>, (i64, usize)>> =
+            self.cfg.compress.then(HashMap::new);
+        let mut next_rep = 0i64;
+        let mut simulated = 0i64;
+        let mut skipped = 0i64;
+        while next_rep < reps {
+            self.seed_rep(next_rep)?;
+            let boundary = self.horizon.saturating_mul(next_rep + 1);
+            self.process_until(boundary);
+            simulated += 1;
+            next_rep += 1;
+            self.kernel.jobs.gc(next_rep);
+            if next_rep >= reps || history.is_none() {
+                continue;
+            }
+            let key = self.boundary_fingerprint(next_rep, boundary).into_words();
+            let h = history.as_mut().expect("checked above");
+            if let Some(&(prev_rep, prev_completed)) = h.get(&key) {
+                // The stretch [prev_rep, next_rep) is a proven cycle:
+                // the engine state at both boundaries is identical up
+                // to relocation. Fast-forward over all whole
+                // repetitions that fit before the end of the run.
+                let cycle_len = next_rep - prev_rep;
+                let n_skip = (reps - next_rep) / cycle_len;
+                if n_skip > 0 {
+                    let dreps = n_skip * cycle_len;
+                    let per_cycle = self.kernel.completed - prev_completed;
+                    self.fast_forward(dreps);
+                    self.kernel.completed += per_cycle * usize::try_from(n_skip).unwrap_or(0);
+                    next_rep += dreps;
+                    skipped += dreps;
+                }
+                history = None;
+            } else if h.len() >= MAX_HISTORY {
+                history = None;
+            } else {
+                h.insert(key, (next_rep, self.kernel.completed));
+            }
+        }
+        // Drain the carryover past the last boundary (completions may
+        // trail into later hyperperiods; CPU projections are bounded by
+        // the starvation limit, dynamic chains by their cycle budgets).
+        self.process_until(Time::MAX);
+        Ok(SimReport {
+            responses: std::mem::take(&mut self.kernel.responses),
+            completed_jobs: self.kernel.completed,
+            total_jobs,
+            violations: std::mem::take(&mut self.kernel.violations)
+                .into_iter()
+                .collect(),
+            hyperperiods_simulated: simulated,
+            hyperperiods_skipped: skipped,
+        })
+    }
+
+    /// Services queue wake-ups strictly before `bound`.
+    fn process_until(&mut self, bound: Time) {
+        match self.cfg.order {
+            ExecutionOrder::Canonical => {
+                // Directly popping the queue reproduces the monolithic
+                // engine's event loop bit for bit: the heap key is the
+                // historical `(time, event)` order.
+                while let Some(t) = self.kernel.queue.peek_time() {
+                    if t >= bound {
+                        return;
+                    }
+                    let Some(e) = self.kernel.queue.pop() else {
+                        return;
+                    };
+                    self.dispatch(e);
                 }
             }
-            // SCS tasks and ST messages follow the table; readiness is
-            // only audited.
-            _ => {}
+            ExecutionOrder::Fuzzed { seed } => self.process_fuzzed(bound, seed),
         }
     }
 
-    /// Records a completion and propagates to same-instance successors.
-    fn complete(&mut self, job: JobIndex, t: Time) {
-        if self.jobs[job].completed.is_some() {
-            return;
-        }
-        self.jobs[job].completed = Some(t);
-        let activity = self.jobs[job].activity;
-        let response = t - self.jobs[job].activation;
-        let slot = &mut self.responses[activity.index()];
-        *slot = Some(slot.map_or(response, |r: Time| r.max(response)));
-
-        // instance coordinates of this job
-        let local = job - self.job_base[activity.index()];
-        let iph = usize::try_from(self.inst_per_h[activity.index()]).expect("iph");
-        let (rep, k) = (local / iph, local % iph);
-        for &s in self.sys.app.succs(activity) {
-            let succ_job = self.job_index(
-                s,
-                i64::try_from(rep).expect("rep"),
-                i64::try_from(k).expect("k"),
-            );
-            self.resolve_dependency(succ_job, t);
-        }
-    }
-
-    /// Processes one dynamic slot boundary.
-    fn dyn_slot(&mut self, t: Time, cycle: i64, fid: u16, counter: u32) {
-        let (_, eff) = self.cycle_info[usize::try_from(cycle).expect("cycle")];
-        if fid > self.sys.bus.dyn_slot_count() || counter > eff {
-            return;
-        }
-        let ms = self.sys.bus.phy.gd_minislot;
-        // Highest-priority frame with this identifier already in the CHI.
-        let pick = self.chi.get(&fid).and_then(|q| {
-            q.iter()
-                .enumerate()
-                .filter(|(_, f)| f.enqueued <= t)
-                .max_by_key(|(i, f)| {
-                    (
-                        f.priority,
-                        std::cmp::Reverse(f.enqueued),
-                        std::cmp::Reverse(*i),
-                    )
-                })
-                .map(|(i, f)| (i, *f))
-        });
-        if let Some((qi, frame)) = pick {
-            let msg = self.jobs[frame.job].activity;
-            let lm = self.sys.bus.minislots_of(&self.sys.app, msg);
-            let bound = match self.cfg.latest_tx {
-                LatestTxPolicy::PerMessage => eff.saturating_sub(lm) + 1,
-                LatestTxPolicy::PerNode => {
-                    let node = self.frame_node[&fid];
-                    // per-node bound relative to the effective budget
-                    let largest = self
-                        .sys
-                        .bus
-                        .frame_ids
-                        .keys()
-                        .filter(|&&m| self.sys.app.sender_of(m) == Some(node))
-                        .map(|&m| self.sys.bus.minislots_of(&self.sys.app, m))
-                        .max()
-                        .unwrap_or(1);
-                    eff.saturating_sub(largest) + 1
-                }
+    /// Fuzzed service loop: drains each same-instant batch, permutes
+    /// every within-phase span with a stateless deterministic shuffle,
+    /// and absorbs wake-ups created *for the same instant* during
+    /// servicing into the not-yet-serviced remainder at a
+    /// phase-respecting position.
+    fn process_fuzzed(&mut self, bound: Time, seed: u64) {
+        let mut batch: Vec<Entry> = Vec::new();
+        loop {
+            let Some(t) = self.kernel.queue.peek_time() else {
+                return;
             };
-            if counter <= bound {
-                self.chi
-                    .get_mut(&fid)
-                    .expect("queue exists")
-                    .swap_remove(qi);
-                let end = t + ms * i64::from(lm);
-                self.queue.push(end, Event::DynDelivery { job: frame.job });
-                self.queue.push(
-                    end,
-                    Event::DynSlot {
-                        cycle,
-                        fid: fid + 1,
-                        counter: counter + lm,
-                    },
-                );
+            if t >= bound {
                 return;
             }
+            batch.clear();
+            while self.kernel.queue.peek_time() == Some(t) {
+                let Some(e) = self.kernel.queue.pop() else {
+                    break;
+                };
+                batch.push(e);
+            }
+            self.shuffle_spans(&mut batch, t, seed);
+            let mut i = 0;
+            while i < batch.len() {
+                let e = batch[i];
+                i += 1;
+                self.dispatch(e);
+                // Wake-ups scheduled for this same instant join the
+                // remainder of the batch.
+                while self.kernel.queue.peek_time() == Some(t) {
+                    let Some(n) = self.kernel.queue.pop() else {
+                        break;
+                    };
+                    let pos = self.fuzzed_insert_pos(&batch[i..], &n, t, seed);
+                    batch.insert(i + pos, n);
+                }
+            }
         }
-        // empty or blocked slot: one minislot
-        self.queue.push(
-            t + ms,
-            Event::DynSlot {
-                cycle,
-                fid: fid + 1,
-                counter: counter + 1,
-            },
-        );
+    }
+
+    /// Wakes the target component, then drains the immediate FIFO.
+    fn dispatch(&mut self, e: Entry) {
+        self.components[e.cid.0].wake(e.time, e.signal, &mut self.kernel);
+        while let Some((cid, sig)) = self.kernel.immediates.pop_front() {
+            self.components[cid.0].wake(e.time, sig, &mut self.kernel);
+        }
+    }
+
+    /// Fisher–Yates over each within-phase span of a same-instant
+    /// batch. The permutation is derived statelessly from `(seed,
+    /// position in the hyperperiod, phase, span length)` so that equal
+    /// boundary states replay equal permutations (compression
+    /// soundness).
+    fn shuffle_spans(&self, batch: &mut [Entry], t: Time, seed: u64) {
+        #[allow(clippy::cast_sign_loss)] // hyperperiod-relative, non-negative
+        let rel = (t % self.horizon).as_ns() as u64;
+        let mut start = 0;
+        while start < batch.len() {
+            let phase = batch[start].signal.phase();
+            let mut end = start + 1;
+            while end < batch.len() && batch[end].signal.phase() == phase {
+                end += 1;
+            }
+            let span = &mut batch[start..end];
+            if span.len() > 1 {
+                let mut rng =
+                    SplitMix64::new(mix_words(&[seed, rel, phase as u64, span.len() as u64]));
+                for j in (1..span.len()).rev() {
+                    span.swap(j, rng.next_below(j + 1));
+                }
+            }
+            start = end;
+        }
+    }
+
+    /// Position (within the unserviced remainder of a batch) for a
+    /// wake-up created mid-batch: uniformly random inside its phase
+    /// span; if its phase has already been fully serviced it goes
+    /// immediately next — the closest fuzzed analogue of the canonical
+    /// heap discipline, where such a wake-up would pop before anything
+    /// later-phased.
+    fn fuzzed_insert_pos(&self, rest: &[Entry], n: &Entry, t: Time, seed: u64) -> usize {
+        let p = n.signal.phase();
+        let lo = rest.partition_point(|e| e.signal.phase() < p);
+        let hi = rest.partition_point(|e| e.signal.phase() <= p);
+        if hi == lo && lo == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss)]
+        let rel = (t % self.horizon).as_ns() as u64;
+        let key = n.signal.order_key();
+        let mut rng = SplitMix64::new(mix_words(&[
+            seed,
+            rel,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            (hi - lo + 1) as u64,
+        ]));
+        lo + rng.next_below(hi - lo + 1)
+    }
+
+    /// The complete, boundary-normalised engine state at hyperperiod
+    /// boundary `b_rep` (time `boundary`): job store, every component,
+    /// then the pending queue.
+    fn boundary_fingerprint(&mut self, b_rep: i64, boundary: Time) -> Fingerprint {
+        let mut fp = Fingerprint::new();
+        self.kernel.jobs.fingerprint_into(b_rep, boundary, &mut fp);
+        for c in &mut self.components {
+            c.fingerprint_into(boundary, b_rep, &mut fp);
+        }
+        fp.push(0xF1A6_0004);
+        for e in self.kernel.queue.snapshot_sorted() {
+            fp.push_time(e.time - boundary);
+            fp.push_usize(e.cid.0);
+            let key = e.signal.order_key();
+            fp.push(key[0]);
+            match e.signal {
+                Signal::ScsFinish { job }
+                | Signal::StDelivery { job }
+                | Signal::DynDelivery { job }
+                | Signal::Activate { job }
+                | Signal::ScsStart { job } => {
+                    fp.push(u64::from(job.act));
+                    fp.push_i64(job.rep - b_rep);
+                    fp.push(u64::from(job.k));
+                }
+                Signal::FpsCompletion { node, version } => {
+                    fp.push_usize(node);
+                    // Versions are monotone counters; two equivalent
+                    // boundary states differ in their absolute values,
+                    // so fingerprint the staleness instead.
+                    fp.push_i64(self.components[node].version_delta(version));
+                }
+                Signal::DynSlot {
+                    rep,
+                    cycle,
+                    fid,
+                    counter,
+                } => {
+                    fp.push_i64(rep - b_rep);
+                    fp.push(u64::from(cycle));
+                    fp.push(u64::from(fid));
+                    fp.push(u64::from(counter));
+                }
+                Signal::FpsArrive { .. } | Signal::ChiEnqueue { .. } => {
+                    debug_assert!(false, "immediate signal in the queue");
+                }
+            }
+        }
+        fp
+    }
+
+    /// Relocates the whole engine `dreps` hyperperiods forward: queue
+    /// entries, component state and job coordinates. Exact because
+    /// every periodic structure (availability, cycle layout, seeding)
+    /// repeats with the hyperperiod.
+    fn fast_forward(&mut self, dreps: i64) {
+        let dt = self.horizon.saturating_mul(dreps);
+        let entries = self.kernel.queue.drain();
+        for e in entries {
+            self.kernel
+                .queue
+                .push(e.time + dt, e.cid, shift_signal(e.signal, dreps));
+        }
+        for c in &mut self.components {
+            c.shift(dt, dreps);
+        }
+        self.kernel.jobs.shift(dreps);
+    }
+}
+
+/// Relocates a signal's hyperperiod coordinates `dreps` forward.
+fn shift_signal(s: Signal, dreps: i64) -> Signal {
+    let bump = |j: JobRef| JobRef {
+        rep: j.rep + dreps,
+        ..j
+    };
+    match s {
+        Signal::ScsFinish { job } => Signal::ScsFinish { job: bump(job) },
+        Signal::StDelivery { job } => Signal::StDelivery { job: bump(job) },
+        Signal::DynDelivery { job } => Signal::DynDelivery { job: bump(job) },
+        Signal::Activate { job } => Signal::Activate { job: bump(job) },
+        Signal::ScsStart { job } => Signal::ScsStart { job: bump(job) },
+        Signal::DynSlot {
+            rep,
+            cycle,
+            fid,
+            counter,
+        } => Signal::DynSlot {
+            rep: rep + dreps,
+            cycle,
+            fid,
+            counter,
+        },
+        Signal::FpsCompletion { .. } | Signal::FpsArrive { .. } | Signal::ChiEnqueue { .. } => s,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexray_model::{Application, BusConfig, FrameId, PhyParams, Platform};
+    use flexray_analysis::TaskEntry;
+    use flexray_model::{
+        Application, BusConfig, FrameId, MessageClass, NodeId, PhyParams, Platform, SchedPolicy,
+    };
 
     /// 50 ns gdBit so that `2·n` bytes last exactly `n` µs; 1 µs
     /// minislots.
@@ -636,5 +777,107 @@ mod tests {
         // 2 reps: fast has 4 jobs, slow has 2 -> 6 total
         assert_eq!(report.total_jobs, 6);
         assert!(report.is_clean());
+    }
+
+    fn configured(order: ExecutionOrder, reps: i64, compress: bool) -> SimConfig {
+        SimConfig {
+            reps,
+            order,
+            compress,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn fuzzed_orders_match_canonical_on_race_free_systems() {
+        let canonical = |sys: &System| {
+            simulate_configured(sys, &configured(ExecutionOrder::Canonical, 2, false))
+                .expect("simulation")
+        };
+        for sys in [
+            tt_chain_system(),
+            fig4_system(&[(0, 1), (1, 2), (2, 3)], 12).0,
+        ] {
+            let base = canonical(&sys);
+            assert!(base.is_clean());
+            for seed in [1u64, 2, 3, 0xDEAD_BEEF] {
+                let fuzzed = simulate_configured(
+                    &sys,
+                    &configured(ExecutionOrder::Fuzzed { seed }, 2, false),
+                )
+                .expect("simulation");
+                assert_eq!(fuzzed.responses, base.responses, "seed {seed}");
+                assert_eq!(fuzzed.violations, base.violations, "seed {seed}");
+                assert_eq!(fuzzed.completed_jobs, base.completed_jobs, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_runs_report_identically_and_skip_hyperperiods() {
+        for order in [
+            ExecutionOrder::Canonical,
+            ExecutionOrder::Fuzzed { seed: 7 },
+        ] {
+            let sys = tt_chain_system();
+            let slow =
+                simulate_configured(&sys, &configured(order, 16, false)).expect("simulation");
+            let fast = simulate_configured(&sys, &configured(order, 16, true)).expect("simulation");
+            assert_eq!(fast.responses, slow.responses);
+            assert_eq!(fast.completed_jobs, slow.completed_jobs);
+            assert_eq!(fast.total_jobs, slow.total_jobs);
+            assert_eq!(fast.violations, slow.violations);
+            assert_eq!(slow.hyperperiods_simulated, 16);
+            assert_eq!(slow.hyperperiods_skipped, 0);
+            assert!(
+                fast.hyperperiods_simulated < 16,
+                "compression never fired: {:?}",
+                fast.hyperperiods_simulated
+            );
+            assert_eq!(fast.hyperperiods_simulated + fast.hyperperiods_skipped, 16);
+        }
+    }
+
+    #[test]
+    fn violations_are_sorted_deduped_and_hyperperiod_relative() {
+        // A deliberately broken table: task b starts before its input
+        // message is delivered, every hyperperiod.
+        let sys = tt_chain_system();
+        let b = sys.app.find("b").expect("b");
+        let mut table = ScheduleTable::new(sys.hyperperiod().expect("hyperperiod"));
+        table.push_task(TaskEntry {
+            activity: b,
+            instance: 0,
+            node: NodeId::new(1),
+            start: Time::from_us(1.0),
+            finish: Time::from_us(6.0),
+        });
+        let report = simulate(
+            &sys,
+            &table,
+            &configured(ExecutionOrder::Canonical, 4, false),
+        )
+        .expect("simulation");
+        // One violation text, reported once despite four hyperperiods
+        // (the message is hyperperiod-relative, so repeats dedup).
+        assert_eq!(report.violations.len(), 1);
+        assert!(
+            report.violations[0].contains("into the hyperperiod"),
+            "got: {}",
+            report.violations[0]
+        );
+        let mut sorted = report.violations.clone();
+        sorted.sort();
+        assert_eq!(sorted, report.violations);
+        // Fuzzed orders report the identical violation set.
+        for seed in [1u64, 9] {
+            let fuzzed = simulate(
+                &sys,
+                &table,
+                &configured(ExecutionOrder::Fuzzed { seed }, 4, false),
+            )
+            .expect("simulation");
+            assert_eq!(fuzzed.violations, report.violations);
+        }
     }
 }

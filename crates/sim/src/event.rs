@@ -1,70 +1,236 @@
-//! Discrete-event machinery: timestamped events with deterministic
-//! ordering.
+//! Discrete-event machinery: component wake-ups with an explicit,
+//! documented same-instant ordering policy.
+//!
+//! # Same-instant ordering policy
+//!
+//! All wake-ups scheduled for the same instant are serviced in four
+//! *phases*, in this normative order:
+//!
+//! 1. [`Phase::Deliver`] — everything that *finishes* at `t` becomes
+//!    visible: SCS task finishes, ST frame deliveries, DYN frame
+//!    deliveries, FPS completion projections. A frame finishing exactly
+//!    when a dynamic slot starts is in the CHI buffer for that slot.
+//! 2. [`Phase::Release`] — activation tokens for jobs released at `t`.
+//! 3. [`Phase::Audit`] — SCS task *starts* are audited against the
+//!    readiness the first two phases established.
+//! 4. [`Phase::Arbitrate`] — dynamic slot boundaries arbitrate over the
+//!    CHI contents that the `Deliver` phase completed.
+//!
+//! The phase order encodes protocol causality and is **never** fuzzed.
+//! *Within* a phase the canonical order is by [`Signal::order_key`]
+//! (kind, then activity/instance coordinates — exactly the historical
+//! event order of the monolithic engine); a fuzzed run permutes each
+//! within-phase span with a deterministic, stateless permutation
+//! instead (see `engine`), because the protocol does not specify the
+//! mutual order of same-instant wake-ups inside one phase.
 
 use flexray_model::Time;
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
-/// A job instance: activity `activity`, the `k`-th activation of the
-/// `rep`-th simulated hyperperiod, flattened to a dense index by the
-/// engine.
-pub type JobIndex = usize;
-
-/// The kinds of simulation events.
+/// A job instance: the `k`-th activation of activity `act` within
+/// simulated hyperperiod `rep`.
 ///
-/// The discriminant order doubles as the tie-break at equal timestamps:
-/// completions and deliveries are visible to anything else happening at
-/// the same instant (e.g. a frame finishing exactly when a dynamic slot
-/// starts is in the CHI buffer for that slot).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Event {
+/// The derived order — activity-major, then hyperperiod, then instance
+/// — is the canonical tie-break wherever jobs must be ranked (it
+/// matches the flattened job index of the pre-component engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobRef {
+    /// Activity index ([`flexray_model::ActivityId::index`]).
+    pub act: u32,
+    /// Hyperperiod index (0-based).
+    pub rep: i64,
+    /// Activation index within the hyperperiod (0-based).
+    pub k: u32,
+}
+
+/// Identity of a component: its index in the engine's component table
+/// (one CPU per node, then releaser, static segment, dynamic segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub usize);
+
+/// Same-instant service phase (see the module docs for the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Completions and deliveries become visible.
+    Deliver,
+    /// Activation tokens are released.
+    Release,
+    /// SCS starts are audited for readiness.
+    Audit,
+    /// Dynamic slot boundaries arbitrate.
+    Arbitrate,
+}
+
+/// A component wake-up payload.
+///
+/// The first seven kinds travel through the time-ordered queue; the
+/// last two are *immediate signals* — zero-latency cross-component
+/// notifications a wake-up emits through the kernel, serviced before
+/// the next queued wake-up and never reordered (they model synchronous
+/// intra-instant causality, not simultaneity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
     /// An SCS task instance finishes (table-driven).
     ScsFinish {
         /// The finishing job.
-        job: JobIndex,
+        job: JobRef,
     },
     /// An ST frame is delivered (slot end).
     StDelivery {
         /// The delivered message job.
-        job: JobIndex,
+        job: JobRef,
     },
     /// A DYN frame transmission completes.
     DynDelivery {
         /// The delivered message job.
-        job: JobIndex,
+        job: JobRef,
     },
     /// An FPS job may have completed (version-guarded).
     FpsCompletion {
         /// Node whose CPU raised the event.
         node: usize,
-        /// CPU state version when scheduled; stale versions are ignored.
+        /// CPU state version when scheduled; stale versions are
+        /// ignored.
         version: u64,
     },
     /// A graph activation releases a job's activation token.
-    Activation {
+    Activate {
         /// The activated job.
-        job: JobIndex,
+        job: JobRef,
     },
     /// An SCS task instance starts (used for precedence auditing).
     ScsStart {
         /// The starting job.
-        job: JobIndex,
+        job: JobRef,
     },
     /// The dynamic slot with the given frame identifier begins.
     DynSlot {
-        /// Index of the communication cycle within the whole simulation.
-        cycle: i64,
+        /// Hyperperiod the cycle belongs to.
+        rep: i64,
+        /// Communication-cycle index within the hyperperiod.
+        cycle: u32,
         /// 1-based frame identifier of the slot.
         fid: u16,
         /// Minislot counter value at the slot boundary (1-based).
         counter: u32,
     },
+    /// Immediate: a ready FPS job arrives at its node CPU.
+    FpsArrive {
+        /// The ready job.
+        job: JobRef,
+        /// FPS priority.
+        priority: u32,
+        /// Worst-case execution time.
+        wcet: Time,
+    },
+    /// Immediate: a ready DYN frame enters its CHI send buffer.
+    ChiEnqueue {
+        /// Frame identifier the message is assigned to.
+        fid: u16,
+        /// The ready message job.
+        job: JobRef,
+        /// DYN priority.
+        priority: u32,
+    },
 }
 
-/// A time-ordered event queue.
+impl Signal {
+    /// Canonical same-instant rank and coordinates. The rank order of
+    /// the queued kinds reproduces the discriminant order of the
+    /// pre-component `Event` enum (deliveries before activations before
+    /// audits before arbitration); the coordinates reproduce its field
+    /// order.
+    #[must_use]
+    pub fn order_key(&self) -> [u64; 5] {
+        #[allow(clippy::cast_sign_loss)] // reps are non-negative
+        fn job_key(rank: u64, job: &JobRef) -> [u64; 5] {
+            [
+                rank,
+                u64::from(job.act),
+                job.rep as u64,
+                u64::from(job.k),
+                0,
+            ]
+        }
+        match self {
+            Signal::ScsFinish { job } => job_key(0, job),
+            Signal::StDelivery { job } => job_key(1, job),
+            Signal::DynDelivery { job } => job_key(2, job),
+            Signal::FpsCompletion { node, version } => [3, *node as u64, *version, 0, 0],
+            Signal::Activate { job } => job_key(4, job),
+            Signal::ScsStart { job } => job_key(5, job),
+            #[allow(clippy::cast_sign_loss)]
+            Signal::DynSlot {
+                rep,
+                cycle,
+                fid,
+                counter,
+            } => [
+                6,
+                *rep as u64,
+                u64::from(*cycle),
+                u64::from(*fid),
+                u64::from(*counter),
+            ],
+            // Immediate signals never enter the queue.
+            Signal::FpsArrive { .. } | Signal::ChiEnqueue { .. } => [7, 0, 0, 0, 0],
+        }
+    }
+
+    /// The service phase of this signal.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        match self.order_key()[0] {
+            0..=3 => Phase::Deliver,
+            4 => Phase::Release,
+            5 => Phase::Audit,
+            _ => Phase::Arbitrate,
+        }
+    }
+}
+
+/// A scheduled wake-up: when, whom, and with what payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// Absolute wake-up time.
+    pub time: Time,
+    /// The component to wake.
+    pub cid: ComponentId,
+    /// The payload.
+    pub signal: Signal,
+}
+
+impl Entry {
+    fn sort_key(&self) -> (Time, [u64; 5]) {
+        (self.time, self.signal.order_key())
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.sort_key() == other.sort_key()
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+/// The time-ordered wake-up queue keyed `(time, order key)`.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Time, Event)>>,
+    heap: BinaryHeap<Reverse<Entry>>,
 }
 
 impl EventQueue {
@@ -74,26 +240,58 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules `event` at absolute time `at`.
-    pub fn push(&mut self, at: Time, event: Event) {
-        self.heap.push(Reverse((at, event)));
+    /// Schedules a wake-up of `cid` with `signal` at absolute time
+    /// `at`.
+    pub fn push(&mut self, at: Time, cid: ComponentId, signal: Signal) {
+        debug_assert!(
+            !matches!(signal, Signal::FpsArrive { .. } | Signal::ChiEnqueue { .. }),
+            "immediate signals do not enter the queue"
+        );
+        self.heap.push(Reverse(Entry {
+            time: at,
+            cid,
+            signal,
+        }));
     }
 
-    /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<(Time, Event)> {
+    /// Removes and returns the earliest wake-up.
+    pub fn pop(&mut self) -> Option<Entry> {
         self.heap.pop().map(|Reverse(e)| e)
     }
 
-    /// Number of pending events.
+    /// Time of the earliest pending wake-up.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending wake-ups.
     #[must_use]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// `true` when no events remain.
+    /// `true` when no wake-ups remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Removes and returns *all* pending wake-ups (used when the
+    /// compression fast-forward re-stamps the queue).
+    pub fn drain(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect()
+    }
+
+    /// A canonically sorted snapshot (used for state fingerprints).
+    #[must_use]
+    pub fn snapshot_sorted(&self) -> Vec<Entry> {
+        let mut v: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        v.sort();
+        v
     }
 }
 
@@ -101,14 +299,23 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn job(n: u32) -> JobRef {
+        JobRef {
+            act: n,
+            rep: 0,
+            k: 0,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(Time::from_us(5.0), Event::Activation { job: 1 });
-        q.push(Time::from_us(1.0), Event::Activation { job: 2 });
-        q.push(Time::from_us(3.0), Event::Activation { job: 3 });
+        let c = ComponentId(0);
+        q.push(Time::from_us(5.0), c, Signal::Activate { job: job(1) });
+        q.push(Time::from_us(1.0), c, Signal::Activate { job: job(2) });
+        q.push(Time::from_us(3.0), c, Signal::Activate { job: job(3) });
         let order: Vec<_> = std::iter::from_fn(|| q.pop())
-            .map(|(t, _)| t.as_us())
+            .map(|e| e.time.as_us())
             .collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
@@ -116,27 +323,87 @@ mod tests {
     #[test]
     fn same_time_orders_deliveries_before_dyn_slots() {
         let mut q = EventQueue::new();
+        let c = ComponentId(0);
         let t = Time::from_us(10.0);
         q.push(
             t,
-            Event::DynSlot {
+            c,
+            Signal::DynSlot {
+                rep: 0,
                 cycle: 0,
                 fid: 1,
                 counter: 1,
             },
         );
-        q.push(t, Event::DynDelivery { job: 0 });
-        let (_, first) = q.pop().expect("first");
-        assert!(matches!(first, Event::DynDelivery { .. }));
+        q.push(t, c, Signal::DynDelivery { job: job(0) });
+        let first = q.pop().expect("first");
+        assert!(matches!(first.signal, Signal::DynDelivery { .. }));
     }
 
     #[test]
-    fn len_and_empty() {
+    fn phases_follow_the_documented_policy() {
+        let deliver = [
+            Signal::ScsFinish { job: job(0) },
+            Signal::StDelivery { job: job(0) },
+            Signal::DynDelivery { job: job(0) },
+            Signal::FpsCompletion {
+                node: 0,
+                version: 1,
+            },
+        ];
+        for s in deliver {
+            assert_eq!(s.phase(), Phase::Deliver);
+        }
+        assert_eq!(Signal::Activate { job: job(0) }.phase(), Phase::Release);
+        assert_eq!(Signal::ScsStart { job: job(0) }.phase(), Phase::Audit);
+        assert_eq!(
+            Signal::DynSlot {
+                rep: 0,
+                cycle: 0,
+                fid: 1,
+                counter: 1
+            }
+            .phase(),
+            Phase::Arbitrate
+        );
+        assert!(Phase::Deliver < Phase::Release);
+        assert!(Phase::Release < Phase::Audit);
+        assert!(Phase::Audit < Phase::Arbitrate);
+    }
+
+    #[test]
+    fn job_order_is_activity_major() {
+        // the canonical tie-break of the pre-component engine: jobs are
+        // ranked by activity, then hyperperiod, then instance
+        let early_act_late_rep = JobRef {
+            act: 0,
+            rep: 1,
+            k: 0,
+        };
+        let late_act_early_rep = JobRef {
+            act: 5,
+            rep: 0,
+            k: 0,
+        };
+        assert!(early_act_late_rep < late_act_early_rep);
+    }
+
+    #[test]
+    fn len_and_empty_and_snapshot() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(Time::ZERO, Event::Activation { job: 0 });
-        assert_eq!(q.len(), 1);
-        q.pop();
+        q.push(Time::ZERO, ComponentId(0), Signal::Activate { job: job(0) });
+        q.push(
+            Time::ZERO,
+            ComponentId(1),
+            Signal::ScsFinish { job: job(1) },
+        );
+        assert_eq!(q.len(), 2);
+        let snap = q.snapshot_sorted();
+        // deliveries sort before activations at the same instant
+        assert!(matches!(snap[0].signal, Signal::ScsFinish { .. }));
+        assert_eq!(q.len(), 2, "snapshot does not consume");
+        q.drain();
         assert!(q.is_empty());
     }
 }

@@ -21,6 +21,16 @@
 //! `flexray-analysis` — the cross-check the integration tests and
 //! property tests perform.
 //!
+//! The engine is component-based: each node CPU, the activation
+//! releaser, the static segment and the dynamic-segment arbiter are
+//! separate components woken from a time-ordered queue with an
+//! explicit, documented same-instant ordering policy (see [`event`]).
+//! On top of that structure sit seeded **fuzzed execution orders**
+//! ([`ExecutionOrder`]) for exploring the unspecified mutual order of
+//! simultaneous events, and exact **hyperperiod compression**
+//! ([`SimConfig::compress`]) that detects repeating boundary states and
+//! fast-forwards over proven cycles.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,10 +56,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod component;
 mod cpu;
 mod engine;
-mod event;
+pub mod event;
+mod kernel;
 
 pub use cpu::{Cpu, Projected};
-pub use engine::{simulate, simulate_default, SimConfig, SimReport};
-pub use event::{Event, EventQueue, JobIndex};
+pub use engine::{
+    simulate, simulate_configured, simulate_default, ExecutionOrder, SimConfig, SimReport,
+};
+pub use event::{ComponentId, EventQueue, JobRef, Phase, Signal};

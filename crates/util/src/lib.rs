@@ -1,0 +1,107 @@
+//! # flexray-util
+//!
+//! Dependency-free plumbing shared across the workspace: the scoped
+//! work-stealing worker pool that drives the `fig9`, `sweep`, `grid`
+//! and `fuzz` harnesses of `flexray-bench` (and the planned
+//! multi-session `Evaluator` pool).
+//!
+//! The pool lived in `flexray_bench::sweep` originally; it is
+//! re-exported from there for back-compat.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// Runs `f(0..n_items)` over `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// `threads <= 1` runs serially. Workers *steal* the next unclaimed
+/// index from a shared atomic cursor (rather than owning pre-assigned
+/// subsets), so a few slow items cannot idle the rest of the pool;
+/// results still land by index, keeping the merge deterministic.
+pub fn scoped_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    scoped_consume(n_items, threads, f, |i, item| slots[i] = Some(item));
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+        .collect()
+}
+
+/// The pool behind [`scoped_map`], exposing completion instead of
+/// collection: `consume(i, result)` runs on the calling thread and
+/// *owns* each result, in completion order (nondeterministic across
+/// runs — index order only on the serial path). This is the streaming
+/// hook the grid engine uses to aggregate points and emit report
+/// records while later units are still being solved, without holding a
+/// second copy of the results.
+pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, mut consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    let threads = threads.max(1).min(n_items.max(1));
+    if threads <= 1 {
+        for i in 0..n_items {
+            consume(i, f(i));
+        }
+        return;
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let f = &f;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, item) in rx {
+            consume(i, item);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_map_is_order_preserving_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = scoped_map(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(scoped_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn scoped_consume_hands_over_every_item_exactly_once() {
+        for threads in [1usize, 4] {
+            let mut seen = [0usize; 9];
+            scoped_consume(
+                9,
+                threads,
+                |i| i * 2,
+                |i, item| {
+                    assert_eq!(item, i * 2, "consumer owns the right item");
+                    seen[i] += 1;
+                },
+            );
+            assert!(seen.iter().all(|&count| count == 1), "threads {threads}");
+        }
+    }
+}

@@ -55,4 +55,6 @@ pub use flexray_model::{
     SchedPolicy, SlotId, System, SystemView, Time,
 };
 pub use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
-pub use flexray_sim::{simulate, simulate_default, SimConfig, SimReport};
+pub use flexray_sim::{
+    simulate, simulate_configured, simulate_default, ExecutionOrder, SimConfig, SimReport,
+};

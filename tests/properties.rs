@@ -575,6 +575,137 @@ proptest! {
 }
 
 proptest! {
+    // Each case runs several full simulations: keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuzzed execution orders are deterministic in
+    /// `(system, order seed)`: repeating a run reproduces the report
+    /// bit-for-bit, and compression does not change it either.
+    #[test]
+    fn fuzzed_simulation_is_deterministic(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pad in 0u32..30,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, pad) else {
+            return Ok(());
+        };
+        let cfg = |compress: bool| SimConfig {
+            reps: 4,
+            order: ExecutionOrder::Fuzzed { seed: order_seed },
+            compress,
+            ..SimConfig::default()
+        };
+        let a = simulate_configured(&sys, &cfg(false)).expect("simulation");
+        let b = simulate_configured(&sys, &cfg(false)).expect("simulation");
+        prop_assert_eq!(&a.responses, &b.responses);
+        prop_assert_eq!(&a.violations, &b.violations);
+        prop_assert_eq!(a.completed_jobs, b.completed_jobs);
+        let c = simulate_configured(&sys, &cfg(true)).expect("simulation");
+        prop_assert_eq!(&a.responses, &c.responses);
+        prop_assert_eq!(&a.violations, &c.violations);
+        prop_assert_eq!(a.completed_jobs, c.completed_jobs);
+        prop_assert_eq!(
+            c.hyperperiods_simulated + c.hyperperiods_skipped,
+            a.hyperperiods_simulated
+        );
+    }
+
+    /// The analysis bounds the simulator under *any* execution order of
+    /// simultaneous events, not just the canonical one, and fuzzed runs
+    /// of violation-free systems stay violation-free.
+    #[test]
+    fn analysis_bounds_fuzzed_simulation(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pad in 0u32..30,
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, pad) else {
+            return Ok(());
+        };
+        let analysis = analyse(&sys, &AnalysisConfig::default()).expect("analysis");
+        for order_seed in [1u64, 2, 3] {
+            let report = simulate_configured(
+                &sys,
+                &SimConfig {
+                    order: ExecutionOrder::Fuzzed { seed: order_seed },
+                    ..SimConfig::default()
+                },
+            )
+            .expect("simulation");
+            prop_assert!(
+                report.violations.is_empty(),
+                "order seed {}: {:?}",
+                order_seed,
+                report.violations
+            );
+            for id in sys.app.ids() {
+                if let Some(observed) = report.response(id) {
+                    prop_assert!(
+                        observed <= analysis.response(id),
+                        "order seed {}: '{}': observed {} > WCRT {}",
+                        order_seed,
+                        sys.app.activity(id).name,
+                        observed,
+                        analysis.response(id)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hyperperiod compression is exact: the compressed run reports the
+    /// same worst-case latencies, violations and job counts as the
+    /// uncompressed one over the same horizon.
+    #[test]
+    fn compression_preserves_the_report(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pad in 0u32..30,
+        fuzz_seed in 0u64..4,
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, pad) else {
+            return Ok(());
+        };
+        // seed 0 doubles as "canonical order"
+        let order = if fuzz_seed == 0 {
+            ExecutionOrder::Canonical
+        } else {
+            ExecutionOrder::Fuzzed { seed: fuzz_seed }
+        };
+        let run = |compress: bool| {
+            simulate_configured(
+                &sys,
+                &SimConfig {
+                    reps: 8,
+                    order,
+                    compress,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("simulation")
+        };
+        let slow = run(false);
+        let fast = run(true);
+        prop_assert_eq!(&slow.responses, &fast.responses);
+        prop_assert_eq!(&slow.violations, &fast.violations);
+        prop_assert_eq!(slow.completed_jobs, fast.completed_jobs);
+        prop_assert_eq!(slow.total_jobs, fast.total_jobs);
+        prop_assert_eq!(slow.hyperperiods_simulated, 8);
+        prop_assert_eq!(slow.hyperperiods_skipped, 0);
+        prop_assert_eq!(
+            fast.hyperperiods_simulated + fast.hyperperiods_skipped,
+            8
+        );
+    }
+}
+
+proptest! {
     // fig9 runs all four optimisers per application: keep the case count
     // low and the configuration tiny.
     #![proptest_config(ProptestConfig::with_cases(3))]
