@@ -320,6 +320,25 @@ pub struct DynScratch {
     dp_next: Vec<DpCell>,
     /// Exact-mode DP choice arena (see [`DpChoice`]).
     dp_arena: Vec<DpChoice>,
+    /// Exact-mode identifier groups of the current cycle selection:
+    /// per identifier with pending positive extras, its `(start, end)`
+    /// entry range and head (largest pending) extra.
+    dp_groups: Vec<(u32, u32, u32)>,
+    /// Suffix sums over `dp_groups` of the head extras:
+    /// `dp_suffix[g] = Σ_{j ≥ g} head_j` — the most any DP state can
+    /// still gain from the remaining identifiers.
+    dp_suffix: Vec<u64>,
+    /// Per-group head extras, sorted descending for the greedy bound.
+    dp_heads: Vec<u32>,
+    /// Occupied cells of `dp_best`, ascending.
+    dp_occ: Vec<usize>,
+    /// Cells newly occupied during the current group's relaxations.
+    dp_new: Vec<usize>,
+    /// Exact-mode busy-window calls observed by this scratch.
+    exact_calls: u64,
+    /// Calls where the fill bound proved Exact cannot differ from
+    /// Greedy, so the DP was skipped for the whole call.
+    exact_short_circuits: u64,
     /// Session-managed per-message pool skeletons (entries with counts
     /// zeroed) flattened into one arena, valid for one `skel_gen`.
     skel_arena: Vec<LfEntry>,
@@ -475,68 +494,179 @@ impl DynScratch {
     /// Selects the `(id, extra)` choices of the next Exact-mode filled
     /// cycle into `self.choices`, or returns `false` if the pool can no
     /// longer push the counter past the bound.
+    ///
+    /// The min-total-consumption subset-sum DP (sum ≥ `need_extra`, at
+    /// most one option per identifier) is *admissibly pruned*: every
+    /// rule below drops only states that provably cannot change the
+    /// winning chain at `dp_best[cap]`, so the selected subset — not
+    /// just its total — is bit-identical to the unpruned DP's. The
+    /// invariant the proofs lean on: below the cap a cell's total
+    /// equals its sum, so "better" comparisons are strict and
+    /// order-stable, and pruned states (which always lose them) cannot
+    /// block a surviving state.
+    ///
+    /// * **Reachability**: a state at sum `s` entering group `g` can
+    ///   only fill the cycle if `s + dp_suffix[g] ≥ need_extra` (the
+    ///   suffix only shrinks, so doomed stays doomed). A doomed state's
+    ///   descendants are all doomed, and doomed chains never reach the
+    ///   cap, so skipping them is invisible. When even the root is
+    ///   doomed the whole selection fails without touching the tables —
+    ///   the common final iteration of every [`DynScratch::fill_exact`]
+    ///   call.
+    /// * **Greedy upper bound**: the largest-first head subset is a
+    ///   feasible choice, so its total bounds the optimum from above;
+    ///   cap states strictly above it are never stored.
+    /// * **Dominance**: states with the same saturated sum keep the
+    ///   cheaper total (the DP cell rule), and equal `(id, extra)`
+    ///   levels within a group are interchangeable — relaxing the
+    ///   second is always a strict-comparison no-op — so only the first
+    ///   of each level is relaxed.
+    /// * **Sparse cells**: only occupied cells are scanned, in
+    ///   ascending sum order, preserving the unpruned relaxation order
+    ///   exactly.
     fn select_cycle_exact(&mut self, need_extra: u32) -> bool {
         self.choices.clear();
+        let cap = need_extra as usize;
+        let need = cap as u64;
+        // Group pass: per identifier with pending positive extras, the
+        // entry range and the head extra.
+        self.dp_groups.clear();
         {
-            // Min-total-consumption subset with sum >= need_extra, at
-            // most one option per identifier: DP over identifiers.
-            let cap = need_extra as usize;
-            self.dp_best.clear();
-            self.dp_best.resize(cap + 1, None);
-            self.dp_best[0] = Some((0, usize::MAX));
-            self.dp_arena.clear();
             let entries = &self.pool.entries;
             let mut start = 0;
             while start < entries.len() {
                 let id = entries[start].id;
                 let mut end = start;
+                let mut head = 0u32;
                 while end < entries.len() && entries[end].id == id {
+                    if entries[end].remaining > 0 {
+                        head = head.max(entries[end].extra);
+                    }
                     end += 1;
                 }
-                let group = &entries[start..end];
+                if head > 0 {
+                    self.dp_groups.push((
+                        u32::try_from(start).expect("pool fits u32"),
+                        u32::try_from(end).expect("pool fits u32"),
+                        head,
+                    ));
+                }
                 start = end;
-                if !group.iter().any(|e| e.extra > 0 && e.remaining > 0) {
+            }
+        }
+        let n_groups = self.dp_groups.len();
+        self.dp_suffix.clear();
+        self.dp_suffix.resize(n_groups + 1, 0);
+        for g in (0..n_groups).rev() {
+            self.dp_suffix[g] = self.dp_suffix[g + 1] + u64::from(self.dp_groups[g].2);
+        }
+        if self.dp_suffix[0] < need {
+            // Even taking every head cannot fill the cycle.
+            return false;
+        }
+        // Greedy upper bound: heads largest-first until the cycle fills.
+        self.dp_heads.clear();
+        self.dp_heads
+            .extend(self.dp_groups.iter().map(|&(_, _, head)| head));
+        self.dp_heads
+            .sort_unstable_by_key(|&h| core::cmp::Reverse(h));
+        let mut ubound = 0u64;
+        for &h in &self.dp_heads {
+            if ubound >= need {
+                break;
+            }
+            ubound += u64::from(h);
+        }
+        self.dp_best.clear();
+        self.dp_best.resize(cap + 1, None);
+        self.dp_best[0] = Some((0, usize::MAX));
+        self.dp_arena.clear();
+        self.dp_occ.clear();
+        self.dp_occ.push(0);
+        for g in 0..n_groups {
+            let (gs, ge, _) = self.dp_groups[g];
+            let suffix = self.dp_suffix[g];
+            let child_suffix = self.dp_suffix[g + 1];
+            // Doomed cells can never reach the cap again; drop them
+            // from the scan for good.
+            self.dp_occ.retain(|&s| s as u64 + suffix >= need);
+            self.dp_next.clear();
+            self.dp_next.extend_from_slice(&self.dp_best);
+            self.dp_new.clear();
+            let group = &self.pool.entries[gs as usize..ge as usize];
+            for &s in &self.dp_occ {
+                if s == cap {
+                    // Relaxing from the cap only adds cost: never better.
                     continue;
                 }
-                self.dp_next.clear();
-                self.dp_next.extend_from_slice(&self.dp_best);
-                for s in 0..=cap {
-                    let Some((total, tail)) = self.dp_best[s] else {
+                let Some((total, tail)) = self.dp_best[s] else {
+                    debug_assert!(false, "dp_occ tracks occupied cells");
+                    continue;
+                };
+                let mut prev_extra = None;
+                for e in group {
+                    if e.extra == 0 || e.remaining <= 0 || prev_extra == Some(e.extra) {
                         continue;
-                    };
-                    for e in group {
-                        if e.extra == 0 || e.remaining <= 0 {
+                    }
+                    prev_extra = Some(e.extra);
+                    let ns = (s + e.extra as usize).min(cap);
+                    let nt = total + e.extra;
+                    if ns == cap {
+                        if u64::from(nt) > ubound {
                             continue;
                         }
-                        let ns = (s + e.extra as usize).min(cap);
-                        let nt = total + e.extra;
-                        let better = match self.dp_next[ns] {
-                            Some((t, _)) => nt < t,
-                            None => true,
-                        };
-                        if better {
-                            self.dp_arena.push(DpChoice {
-                                id,
-                                extra: e.extra,
-                                parent: tail,
-                            });
-                            self.dp_next[ns] = Some((nt, self.dp_arena.len() - 1));
+                    } else if ns as u64 + child_suffix < need {
+                        continue;
+                    }
+                    let better = match self.dp_next[ns] {
+                        Some((t, _)) => nt < t,
+                        None => true,
+                    };
+                    if better {
+                        if self.dp_next[ns].is_none() {
+                            self.dp_new.push(ns);
                         }
+                        self.dp_arena.push(DpChoice {
+                            id: e.id,
+                            extra: e.extra,
+                            parent: tail,
+                        });
+                        self.dp_next[ns] = Some((nt, self.dp_arena.len() - 1));
                     }
                 }
-                std::mem::swap(&mut self.dp_best, &mut self.dp_next);
             }
-            let Some((_, mut tail)) = self.dp_best[cap] else {
-                return false;
-            };
-            while tail != usize::MAX {
-                let c = self.dp_arena[tail];
-                self.choices.push((c.id, c.extra));
-                tail = c.parent;
+            if !self.dp_new.is_empty() {
+                self.dp_occ.append(&mut self.dp_new);
+                self.dp_occ.sort_unstable();
             }
-            self.choices.reverse();
-            true
+            std::mem::swap(&mut self.dp_best, &mut self.dp_next);
         }
+        let Some((_, mut tail)) = self.dp_best[cap] else {
+            // Unreachable given the suffix feasibility check, but a
+            // `false` here is always a sound answer.
+            return false;
+        };
+        while tail != usize::MAX {
+            let c = self.dp_arena[tail];
+            self.choices.push((c.id, c.extra));
+            tail = c.parent;
+        }
+        self.choices.reverse();
+        true
+    }
+
+    /// `(exact_calls, exact_short_circuits)` observed by this scratch:
+    /// how many Exact-mode busy-window calls ran, and how many of them
+    /// the fill bound resolved entirely on the Greedy path (no DP).
+    #[must_use]
+    pub fn exact_stats(&self) -> (u64, u64) {
+        (self.exact_calls, self.exact_short_circuits)
+    }
+
+    /// Resets the [`DynScratch::exact_stats`] counters.
+    pub fn reset_exact_stats(&mut self) {
+        self.exact_calls = 0;
+        self.exact_short_circuits = 0;
     }
 }
 
@@ -623,6 +753,33 @@ pub(crate) fn dyn_delay_with(
     let sigma = (gd_cycle - slot_earliest).clamp_non_negative();
 
     scratch.begin(sys, m, hp, lf);
+    let mut mode = mode;
+    if mode == DynAnalysisMode::Exact {
+        scratch.exact_calls += 1;
+        // Fill bound: sum over identifiers of the largest extra any
+        // instance can carry — a static property of the pool skeleton
+        // (arrival counts only scale how often a level is available,
+        // never its extra). If even that sum cannot push the counter
+        // past the bound, no busy window ever packs a cycle from lf
+        // traffic: both modes fill 0, consume nothing, and compute the
+        // same leftover, so Exact provably equals Greedy for the whole
+        // call and the cheaper path is taken outright.
+        let mut max_fill = 0u64;
+        let entries = &scratch.pool.entries;
+        let mut i = 0;
+        while i < entries.len() {
+            // first entry of an id group carries its largest extra
+            max_fill += u64::from(entries[i].extra);
+            let id = entries[i].id;
+            while i < entries.len() && entries[i].id == id {
+                i += 1;
+            }
+        }
+        if max_fill < u64::from(need_extra) {
+            scratch.exact_short_circuits += 1;
+            mode = DynAnalysisMode::Greedy;
+        }
+    }
     let mut hp_filled: i64 = 0;
     let mut t = Time::ZERO;
     for _ in 0..MAX_FIXED_POINT_ITERS {

@@ -555,6 +555,17 @@ impl AnalysisSession {
         &self.app
     }
 
+    /// `(calls, short_circuits)` of the Exact-mode DYN fill bound over
+    /// this session's lifetime: how many Exact busy-window computations
+    /// ran, and how many of them the Greedy bound resolved without
+    /// touching the packing DP (see
+    /// [`DynScratch::exact_stats`](crate::DynScratch::exact_stats)).
+    /// `(0, 0)` under [`DynAnalysisMode::Greedy`](crate::DynAnalysisMode).
+    #[must_use]
+    pub fn dyn_exact_stats(&self) -> (u64, u64) {
+        self.state.dyn_scratch.exact_stats()
+    }
+
     /// The analysis configuration applied to every call.
     #[must_use]
     pub fn config(&self) -> &AnalysisConfig {

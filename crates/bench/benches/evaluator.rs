@@ -173,7 +173,48 @@ fn bench_dyn_delay(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Not a timing: how often the admissible bound proves Exact cannot
+    // differ from Greedy on this workload (recorded in BENCH_eval.json).
+    let mut scratch = DynScratch::default();
+    for &m in &msgs {
+        let _ = dyn_delay_pooled(
+            &sys,
+            m,
+            &jitter,
+            LatestTxPolicy::PerMessage,
+            DynAnalysisMode::Exact,
+            limit,
+            &mut scratch,
+        );
+    }
+    let (calls, shorts) = scratch.exact_stats();
+    eprintln!("dyn_delay/exact greedy short-circuit: {shorts}/{calls} calls");
 }
 
-criterion_group!(benches, bench_dyn_sweep, bench_dyn_delay);
+/// The multi-session parallel DYN-length sweep (`evaluate_dyn_lengths`
+/// with 1/2/4 warm sessions) on the 7-node dyn_only set — the tentpole
+/// fan-out path. Deterministic output is thread-count-invariant, so the
+/// only thing this measures is wall-clock scaling.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_dyn_sweep");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let case = case_for(7, 0.0, &OptParams::default());
+    let cfg = AnalysisConfig::default();
+    for threads in [1usize, 2, 4] {
+        let mut ev = Evaluator::with_threads(case.platform.clone(), case.app.clone(), cfg, threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| ev.evaluate_dyn_lengths(&case.template, &case.candidates));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dyn_sweep,
+    bench_dyn_delay,
+    bench_parallel_sweep
+);
 criterion_main!(benches);

@@ -20,6 +20,9 @@
 //! * `mode=fast|full|smoke` — optimiser search scale (default `full`);
 //! * `threads=N` — worker threads (`0` = all cores, `1` = serial; the
 //!   deterministic output is identical either way);
+//! * `eval_threads=N` — warm analysis sessions of the in-run parallel
+//!   `Evaluator` per worker (`0` = all cores, default `1` = serial;
+//!   bit-identical results for any value);
 //! * `seed0=N` — base seed (application `i` of point `p` uses
 //!   `seed0 + 1000·p + i`);
 //! * `out=FILE` — stream the JSON-lines report to FILE (default:
@@ -30,14 +33,15 @@
 //! under any execution order.
 
 use flexray_bench::fuzz::{render, run_fuzz, FuzzConfig};
-use flexray_bench::sweep::{search_mode, SweepAxis};
+use flexray_bench::sweep::{parse_thread_count, search_mode, SweepAxis};
 use std::io::Write;
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: fuzz <nodes|depth|gateway|busutil>=<v1,v2,...> [more axes] \
          [apps=N] [orders=s1,s2,...] [reps=N] [compress=on|off] \
-         [mode=fast|full|smoke] [threads=N] [seed0=N] [out=FILE]"
+         [mode=fast|full|smoke] [threads=N] [eval_threads=N] [seed0=N] \
+         [out=FILE]"
     );
     std::process::exit(2);
 }
@@ -61,6 +65,9 @@ fn parse_values<T: std::str::FromStr>(key: &str, s: &str) -> Vec<T> {
 fn main() {
     let mut cfg = FuzzConfig::default();
     let mut out_path: Option<String> = None;
+    // `mode=` replaces `cfg.params` wholesale, so remember the knob and
+    // apply it after the whole argument loop, order-independently.
+    let mut eval_threads: Option<usize> = None;
 
     for arg in std::env::args().skip(1) {
         let Some((key, value)) = arg.split_once('=') else {
@@ -96,9 +103,19 @@ fn main() {
                 Some((params, _)) => cfg.params = params,
                 None => usage_exit(),
             },
-            "threads" => match value.parse() {
+            "threads" => match parse_thread_count(value) {
                 Ok(threads) => cfg.threads = threads,
-                Err(_) => usage_exit(),
+                Err(e) => {
+                    eprintln!("fuzz: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "eval_threads" => match parse_thread_count(value) {
+                Ok(threads) => eval_threads = Some(threads),
+                Err(e) => {
+                    eprintln!("fuzz: {e}");
+                    std::process::exit(2);
+                }
             },
             "seed0" => match value.parse() {
                 Ok(seed0) => cfg.seed0 = seed0,
@@ -110,6 +127,9 @@ fn main() {
                 usage_exit()
             }
         }
+    }
+    if let Some(threads) = eval_threads {
+        cfg.params.eval_threads = threads;
     }
     if cfg.axes.is_empty() {
         eprintln!("fuzz: at least one axis is required");

@@ -17,6 +17,9 @@
 //! * `mode=fast|full|smoke` — search-parameter scale (default `full`);
 //! * `threads=N` — worker threads (`0` = all cores, `1` = serial; the
 //!   deterministic output is identical either way);
+//! * `eval_threads=N` — warm analysis sessions of the in-run parallel
+//!   `Evaluator` per worker (`0` = all cores, default `1` = serial;
+//!   bit-identical results for any value);
 //! * `seed0=N` — base seed (application `i` of point `p` uses
 //!   `seed0 + 1000·p + i`);
 //! * `algos=bbc,obccf,obcee,sa` — algorithm subset (default all four;
@@ -31,14 +34,14 @@
 
 use flexray_bench::grid::{render, run_grid_resumed, GridConfig, GridPoint};
 use flexray_bench::report::{from_jsonl, point_to_line, to_csv, GridReportHeader};
-use flexray_bench::sweep::{parse_algo_set, search_mode, SweepAxis};
+use flexray_bench::sweep::{parse_algo_set, parse_thread_count, search_mode, SweepAxis};
 use std::io::Write;
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: grid <nodes|depth|gateway|busutil>=<v1,v2,...> [more axes] \
-         [apps=N] [mode=fast|full|smoke] [threads=N] [seed0=N] \
-         [algos=a,b,...] [out=FILE] [csv=FILE] [resume=FILE]"
+         [apps=N] [mode=fast|full|smoke] [threads=N] [eval_threads=N] \
+         [seed0=N] [algos=a,b,...] [out=FILE] [csv=FILE] [resume=FILE]"
     );
     std::process::exit(2);
 }
@@ -67,6 +70,9 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    // `mode=` replaces `cfg.params` wholesale, so remember the knob and
+    // apply it after the whole argument loop, order-independently.
+    let mut eval_threads: Option<usize> = None;
 
     for arg in std::env::args().skip(1) {
         let Some((key, value)) = arg.split_once('=') else {
@@ -95,9 +101,19 @@ fn main() {
                 }
                 None => usage_exit(),
             },
-            "threads" => match value.parse() {
+            "threads" => match parse_thread_count(value) {
                 Ok(threads) => cfg.threads = threads,
-                Err(_) => usage_exit(),
+                Err(e) => {
+                    eprintln!("grid: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "eval_threads" => match parse_thread_count(value) {
+                Ok(threads) => eval_threads = Some(threads),
+                Err(e) => {
+                    eprintln!("grid: {e}");
+                    std::process::exit(2);
+                }
             },
             "seed0" => match value.parse() {
                 Ok(seed0) => cfg.seed0 = seed0,
@@ -118,6 +134,9 @@ fn main() {
                 usage_exit()
             }
         }
+    }
+    if let Some(threads) = eval_threads {
+        cfg.params.eval_threads = threads;
     }
     if cfg.axes.is_empty() {
         eprintln!("grid: at least one axis is required");

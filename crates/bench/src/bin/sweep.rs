@@ -1,6 +1,7 @@
 //! Generic single-axis scenario sweeps beyond the paper envelope.
 //!
-//! Usage: sweep [axis] [values] [apps] [fast|full|smoke] [threads] [seed0] [algos]
+//! Usage: sweep [axis] [values] [apps] [fast|full|smoke] [threads] [seed0]
+//!        [algos] [eval_threads]
 //!
 //! * `axis` — `nodes`, `depth`, `gateway` or `busutil` (default
 //!   `nodes`);
@@ -16,10 +17,13 @@
 //!   `seed0 + 1000·p + i`;
 //! * `algos` — comma-separated subset of `bbc,obccf,obcee,sa`
 //!   (default all four; deviations are reported against SA when it is
-//!   in the set).
+//!   in the set);
+//! * `eval_threads` — warm analysis sessions of the in-run parallel
+//!   `Evaluator` (`0` = all cores, default `1` = serial; bit-identical
+//!   results for any value).
 
 use flexray_bench::sweep::{
-    parse_algo_set, render, run_sweep, search_mode, SweepAxis, SweepConfig,
+    parse_algo_set, parse_thread_count, render, run_sweep, search_mode, SweepAxis, SweepConfig,
 };
 
 fn parse_values<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
@@ -30,7 +34,7 @@ fn parse_values<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
 fn usage_exit() -> ! {
     eprintln!(
         "usage: sweep [nodes|depth|gateway|busutil] [v1,v2,...] [apps] \
-         [fast|full|smoke] [threads] [seed0] [algos]"
+         [fast|full|smoke] [threads] [seed0] [algos] [eval_threads]"
     );
     std::process::exit(2);
 }
@@ -68,9 +72,12 @@ fn main() {
         }
     }
     if let Some(s) = args.get(4) {
-        match s.parse() {
+        match parse_thread_count(s) {
             Ok(threads) => cfg.threads = threads,
-            Err(_) => usage_exit(),
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(2);
+            }
         }
     }
     if let Some(s) = args.get(5) {
@@ -90,15 +97,25 @@ fn main() {
             }
         }
     }
+    if let Some(s) = args.get(7) {
+        match parse_thread_count(s) {
+            Ok(threads) => cfg.params.eval_threads = threads,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!(
         "Sweep — axis {} ({} points), {} application(s) per point, algos {:?}, \
-         {} worker thread(s), seed0 {}",
+         {} worker thread(s), {} evaluator thread(s), seed0 {}",
         cfg.axis.name(),
         cfg.axis.len(),
         cfg.apps_per_point,
         cfg.algos.iter().map(|a| a.name()).collect::<Vec<_>>(),
         cfg.worker_threads(),
+        cfg.params.eval_threads,
         cfg.seed0,
     );
     let reference = cfg.reference().map(|i| cfg.algos[i].name());

@@ -17,7 +17,7 @@
 //! independently. [`run_experiment`] is a degenerate node-count grid on
 //! the factorial [`grid`](crate::grid) engine: every `(point, seed)`
 //! pair is one unit on the shared work-stealing
-//! [`scoped_map`](crate::sweep::scoped_map) pool
+//! [`flexray_util::scoped_map`] pool
 //! ([`Fig9Config::threads`] workers, no external deps), and results
 //! merge by index — so every deterministic output — costs, chosen
 //! configurations, schedulability counts, deviations, evaluation

@@ -5,7 +5,7 @@
 //! (node count × graph depth × gateway fraction × bus utilisation): a
 //! [`GridConfig`] enumerates the product deterministically, every
 //! `(point, seed)` pair becomes one work unit on the shared
-//! work-stealing [`scoped_map`](crate::sweep::scoped_map) pool — so
+//! work-stealing [`flexray_util::scoped_map`] pool — so
 //! workers steal across *points*, not just across the seeds of one
 //! point — and each completed point carries the per-algorithm
 //! [`AlgoStats`] **and** the achieved generator statistics
@@ -38,10 +38,11 @@
 //! engine re-emits them to the sink in place, so the final report of a
 //! killed-and-resumed run equals a full run's.
 
-use crate::sweep::{aggregate_algos, scoped_consume, Algo, AlgoStats, SweepAxis};
+use crate::sweep::{aggregate_algos, Algo, AlgoStats, SweepAxis};
 use flexray_gen::{generate, AggregatedGenStats, GenStats, GeneratorConfig};
 use flexray_model::ModelError;
 use flexray_opt::{OptParams, OptResult, SaParams};
+use flexray_util::scoped_consume;
 
 /// How the base seed of a grid point is derived.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -8,8 +8,8 @@
 //! [`GeneratorConfig`], with a configurable subset of the four
 //! optimisation algorithms.
 //!
-//! The execution machinery is shared with fig9: [`scoped_map`] is the
-//! `std::thread::scope` worker pool distributing the per-seed loop, and
+//! The execution machinery is shared with fig9: [`flexray_util::scoped_map`]
+//! is the `std::thread::scope` worker pool distributing the per-seed loop, and
 //! [`aggregate_algos`] is the [`AlgoStats`] aggregation — fig9 is the
 //! special case `axis = NodeCount(2..=5)`, `base = paper`, all four
 //! algorithms.
@@ -27,9 +27,31 @@ use flexray_model::{Application, ModelError, PhyParams, Platform};
 use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
 
 // The scoped work-stealing pool moved to `flexray-util` so non-bench
-// consumers (e.g. the planned multi-session `Evaluator`) can share it;
-// re-exported here because this module is its historical home.
-pub use flexray_util::{scoped_consume, scoped_map};
+// consumers (the multi-session `Evaluator`) can share it; deprecated
+// wrappers remain because this module is its historical home.
+
+/// Deprecated alias of [`flexray_util::scoped_map`] (the pool moved to
+/// `flexray-util`; this module is its historical home).
+#[deprecated(note = "use `flexray_util::scoped_map` directly")]
+pub fn scoped_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    flexray_util::scoped_map(n_items, threads, f)
+}
+
+/// Deprecated alias of [`flexray_util::scoped_consume`] (the pool moved
+/// to `flexray-util`; this module is its historical home).
+#[deprecated(note = "use `flexray_util::scoped_consume` directly")]
+pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    flexray_util::scoped_consume(n_items, threads, f, consume)
+}
 
 /// Aggregated outcome of one algorithm on one sweep point.
 #[derive(Debug, Clone, Default)]
@@ -195,6 +217,26 @@ pub fn parse_algo_set(s: &str) -> Result<Vec<Algo>, ModelError> {
         algos.push(algo);
     }
     Ok(algos)
+}
+
+/// Parses a thread-count option (`threads=`/`eval_threads=` in the
+/// `sweep`, `grid` and `fuzz` binaries): a non-negative integer where
+/// `0` means "all available cores".
+///
+/// Strict like [`parse_algo_set`]: anything that is not a plain decimal
+/// count is rejected with an error naming the offending value, so a
+/// typo (`threads=fuor`) cannot silently fall back to a default.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] naming the offending value.
+pub fn parse_thread_count(value: &str) -> Result<usize, ModelError> {
+    let token = value.trim();
+    token.parse::<usize>().map_err(|_| {
+        ModelError::InvalidConfig(format!(
+            "invalid thread count '{value}' (expected a non-negative integer; 0 = all cores)"
+        ))
+    })
 }
 
 /// The `fast`/`full`/`smoke` search-parameter presets shared by the
@@ -707,6 +749,25 @@ mod tests {
             let err = parse_algo_set(input).expect_err(input);
             assert!(
                 matches!(&err, ModelError::InvalidConfig(msg) if msg.contains(needle)),
+                "{input}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_parser_accepts_counts_and_trims() {
+        assert_eq!(parse_thread_count("0").expect("all cores"), 0);
+        assert_eq!(parse_thread_count("1").expect("serial"), 1);
+        assert_eq!(parse_thread_count(" 8 ").expect("spaces"), 8);
+    }
+
+    #[test]
+    fn thread_count_parser_rejects_non_counts_naming_the_value() {
+        for input in ["", "fuor", "-1", "2.5", "4x"] {
+            let err = parse_thread_count(input).expect_err(input);
+            assert!(
+                matches!(&err, ModelError::InvalidConfig(msg)
+                    if msg.contains("invalid thread count") && msg.contains(input)),
                 "{input}: {err}"
             );
         }

@@ -55,7 +55,12 @@ pub fn bbc(
     params: &OptParams,
 ) -> OptResult {
     let start = Instant::now();
-    let mut ev = Evaluator::new(platform.clone(), app.clone(), params.analysis);
+    let mut ev = Evaluator::with_threads(
+        platform.clone(),
+        app.clone(),
+        params.analysis,
+        params.eval_threads,
+    );
     let template = bbc_skeleton(platform, app, phy);
 
     let mut best_bus = template.clone();

@@ -8,9 +8,18 @@
 //! candidates, and DYN-length sweeps take the session's
 //! [`reanalyse_dyn_length`](AnalysisSession::reanalyse_dyn_length) path,
 //! so the steady state of `evaluate_dyn_lengths` allocates nothing.
+//!
+//! With [`Evaluator::with_threads`] the batch entry points fan
+//! candidates across a small pool of warm sessions — one per worker,
+//! built once, each with its own scratch — on the scoped work-stealing
+//! pool of [`flexray_util`]. Every candidate's analysis is a pure
+//! function of the candidate (sessions only skip provably
+//! input-independent work), and results are merged in input order, so
+//! parallel output is bit-identical to serial for any thread count.
 
 use flexray_analysis::{Analysis, AnalysisConfig, AnalysisSession, Cost};
 use flexray_model::{Application, BusConfig, MessageClass, Platform, Time};
+use flexray_util::scoped_map_with;
 
 /// Evaluates candidate bus configurations against one fixed platform and
 /// application, counting evaluations (the dominant cost of every
@@ -18,17 +27,133 @@ use flexray_model::{Application, BusConfig, MessageClass, Platform, Time};
 #[derive(Debug)]
 pub struct Evaluator {
     session: AnalysisSession,
+    /// Warm sessions of the extra workers (parallel mode): built once,
+    /// reused across batches, one per worker beyond the primary.
+    workers: Vec<AnalysisSession>,
     evals: usize,
 }
 
+/// One candidate evaluation against an arbitrary session — the body of
+/// [`Evaluator::evaluate_cost`] without the accounting — returning the
+/// cost and whether an analysis actually ran.
+fn analyse_one(session: &mut AnalysisSession, bus: &BusConfig) -> (Cost, bool) {
+    if bus
+        .validate_for(session.app(), session.platform().len())
+        .is_err()
+    {
+        return (Cost::infeasible(), false);
+    }
+    let cost = session
+        .analyse_into(bus)
+        .unwrap_or_else(|_| Cost::infeasible());
+    (cost, true)
+}
+
+/// The serial DYN-length sweep of [`Evaluator::evaluate_dyn_lengths`]
+/// against an arbitrary session, returning the per-length costs and how
+/// many candidates were actually analysed.
+fn sweep_dyn_lengths(
+    session: &mut AnalysisSession,
+    template: &BusConfig,
+    lengths: &[u32],
+) -> (Vec<Cost>, usize) {
+    let mut out = Vec::with_capacity(lengths.len());
+    let mut analysed = 0usize;
+    let mut candidate: Option<BusConfig> = None;
+    // Length of the sweep candidate the session last analysed; set
+    // once the session's retained bus is template-shaped.
+    let mut analysed_n: Option<u32> = None;
+    for &n in lengths {
+        if let Some(prev_n) = analysed_n {
+            // The session already holds template-with-prev_n: flip
+            // the length in place, re-validate, re-analyse.
+            session
+                .last_bus_mut()
+                .expect("analysed_n implies a retained bus")
+                .n_minislots = n;
+            let valid = {
+                let bus = session.last_bus().expect("retained");
+                bus.validate_for(session.app(), session.platform().len())
+                    .is_ok()
+            };
+            if !valid {
+                // Restore the retained bus so it keeps describing
+                // the candidate the session state was analysed for.
+                session.last_bus_mut().expect("retained").n_minislots = prev_n;
+                out.push(Cost::infeasible());
+                continue;
+            }
+            analysed += 1;
+            analysed_n = Some(n);
+            out.push(
+                session
+                    .reanalyse_dyn_length(n)
+                    .unwrap_or_else(|_| Cost::infeasible()),
+            );
+        } else {
+            let bus = candidate.get_or_insert_with(|| template.clone());
+            bus.n_minislots = n;
+            let (cost, ran) = analyse_one(session, bus);
+            if ran {
+                analysed += 1;
+            }
+            // analyse_one stored the bus in the session unless
+            // validation rejected the candidate.
+            if session.last_bus() == Some(&*bus) {
+                analysed_n = Some(n);
+            }
+            out.push(cost);
+        }
+    }
+    (out, analysed)
+}
+
 impl Evaluator {
-    /// Creates an evaluator over a fixed platform/application pair.
+    /// Creates a serial evaluator over a fixed platform/application
+    /// pair (one warm session; batches run in input order on the
+    /// calling thread).
     #[must_use]
     pub fn new(platform: Platform, app: Application, analysis_cfg: AnalysisConfig) -> Self {
+        Evaluator::with_threads(platform, app, analysis_cfg, 1)
+    }
+
+    /// Creates an evaluator whose batch entry points
+    /// ([`Evaluator::evaluate_batch`],
+    /// [`Evaluator::evaluate_dyn_lengths`]) fan candidates across
+    /// `threads` warm [`AnalysisSession`]s on scoped worker threads
+    /// (`0` = all cores, `1` = serial). Results are bit-identical to
+    /// the serial evaluator for any thread count: every candidate's
+    /// cost is a pure function of the candidate, results merge in
+    /// input order, and the evaluation counter advances exactly as the
+    /// serial order would. Single-candidate entry points always run on
+    /// the primary session.
+    #[must_use]
+    pub fn with_threads(
+        platform: Platform,
+        app: Application,
+        analysis_cfg: AnalysisConfig,
+        threads: usize,
+    ) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        let workers = (1..threads)
+            .map(|_| AnalysisSession::new(platform.clone(), app.clone(), analysis_cfg))
+            .collect();
         Evaluator {
             session: AnalysisSession::new(platform, app, analysis_cfg),
+            workers,
             evals: 0,
         }
+    }
+
+    /// Number of warm analysis sessions the batch entry points fan out
+    /// over (1 = serial).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
     }
 
     /// The application under optimisation.
@@ -63,16 +188,11 @@ impl Evaluator {
     /// [`Evaluator::session`] to inspect the last analysis.
     #[must_use]
     pub fn evaluate_cost(&mut self, bus: &BusConfig) -> Cost {
-        if bus
-            .validate_for(self.session.app(), self.session.platform().len())
-            .is_err()
-        {
-            return Cost::infeasible();
+        let (cost, ran) = analyse_one(&mut self.session, bus);
+        if ran {
+            self.evals += 1;
         }
-        self.evals += 1;
-        self.session
-            .analyse_into(bus)
-            .unwrap_or_else(|_| Cost::infeasible())
+        cost
     }
 
     /// [`Evaluator::evaluate_cost`] plus an owned snapshot of the full
@@ -94,12 +214,31 @@ impl Evaluator {
     }
 
     /// Evaluates a batch of candidate configurations, amortising every
-    /// per-candidate allocation over the whole batch. Results are
-    /// element-wise identical to calling [`Evaluator::evaluate_cost`]
-    /// per candidate in order.
+    /// per-candidate allocation over the whole batch. With more than
+    /// one configured worker the candidates are work-stolen across the
+    /// warm sessions on scoped threads. Results are element-wise
+    /// identical to calling [`Evaluator::evaluate_cost`] per candidate
+    /// in order — for any thread count — and the evaluation counter
+    /// advances identically.
     #[must_use]
     pub fn evaluate_batch(&mut self, buses: &[BusConfig]) -> Vec<Cost> {
-        buses.iter().map(|bus| self.evaluate_cost(bus)).collect()
+        if self.workers.is_empty() || buses.len() < 2 {
+            return buses.iter().map(|bus| self.evaluate_cost(bus)).collect();
+        }
+        let mut sessions: Vec<&mut AnalysisSession> = std::iter::once(&mut self.session)
+            .chain(self.workers.iter_mut())
+            .collect();
+        let results = scoped_map_with(&mut sessions, buses.len(), |session, i| {
+            analyse_one(session, &buses[i])
+        });
+        let mut costs = Vec::with_capacity(results.len());
+        for (cost, ran) in results {
+            if ran {
+                self.evals += 1;
+            }
+            costs.push(cost);
+        }
+        costs
     }
 
     /// Evaluates `template` at each dynamic-segment length of `lengths`
@@ -109,52 +248,35 @@ impl Evaluator {
     /// [`AnalysisSession::reanalyse_dyn_length`].
     ///
     /// Results are element-wise identical to evaluating
-    /// `template`-with-length candidates sequentially.
+    /// `template`-with-length candidates sequentially, for any thread
+    /// count: with multiple workers the length list is split into one
+    /// contiguous chunk per warm session, each chunk runs the serial
+    /// incremental sweep, and since every candidate's cost is a pure
+    /// function of `(template, length)` the concatenation equals the
+    /// serial sweep bit for bit. In parallel mode
+    /// [`Evaluator::session`] afterwards reflects the last candidate of
+    /// the *primary worker's* chunk, not of the whole sweep.
     #[must_use]
     pub fn evaluate_dyn_lengths(&mut self, template: &BusConfig, lengths: &[u32]) -> Vec<Cost> {
+        if self.workers.is_empty() || lengths.len() < 2 {
+            let (costs, analysed) = sweep_dyn_lengths(&mut self.session, template, lengths);
+            self.evals += analysed;
+            return costs;
+        }
+        let threads = self.threads().min(lengths.len());
+        let chunk = lengths.len().div_ceil(threads);
+        let chunks: Vec<&[u32]> = lengths.chunks(chunk).collect();
+        let mut sessions: Vec<&mut AnalysisSession> = std::iter::once(&mut self.session)
+            .chain(self.workers.iter_mut())
+            .take(chunks.len())
+            .collect();
+        let results = scoped_map_with(&mut sessions, chunks.len(), |session, i| {
+            sweep_dyn_lengths(session, template, chunks[i])
+        });
         let mut out = Vec::with_capacity(lengths.len());
-        let mut candidate: Option<BusConfig> = None;
-        // Length of the sweep candidate the session last analysed; set
-        // once the session's retained bus is template-shaped.
-        let mut analysed_n: Option<u32> = None;
-        for &n in lengths {
-            if let Some(prev_n) = analysed_n {
-                // The session already holds template-with-prev_n: flip
-                // the length in place, re-validate, re-analyse.
-                self.session
-                    .last_bus_mut()
-                    .expect("analysed_n implies a retained bus")
-                    .n_minislots = n;
-                let valid = {
-                    let bus = self.session.last_bus().expect("retained");
-                    bus.validate_for(self.session.app(), self.session.platform().len())
-                        .is_ok()
-                };
-                if !valid {
-                    // Restore the retained bus so it keeps describing
-                    // the candidate the session state was analysed for.
-                    self.session.last_bus_mut().expect("retained").n_minislots = prev_n;
-                    out.push(Cost::infeasible());
-                    continue;
-                }
-                self.evals += 1;
-                analysed_n = Some(n);
-                out.push(
-                    self.session
-                        .reanalyse_dyn_length(n)
-                        .unwrap_or_else(|_| Cost::infeasible()),
-                );
-            } else {
-                let bus = candidate.get_or_insert_with(|| template.clone());
-                bus.n_minislots = n;
-                let cost = self.evaluate_cost(bus);
-                // evaluate_cost ran analyse_into (and stored the bus in
-                // the session) unless validation rejected the candidate.
-                if self.session.last_bus() == Some(&*bus) {
-                    analysed_n = Some(n);
-                }
-                out.push(cost);
-            }
+        for (costs, analysed) in results {
+            self.evals += analysed;
+            out.extend(costs);
         }
         out
     }
@@ -368,6 +490,48 @@ mod tests {
             .collect();
         assert_eq!(swept, seq);
         assert_eq!(ev_sweep.evaluations(), ev_seq.evaluations());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_for_thread_counts() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        let mut buses = Vec::new();
+        for n in [20u32, 40, 60, 0, 80, 13, 100] {
+            let mut b = template.clone();
+            b.n_minislots = n; // n = 0 is invalid (frame cannot fit)
+            buses.push(b);
+        }
+        let mut serial = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
+        let expected = serial.evaluate_batch(&buses);
+        for threads in [2usize, 4] {
+            let mut par =
+                Evaluator::with_threads(p.clone(), a.clone(), AnalysisConfig::default(), threads);
+            assert_eq!(par.threads(), threads);
+            assert_eq!(par.evaluate_batch(&buses), expected, "threads {threads}");
+            assert_eq!(par.evaluations(), serial.evaluations(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_dyn_sweep_matches_serial_for_thread_counts() {
+        let (p, a) = small_app();
+        let template = valid_bus(&a);
+        // invalid lengths scattered through the list, more lengths than
+        // workers and (for threads 16) more workers than lengths
+        let lengths = [20u32, 40, 0, 60, 13, 80, 37, 100, 1];
+        let mut serial = Evaluator::new(p.clone(), a.clone(), AnalysisConfig::default());
+        let expected = serial.evaluate_dyn_lengths(&template, &lengths);
+        for threads in [2usize, 4, 16] {
+            let mut par =
+                Evaluator::with_threads(p.clone(), a.clone(), AnalysisConfig::default(), threads);
+            assert_eq!(
+                par.evaluate_dyn_lengths(&template, &lengths),
+                expected,
+                "threads {threads}"
+            );
+            assert_eq!(par.evaluations(), serial.evaluations(), "threads {threads}");
+        }
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub fn obc(
     strategy: DynSearch,
 ) -> OptResult {
     let start = Instant::now();
-    let mut ev = Evaluator::new(platform.clone(), app.clone(), params.analysis);
+    let mut ev = Evaluator::with_threads(
+        platform.clone(),
+        app.clone(),
+        params.analysis,
+        params.eval_threads,
+    );
     let skeleton = bbc_skeleton(platform, app, phy);
 
     // Static-message counts per node drive the slot quotas.

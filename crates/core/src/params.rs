@@ -35,6 +35,11 @@ pub struct OptParams {
     /// OBCEE tractable on workstation budgets (the paper's AMD Athlon
     /// runs took up to 29 minutes per system).
     pub max_dyn_candidates: usize,
+    /// Worker sessions of the in-run parallel `Evaluator` (`0` = all
+    /// cores, `1` = serial). Candidate batches and DYN-length sweeps
+    /// fan out across this many warm analysis sessions; results are
+    /// bit-identical to serial for any value.
+    pub eval_threads: usize,
 }
 
 impl Default for OptParams {
@@ -47,6 +52,7 @@ impl Default for OptParams {
             cf_initial_points: 5,
             cf_max_iterations: 10,
             max_dyn_candidates: 256,
+            eval_threads: 1,
         }
     }
 }

@@ -29,6 +29,15 @@ pub struct SaParams {
     pub cooling: f64,
     /// RNG seed (runs are deterministic per seed).
     pub seed: u64,
+    /// Neighbourhood size `k`: moves proposed (from the same current
+    /// state) per temperature step and evaluated as one batch — the
+    /// batch the parallel `Evaluator` fans out. All `k` proposals are
+    /// drawn from the RNG first and acceptance is applied in proposal
+    /// order afterwards, so the RNG stream — and with it the whole
+    /// trajectory — is a pure function of the seed, independent of the
+    /// evaluator thread count. `1` (the default) reproduces the classic
+    /// one-move-per-step SA exactly.
+    pub neighbourhood: usize,
 }
 
 impl Default for SaParams {
@@ -38,6 +47,7 @@ impl Default for SaParams {
             initial_temp: 5_000.0,
             cooling: 0.995,
             seed: 0xF1E0_5EED,
+            neighbourhood: 1,
         }
     }
 }
@@ -53,7 +63,12 @@ pub fn simulated_annealing(
 ) -> OptResult {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(sa.seed);
-    let mut ev = Evaluator::new(platform.clone(), app.clone(), params.analysis);
+    let mut ev = Evaluator::with_threads(
+        platform.clone(),
+        app.clone(),
+        params.analysis,
+        params.eval_threads,
+    );
 
     // Start state: the best BBC configuration — SA then explores the
     // full move set (slot count/size/assignment, frame identifiers, DYN
@@ -86,23 +101,40 @@ pub fn simulated_annealing(
         .collect();
     let dyn_msgs: Vec<_> = app.messages_of_class(MessageClass::Dynamic).collect();
 
+    // Neighbourhood stepping: per temperature step, k moves are
+    // proposed from the *same* current state (all RNG draws happen
+    // up front, in proposal order), the batch is evaluated — in
+    // parallel when the evaluator has workers; evaluation consumes no
+    // randomness — and Metropolis acceptance is applied in proposal
+    // order, cooling once per evaluated move. With k = 1 this is
+    // exactly the classic serial SA loop, draw for draw.
+    let k = sa.neighbourhood.max(1);
     let mut temp = sa.initial_temp.max(f64::MIN_POSITIVE);
-    for _ in 0..sa.iterations {
-        let candidate = propose(
-            &state, &st_counts, &dyn_msgs, &mut ev, &mut rng, params, phy,
-        );
-        let cand_cost = ev.evaluate_cost(&candidate);
-        let delta = scalar(&cand_cost) - scalar(&state_cost);
-        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
-        if accept {
-            state = candidate;
-            state_cost = cand_cost;
-            if state_cost.better_than(&best_cost) {
-                best = state.clone();
-                best_cost = state_cost;
-            }
+    let mut remaining = sa.iterations;
+    let mut candidates: Vec<BusConfig> = Vec::with_capacity(k);
+    while remaining > 0 {
+        let batch = k.min(remaining);
+        remaining -= batch;
+        candidates.clear();
+        for _ in 0..batch {
+            candidates.push(propose(
+                &state, &st_counts, &dyn_msgs, &ev, &mut rng, params, phy,
+            ));
         }
-        temp *= sa.cooling;
+        let costs = ev.evaluate_batch(&candidates);
+        for (candidate, cand_cost) in candidates.drain(..).zip(costs) {
+            let delta = scalar(&cand_cost) - scalar(&state_cost);
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            if accept {
+                state = candidate;
+                state_cost = cand_cost;
+                if state_cost.better_than(&best_cost) {
+                    best = state.clone();
+                    best_cost = state_cost;
+                }
+            }
+            temp *= sa.cooling;
+        }
     }
 
     OptResult {
@@ -130,7 +162,7 @@ fn propose(
     state: &BusConfig,
     st_counts: &[(NodeId, usize)],
     dyn_msgs: &[flexray_model::ActivityId],
-    ev: &mut Evaluator,
+    ev: &Evaluator,
     rng: &mut StdRng,
     params: &OptParams,
     phy: PhyParams,
@@ -339,6 +371,49 @@ mod tests {
             "start {start_cost:?} vs sa {:?}",
             sa_result.cost
         );
+    }
+
+    #[test]
+    fn sa_neighbourhoods_are_deterministic_across_thread_counts() {
+        // With k > 1 the trajectory is a pure function of the seed:
+        // evaluation consumes no randomness, so the evaluator thread
+        // count must not change the result bit for bit.
+        let (p, a) = mixed_system();
+        let phy = PhyParams::bmw_like();
+        let sa = SaParams {
+            iterations: 40,
+            neighbourhood: 4,
+            ..SaParams::default()
+        };
+        let baseline = simulated_annealing(&p, &a, phy, &OptParams::default(), &sa);
+        for threads in [2usize, 4] {
+            let params = OptParams {
+                eval_threads: threads,
+                ..OptParams::default()
+            };
+            let r = simulated_annealing(&p, &a, phy, &params, &sa);
+            assert_eq!(r.bus, baseline.bus, "threads {threads}");
+            assert_eq!(r.cost, baseline.cost, "threads {threads}");
+            assert_eq!(r.evaluations, baseline.evaluations, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sa_neighbourhood_one_parallel_matches_serial() {
+        // k = 1 is the classic SA loop; a parallel evaluator must not
+        // perturb it (single-candidate batches stay on the primary
+        // session).
+        let (p, a) = mixed_system();
+        let phy = PhyParams::bmw_like();
+        let serial = simulated_annealing(&p, &a, phy, &OptParams::default(), &fast_sa());
+        let params = OptParams {
+            eval_threads: 4,
+            ..OptParams::default()
+        };
+        let par = simulated_annealing(&p, &a, phy, &params, &fast_sa());
+        assert_eq!(par.bus, serial.bus);
+        assert_eq!(par.cost, serial.cost);
+        assert_eq!(par.evaluations, serial.evaluations);
     }
 
     #[test]

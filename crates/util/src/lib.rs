@@ -2,11 +2,12 @@
 //!
 //! Dependency-free plumbing shared across the workspace: the scoped
 //! work-stealing worker pool that drives the `fig9`, `sweep`, `grid`
-//! and `fuzz` harnesses of `flexray-bench` (and the planned
-//! multi-session `Evaluator` pool).
+//! and `fuzz` harnesses of `flexray-bench`, plus the per-worker-state
+//! variant ([`scoped_map_with`]) behind the multi-session `Evaluator`
+//! pool of `flexray-opt`.
 //!
-//! The pool lived in `flexray_bench::sweep` originally; it is
-//! re-exported from there for back-compat.
+//! The pool lived in `flexray_bench::sweep` originally; deprecated
+//! wrappers remain there for back-compat.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -75,6 +76,70 @@ where
     });
 }
 
+/// Runs `f(state, i)` over `0..n_items` with one exclusively owned
+/// *worker state* per thread — the generalisation of [`scoped_map`]
+/// behind the multi-session `Evaluator`: each worker brings a warm
+/// state (e.g. an analysis session) to every index it steals, so
+/// expensive per-worker setup happens once, not per item.
+///
+/// One scoped thread is spawned per element of `states` (capped at
+/// `n_items`); a single state runs serially on the calling thread.
+/// Indices are work-stolen from a shared atomic cursor exactly like
+/// [`scoped_map`], and results land in index order regardless of which
+/// worker claimed which index — callers whose `f(_, i)` is a pure
+/// function of `i` therefore get output bit-identical to the serial
+/// run for any state count.
+///
+/// # Panics
+///
+/// Panics if `states` is empty while `n_items > 0`: there would be no
+/// worker to run the items on.
+pub fn scoped_map_with<S, T, F>(states: &mut [S], n_items: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if n_items == 0 {
+        return Vec::new();
+    }
+    assert!(
+        !states.is_empty(),
+        "scoped_map_with needs at least one worker state"
+    );
+    if states.len() == 1 {
+        let state = &mut states[0];
+        return (0..n_items).map(|i| f(state, i)).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let f = &f;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for state in states.iter_mut().take(n_items) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                if tx.send((i, f(state, i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, item) in rx {
+            slots[i] = Some(item);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +168,35 @@ mod tests {
             );
             assert!(seen.iter().all(|&count| count == 1), "threads {threads}");
         }
+    }
+
+    #[test]
+    fn scoped_map_with_is_order_preserving_for_any_worker_count() {
+        let expected: Vec<usize> = (0..23).map(|i| i * 3).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let mut states: Vec<u64> = vec![0; workers];
+            let out = scoped_map_with(&mut states, 23, |_, i| i * 3);
+            assert_eq!(out, expected, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn scoped_map_with_gives_each_worker_exclusive_state() {
+        // Every claimed index bumps the claiming worker's counter; the
+        // counters must add up to the item count (each index claimed by
+        // exactly one worker, each worker owning its state).
+        let mut states: Vec<usize> = vec![0; 4];
+        let out = scoped_map_with(&mut states, 50, |claimed, i| {
+            *claimed += 1;
+            i
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        assert_eq!(states.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn scoped_map_with_empty_items_needs_no_workers() {
+        let mut none: Vec<u8> = Vec::new();
+        assert!(scoped_map_with(&mut none, 0, |_, i| i).is_empty());
     }
 }

@@ -334,6 +334,87 @@ fn oracle_matches_on_random_small_systems() {
 }
 
 #[test]
+fn oracle_matches_on_random_jittered_systems() {
+    // Same LCG-random envelope as above, but with release jitter drawn
+    // per message — the regime where the pruned Exact DP runs many
+    // cycles per window and every prune rule gets exercised.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    for _ in 0..25 {
+        let n_msgs = 2 + next(3) as usize; // 2..=4
+        let mut specs = Vec::new();
+        let mut sizes = vec![2u32, 3, 5, 9, 17];
+        for _ in 0..n_msgs {
+            let size = sizes.remove(next(sizes.len() as u64) as usize);
+            let fid = 1 + (next(6)) as u16;
+            let prio = next(4) as u32;
+            let node = specs
+                .iter()
+                .find(|&&(_, f, _, _, _)| f == fid)
+                .map_or(next(2) as usize, |&(_, _, _, n, _)| n);
+            let period = [250.0, 500.0, 1000.0][next(3) as usize];
+            specs.push((size, fid, prio, node, period));
+        }
+        let n_minislots = 24 + next(24) as u32;
+        let (sys, ids) = dyn_system(&specs, n_minislots);
+        let mut jitter = zero_jitter(&sys);
+        for &m in &ids {
+            jitter[m.index()] = Time::from_us(next(900) as f64);
+        }
+        assert_oracle_matches(&sys, &ids, &jitter, Time::from_us(1e7));
+    }
+}
+
+#[test]
+fn exact_short_circuits_to_greedy_when_skeleton_cannot_fill() {
+    // Every lf extra is tiny relative to the dynamic segment: the sum
+    // of the largest extra per lower identifier (the skeleton max-fill)
+    // stays below `need_extra` for the high-identifier probes, so no
+    // cycle can ever be filled from lf traffic and the Exact packing is
+    // provably identical to Greedy for the whole call. The session
+    // counters must show the short-circuit firing, and the analysis
+    // itself must match both a Greedy session and the oracle.
+    use flexray::analysis::{AnalysisConfig, AnalysisSession};
+    let (sys, ids) = dyn_system(
+        &[
+            (2, 1, 0, 0, 1000.0),
+            (3, 2, 0, 1, 1000.0),
+            (2, 10, 0, 0, 500.0),
+            (3, 11, 0, 1, 1000.0),
+        ],
+        60,
+    );
+    assert_oracle_matches(&sys, &ids, &zero_jitter(&sys), Time::from_us(1e7));
+
+    let exact_cfg = AnalysisConfig {
+        dyn_mode: DynAnalysisMode::Exact,
+        ..AnalysisConfig::default()
+    };
+    let greedy_cfg = AnalysisConfig {
+        dyn_mode: DynAnalysisMode::Greedy,
+        ..AnalysisConfig::default()
+    };
+    let mut exact = AnalysisSession::new(sys.platform.clone(), sys.app.clone(), exact_cfg);
+    let mut greedy = AnalysisSession::new(sys.platform.clone(), sys.app.clone(), greedy_cfg);
+    let ce = exact.analyse_into(&sys.bus).expect("exact analyses");
+    let cg = greedy.analyse_into(&sys.bus).expect("greedy analyses");
+    assert_eq!(ce, cg, "short-circuited Exact must equal Greedy");
+    let (calls, shorts) = exact.dyn_exact_stats();
+    assert!(calls > 0, "Exact session must route through the packer");
+    assert_eq!(
+        shorts, calls,
+        "every call here is provably Greedy-equivalent, so all must short-circuit"
+    );
+    let (gcalls, _) = greedy.dyn_exact_stats();
+    assert_eq!(gcalls, 0, "Greedy session never enters the Exact packer");
+}
+
+#[test]
 fn greedy_is_bounded_by_exact() {
     // `Exact` packs each cycle with the minimal consumption that still
     // fills it, leaving the most interference for later cycles — the

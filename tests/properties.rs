@@ -221,6 +221,72 @@ proptest! {
         prop_assert_eq!(batch_ev.evaluations(), seq_ev.evaluations());
     }
 
+    /// The multi-session parallel evaluator is bit-identical to the
+    /// serial one: same per-candidate costs in input order and the same
+    /// evaluation count, for every thread count.
+    #[test]
+    fn parallel_batch_matches_serial_for_any_thread_count(
+        tt in any::<bool>(),
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pads in prop::collection::vec(0u32..40, 2..6),
+    ) {
+        let Some(sys) = chain_system(tt, wcets, size, 1000, 0) else {
+            return Ok(());
+        };
+        let candidates: Vec<BusConfig> = pads
+            .iter()
+            .map(|&pad| {
+                let mut bus = sys.bus.clone();
+                if bus.frame_ids.is_empty() {
+                    bus.static_slot_len += Time::from_us(f64::from(pad));
+                } else {
+                    bus.n_minislots = bus.min_minislots(&sys.app) + pad;
+                }
+                bus
+            })
+            .collect();
+        let mut serial = flexray::opt::Evaluator::new(
+            sys.platform.clone(), sys.app.clone(), AnalysisConfig::default());
+        let expected = serial.evaluate_batch(&candidates);
+        for threads in [1usize, 2, 4] {
+            let mut par = flexray::opt::Evaluator::with_threads(
+                sys.platform.clone(), sys.app.clone(), AnalysisConfig::default(), threads);
+            let got = par.evaluate_batch(&candidates);
+            prop_assert_eq!(&got, &expected, "threads={} diverged", threads);
+            prop_assert_eq!(par.evaluations(), serial.evaluations(),
+                "threads={} evaluation count diverged", threads);
+        }
+    }
+
+    /// The chunked parallel DYN-length sweep is bit-identical to the
+    /// serial incremental sweep, for every thread count — including
+    /// lengths below the template's minimum (infeasible candidates).
+    #[test]
+    fn parallel_dyn_sweep_matches_serial_for_any_thread_count(
+        wcets in prop::collection::vec(1u32..40, 2..5),
+        size in 1u32..8,
+        pads in prop::collection::vec(0u32..60, 3..9),
+    ) {
+        // event-triggered chain so the DYN segment is populated
+        let Some(sys) = chain_system(false, wcets, size, 1000, 0) else {
+            return Ok(());
+        };
+        let min = sys.bus.min_minislots(&sys.app);
+        let lengths: Vec<u32> = pads.iter().map(|&p| min.saturating_sub(2) + p).collect();
+        let mut serial = flexray::opt::Evaluator::new(
+            sys.platform.clone(), sys.app.clone(), AnalysisConfig::default());
+        let expected = serial.evaluate_dyn_lengths(&sys.bus, &lengths);
+        for threads in [1usize, 2, 4] {
+            let mut par = flexray::opt::Evaluator::with_threads(
+                sys.platform.clone(), sys.app.clone(), AnalysisConfig::default(), threads);
+            let got = par.evaluate_dyn_lengths(&sys.bus, &lengths);
+            prop_assert_eq!(&got, &expected, "threads={} diverged", threads);
+            prop_assert_eq!(par.evaluations(), serial.evaluations(),
+                "threads={} evaluation count diverged", threads);
+        }
+    }
+
     /// Frame padding keeps the 2-byte granularity and monotonicity.
     #[test]
     fn frame_duration_monotone(bytes_a in 0u32..250, bytes_b in 0u32..250) {
