@@ -25,7 +25,7 @@
 //! streams as JSON lines (`flexray-fuzz` schema v1) in point order.
 
 use crate::grid::{GridConfig, PointSpec, SeedPolicy};
-use crate::report::Json;
+use crate::report::{arr_field, field, malformed, num_field, str_field, Json};
 use crate::sweep::{Algo, SweepAxis};
 use flexray_analysis::{analyse, Analysis, AnalysisConfig};
 use flexray_gen::{generate, GeneratorConfig};
@@ -83,8 +83,11 @@ impl Default for FuzzConfig {
 impl FuzzConfig {
     /// The equivalent grid configuration (single dummy algorithm; the
     /// campaign drives the optimiser itself) used for enumeration,
-    /// seeding and validation.
-    fn grid(&self) -> GridConfig {
+    /// seeding and validation — public so external dispatchers (the
+    /// `flexray-serve` daemon) can enumerate and seed fuzz units
+    /// exactly like [`run_fuzz`] does.
+    #[must_use]
+    pub fn grid(&self) -> GridConfig {
         GridConfig {
             base: self.base.clone(),
             axes: self.axes.clone(),
@@ -214,6 +217,14 @@ impl FuzzPoint {
     /// Serialises the point as one report line (no newline).
     #[must_use]
     pub fn to_line(&self) -> String {
+        self.to_json().write()
+    }
+
+    /// The JSON value behind [`FuzzPoint::to_line`] — the form the
+    /// `flexray-serve` journal embeds as the `data` member of its
+    /// point records.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("point".into(), Json::Num(self.index as f64)),
             ("label".into(), Json::Str(self.label.clone())),
@@ -247,17 +258,116 @@ impl FuzzPoint {
                 self.min_margin_us.map_or(Json::Null, Json::Num),
             ),
         ])
-        .write()
+    }
+
+    /// Aggregates the fuzz outcomes of one point (in application
+    /// order) into its [`FuzzPoint`] — the completion half of
+    /// [`fuzz_app`], shared by [`run_fuzz`] and external dispatchers.
+    #[must_use]
+    pub fn from_apps(spec: &PointSpec, apps: Vec<FuzzAppOutcome>) -> FuzzPoint {
+        let mut point = FuzzPoint {
+            index: spec.index,
+            label: spec.label.clone(),
+            coords: spec.coords.clone(),
+            apps: apps.len(),
+            schedulable: 0,
+            runs: 0,
+            order_sensitive: 0,
+            divergences: Vec::new(),
+            min_margin_us: None,
+        };
+        for o in apps {
+            point.schedulable += usize::from(o.schedulable);
+            point.runs += o.runs;
+            point.order_sensitive += o.order_sensitive;
+            point.divergences.extend(o.divergences);
+            if let Some(m) = o.min_margin_us {
+                if point.min_margin_us.is_none_or(|cur| m < cur) {
+                    point.min_margin_us = Some(m);
+                }
+            }
+        }
+        point.divergences.sort();
+        point.divergences.dedup();
+        point
+    }
+
+    /// Parses one point record — the inverse of [`FuzzPoint::to_line`],
+    /// used by journal replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] on syntax errors or
+    /// missing / mistyped fields.
+    pub fn parse(line: &str) -> Result<FuzzPoint, ModelError> {
+        FuzzPoint::from_json(&Json::parse(line)?)
+    }
+
+    /// Parses one point record from an already-decoded JSON value.
+    ///
+    /// # Errors
+    ///
+    /// See [`FuzzPoint::parse`].
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn from_json(json: &Json) -> Result<FuzzPoint, ModelError> {
+        let coords = match field(json, "coords")? {
+            Json::Obj(members) => members
+                .iter()
+                .map(|(name, value)| match value {
+                    Json::Str(s) => Ok((name.clone(), s.clone())),
+                    _ => Err(malformed(&format!(
+                        "fuzz coordinate '{name}' is not a string"
+                    ))),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(malformed("'coords' is not an object")),
+        };
+        let divergences = arr_field(json, "divergences")?
+            .iter()
+            .map(|d| match d {
+                Json::Str(s) => Ok(s.clone()),
+                _ => Err(malformed("divergence is not a string")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let min_margin_us = match field(json, "min_margin_us")? {
+            Json::Null => None,
+            Json::Num(m) => Some(*m),
+            _ => return Err(malformed("'min_margin_us' is not a number or null")),
+        };
+        Ok(FuzzPoint {
+            index: num_field(json, "point")? as usize,
+            label: str_field(json, "label")?.to_owned(),
+            coords,
+            apps: num_field(json, "apps")? as usize,
+            schedulable: num_field(json, "schedulable")? as usize,
+            runs: num_field(json, "runs")? as usize,
+            order_sensitive: num_field(json, "order_sensitive")? as usize,
+            divergences,
+            min_margin_us,
+        })
     }
 }
 
-/// Result of one `(point, app)` unit.
-struct AppOutcome {
-    schedulable: bool,
-    runs: usize,
-    order_sensitive: usize,
-    divergences: Vec<String>,
-    min_margin_us: Option<f64>,
+/// Result of one `(point, app)` unit — the fuzz analogue of
+/// [`crate::grid::AppRun`], public for external dispatchers.
+#[derive(Debug, Clone)]
+pub struct FuzzAppOutcome {
+    /// Whether the optimiser made the application schedulable.
+    pub schedulable: bool,
+    /// Simulation runs performed (0 when unschedulable).
+    pub runs: usize,
+    /// Fuzzed runs whose response vector differed from the canonical
+    /// order's without leaving the analysis bounds.
+    pub order_sensitive: usize,
+    /// Divergence descriptions found on this application.
+    pub divergences: Vec<String>,
+    /// Tightest observed analysis margin (µs) across this
+    /// application's runs.
+    pub min_margin_us: Option<f64>,
+    /// Scheduling + schedulability evaluations the optimiser spent on
+    /// this application — the counter crash-safe dispatchers check to
+    /// prove completed work is never recomputed.
+    pub evaluations: usize,
 }
 
 /// Audits one simulation run against the analysis: collects divergences
@@ -298,13 +408,21 @@ fn audit_run(
     }
 }
 
-/// Generates, optimises and fuzz-simulates one application.
-fn run_app(
+/// Generates, optimises and fuzz-simulates one application — the
+/// single work unit of the campaign, exposed so external dispatchers
+/// (the `flexray-serve` daemon) can drive fuzz jobs on their own
+/// worker pool. Seeds follow [`GridConfig::seed`] of
+/// [`FuzzConfig::grid`].
+///
+/// # Errors
+///
+/// Propagates generation, analysis and simulation errors.
+pub fn fuzz_app(
     cfg: &FuzzConfig,
     spec: &PointSpec,
     app_index: usize,
     seed: u64,
-) -> Result<AppOutcome, ModelError> {
+) -> Result<FuzzAppOutcome, ModelError> {
     let generated = generate(&spec.config, seed)?;
     let result = obc(
         &generated.platform,
@@ -313,13 +431,15 @@ fn run_app(
         &cfg.params,
         DynSearch::CurveFit,
     );
+    let evaluations = result.evaluations;
     if !result.is_schedulable() {
-        return Ok(AppOutcome {
+        return Ok(FuzzAppOutcome {
             schedulable: false,
             runs: 0,
             order_sensitive: 0,
             divergences: Vec::new(),
             min_margin_us: None,
+            evaluations,
         });
     }
     let sys = System::validated(generated.platform, generated.app, result.bus)?;
@@ -364,12 +484,13 @@ fn run_app(
             order_sensitive += 1;
         }
     }
-    Ok(AppOutcome {
+    Ok(FuzzAppOutcome {
         schedulable: true,
         runs,
         order_sensitive,
         divergences,
         min_margin_us: margin,
+        evaluations,
     })
 }
 
@@ -395,7 +516,7 @@ where
     let units: Vec<(usize, usize)> = (0..total)
         .flat_map(|p| (0..cfg.apps_per_point).map(move |i| (p, i)))
         .collect();
-    let mut pending: Vec<Vec<Option<AppOutcome>>> = (0..total)
+    let mut pending: Vec<Vec<Option<FuzzAppOutcome>>> = (0..total)
         .map(|_| (0..cfg.apps_per_point).map(|_| None).collect())
         .collect();
     let mut slots: Vec<Option<FuzzPoint>> = (0..total).map(|_| None).collect();
@@ -404,14 +525,14 @@ where
 
     let abort = std::sync::atomic::AtomicBool::new(false);
     let abort = &abort;
-    let solve_unit = |u: usize| -> Result<AppOutcome, ModelError> {
+    let solve_unit = |u: usize| -> Result<FuzzAppOutcome, ModelError> {
         if abort.load(std::sync::atomic::Ordering::Relaxed) {
             return Err(ModelError::InvalidConfig(
                 "fuzz campaign aborted after an earlier unit failed".into(),
             ));
         }
         let (p, i) = units[u];
-        run_app(cfg, &specs[p], i, grid.seed(p, i))
+        fuzz_app(cfg, &specs[p], i, grid.seed(p, i))
     };
 
     scoped_consume(
@@ -431,32 +552,11 @@ where
                     let apps = &mut pending[p];
                     apps[i] = Some(run);
                     if apps.iter().all(Option::is_some) {
-                        let mut point = FuzzPoint {
-                            index: p,
-                            label: specs[p].label.clone(),
-                            coords: specs[p].coords.clone(),
-                            apps: cfg.apps_per_point,
-                            schedulable: 0,
-                            runs: 0,
-                            order_sensitive: 0,
-                            divergences: Vec::new(),
-                            min_margin_us: None,
-                        };
-                        for app in apps.iter_mut() {
-                            let o = app.take().expect("checked above");
-                            point.schedulable += usize::from(o.schedulable);
-                            point.runs += o.runs;
-                            point.order_sensitive += o.order_sensitive;
-                            point.divergences.extend(o.divergences);
-                            if let Some(m) = o.min_margin_us {
-                                if point.min_margin_us.is_none_or(|cur| m < cur) {
-                                    point.min_margin_us = Some(m);
-                                }
-                            }
-                        }
-                        point.divergences.sort();
-                        point.divergences.dedup();
-                        slots[p] = Some(point);
+                        let outcomes: Vec<FuzzAppOutcome> = apps
+                            .iter_mut()
+                            .map(|app| app.take().expect("checked above"))
+                            .collect();
+                        slots[p] = Some(FuzzPoint::from_apps(&specs[p], outcomes));
                         while next_emit < total {
                             match &slots[next_emit] {
                                 Some(done) => {

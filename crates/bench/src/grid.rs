@@ -302,7 +302,58 @@ impl GridPoint {
 
 /// One solved application: the per-algorithm optimiser results and the
 /// achieved generator statistics of its instance.
-type AppRun = (Vec<OptResult>, GenStats);
+pub type AppRun = (Vec<OptResult>, GenStats);
+
+/// Generates and solves application `app` of grid point `spec` — the
+/// single work unit of the grid engine, exposed so external dispatchers
+/// (the `flexray-serve` daemon) can drive grid jobs on their own worker
+/// pool. The seed follows [`GridConfig::seed`].
+///
+/// # Errors
+///
+/// Propagates generation errors ([`ModelError`]).
+pub fn solve_app(cfg: &GridConfig, spec: &PointSpec, app: usize) -> Result<AppRun, ModelError> {
+    let generated = generate(&spec.config, cfg.seed(spec.index, app))?;
+    let stats = generated.stats(&spec.config.phy)?;
+    let results = cfg
+        .algos
+        .iter()
+        .map(|a| {
+            a.solve(
+                &generated.platform,
+                &generated.app,
+                spec.config.phy,
+                &cfg.params,
+                &cfg.sa,
+            )
+        })
+        .collect();
+    Ok((results, stats))
+}
+
+impl GridPoint {
+    /// Aggregates the solved applications of one grid point (in
+    /// application order) into its [`GridPoint`] — the completion half
+    /// of [`solve_app`], shared by [`run_grid_resumed`] and external
+    /// dispatchers.
+    #[must_use]
+    pub fn from_apps(cfg: &GridConfig, spec: &PointSpec, apps: Vec<AppRun>) -> GridPoint {
+        let names: Vec<&str> = cfg.algos.iter().map(|a| a.name()).collect();
+        let mut per_app = Vec::with_capacity(apps.len());
+        let mut gens = Vec::with_capacity(apps.len());
+        for (results, stats) in apps {
+            per_app.push(results);
+            gens.push(stats);
+        }
+        GridPoint {
+            index: spec.index,
+            label: spec.label.clone(),
+            coords: spec.coords.clone(),
+            algos: aggregate_algos(&names, &per_app, cfg.reference()),
+            gen: GenStats::aggregate(&gens),
+        }
+    }
+}
 
 /// Runs the whole grid and returns every point in enumeration order.
 ///
@@ -422,23 +473,7 @@ where
             ));
         }
         let (p, i) = units[u];
-        let spec = &specs[p];
-        let generated = generate(&spec.config, cfg.seed(p, i))?;
-        let stats = generated.stats(&spec.config.phy)?;
-        let results = cfg
-            .algos
-            .iter()
-            .map(|a| {
-                a.solve(
-                    &generated.platform,
-                    &generated.app,
-                    spec.config.phy,
-                    &cfg.params,
-                    &cfg.sa,
-                )
-            })
-            .collect();
-        Ok((results, stats))
+        solve_app(cfg, &specs[p], i)
     };
 
     scoped_consume(
@@ -460,20 +495,11 @@ where
                     let apps = &mut pending[todo_pos[p]];
                     apps[i] = Some(run);
                     if apps.iter().all(Option::is_some) {
-                        let mut per_app = Vec::with_capacity(apps.len());
-                        let mut gens = Vec::with_capacity(apps.len());
-                        for app in apps.iter_mut() {
-                            let (results, stats) = app.take().expect("checked above");
-                            per_app.push(results);
-                            gens.push(stats);
-                        }
-                        slots[p] = Some(GridPoint {
-                            index: p,
-                            label: specs[p].label.clone(),
-                            coords: specs[p].coords.clone(),
-                            algos: aggregate_algos(&names, &per_app, cfg.reference()),
-                            gen: GenStats::aggregate(&gens),
-                        });
+                        let runs: Vec<AppRun> = apps
+                            .iter_mut()
+                            .map(|app| app.take().expect("checked above"))
+                            .collect();
+                        slots[p] = Some(GridPoint::from_apps(cfg, &specs[p], runs));
                         flush(&slots, &mut next_emit, &mut sink);
                     }
                 }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![deny(deprecated)]
 
 pub mod ablation;
 pub mod cruise;

@@ -480,28 +480,56 @@ impl GridReportHeader {
     }
 }
 
-fn malformed(msg: &str) -> ModelError {
+/// A "malformed record" error — shared by every JSONL schema built on
+/// this codec (`flexray-grid`, `flexray-fuzz`, the `flexray-serve` job
+/// and journal schemas).
+#[must_use]
+pub fn malformed(msg: &str) -> ModelError {
     ModelError::InvalidConfig(format!("malformed report record: {msg}"))
 }
 
-fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, ModelError> {
+/// Member `key` of an object, or a "missing field" error.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] when `json` is not an object
+/// or lacks the field.
+pub fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, ModelError> {
     json.get(key)
         .ok_or_else(|| malformed(&format!("missing field '{key}'")))
 }
 
-fn num_field(json: &Json, key: &str) -> Result<f64, ModelError> {
+/// Number member `key` of an object.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] when the field is missing or
+/// not a number.
+pub fn num_field(json: &Json, key: &str) -> Result<f64, ModelError> {
     field(json, key)?
         .as_f64()
         .ok_or_else(|| malformed(&format!("field '{key}' is not a number")))
 }
 
-fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, ModelError> {
+/// String member `key` of an object.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] when the field is missing or
+/// not a string.
+pub fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, ModelError> {
     field(json, key)?
         .as_str()
         .ok_or_else(|| malformed(&format!("field '{key}' is not a string")))
 }
 
-fn arr_field<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], ModelError> {
+/// Array member `key` of an object.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] when the field is missing or
+/// not an array.
+pub fn arr_field<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], ModelError> {
     field(json, key)?
         .as_arr()
         .ok_or_else(|| malformed(&format!("field '{key}' is not an array")))
@@ -514,6 +542,14 @@ fn arr_field<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], ModelError> {
 /// Serialises one grid point as a report line (no newline).
 #[must_use]
 pub fn point_to_line(point: &GridPoint) -> String {
+    point_to_json(point).write()
+}
+
+/// The JSON value behind [`point_to_line`] — the form the
+/// `flexray-serve` journal embeds as the `data` member of its point
+/// records.
+#[must_use]
+pub fn point_to_json(point: &GridPoint) -> Json {
     let gen = &point.gen;
     Json::Obj(vec![
         ("point".into(), Json::Num(point.index as f64)),
@@ -577,7 +613,6 @@ pub fn point_to_line(point: &GridPoint) -> String {
             ),
         ),
     ])
-    .write()
 }
 
 /// Parses one grid-point report line.
@@ -587,8 +622,19 @@ pub fn point_to_line(point: &GridPoint) -> String {
 /// Returns [`ModelError::InvalidConfig`] on malformed JSON or a missing
 /// or mistyped field.
 pub fn point_from_line(line: &str) -> Result<GridPoint, ModelError> {
-    let json = Json::parse(line)?;
-    let coords = match field(&json, "coords")? {
+    point_from_json(&Json::parse(line)?)
+}
+
+/// Parses one grid-point record from an already-parsed JSON value —
+/// the form the `flexray-serve` journal uses, where point records are
+/// embedded as the `data` member of a journal line.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] on a missing or mistyped
+/// field.
+pub fn point_from_json(json: &Json) -> Result<GridPoint, ModelError> {
+    let coords = match field(json, "coords")? {
         Json::Obj(members) => members
             .iter()
             .map(|(name, value)| {
@@ -600,7 +646,7 @@ pub fn point_from_line(line: &str) -> Result<GridPoint, ModelError> {
             .collect::<Result<Vec<_>, _>>()?,
         _ => return Err(malformed("field 'coords' is not an object")),
     };
-    let gen_json = field(&json, "gen")?;
+    let gen_json = field(json, "gen")?;
     let node_util = field(gen_json, "node_util")?;
     let gen = AggregatedGenStats {
         apps: num_field(gen_json, "apps")? as usize,
@@ -624,7 +670,7 @@ pub fn point_from_line(line: &str) -> Result<GridPoint, ModelError> {
             })
             .collect::<Result<Vec<_>, _>>()?,
     };
-    let algos = arr_field(&json, "algos")?
+    let algos = arr_field(json, "algos")?
         .iter()
         .map(|algo| {
             Ok((
@@ -640,8 +686,8 @@ pub fn point_from_line(line: &str) -> Result<GridPoint, ModelError> {
         })
         .collect::<Result<Vec<_>, ModelError>>()?;
     Ok(GridPoint {
-        index: num_field(&json, "point")? as usize,
-        label: str_field(&json, "label")?.to_owned(),
+        index: num_field(json, "point")? as usize,
+        label: str_field(json, "label")?.to_owned(),
         coords,
         algos,
         gen,

@@ -26,32 +26,10 @@ use flexray_gen::{GeneratorConfig, GraphShape};
 use flexray_model::{Application, ModelError, PhyParams, Platform};
 use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
 
-// The scoped work-stealing pool moved to `flexray-util` so non-bench
-// consumers (the multi-session `Evaluator`) can share it; deprecated
-// wrappers remain because this module is its historical home.
-
-/// Deprecated alias of [`flexray_util::scoped_map`] (the pool moved to
-/// `flexray-util`; this module is its historical home).
-#[deprecated(note = "use `flexray_util::scoped_map` directly")]
-pub fn scoped_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    flexray_util::scoped_map(n_items, threads, f)
-}
-
-/// Deprecated alias of [`flexray_util::scoped_consume`] (the pool moved
-/// to `flexray-util`; this module is its historical home).
-#[deprecated(note = "use `flexray_util::scoped_consume` directly")]
-pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, consume: C)
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-    C: FnMut(usize, T),
-{
-    flexray_util::scoped_consume(n_items, threads, f, consume)
-}
+// The scoped work-stealing pool lived here originally and moved to
+// `flexray-util` so non-bench consumers (the multi-session `Evaluator`,
+// the `flexray-serve` dispatcher) can share it; use
+// `flexray_util::scoped_map` / `scoped_consume` directly.
 
 /// Aggregated outcome of one algorithm on one sweep point.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,129 @@
+//! `flexray-serve` — the crash-safe analysis-as-a-service daemon.
+//!
+//! ```text
+//! flexray-serve queue=jobs.jsonl journal=serve.journal reports=out/ \
+//!     [threads=N] [poll=SECS]
+//! ```
+//!
+//! Drains the job queue once (or, with `poll=SECS`, keeps polling the
+//! queue for appended jobs until the stop file `<journal>.stop`
+//! appears). Every drain replays the journal first, so the daemon may
+//! be SIGKILLed at any instant and restarted: completed jobs are never
+//! recomputed, in-flight jobs resume from their last journaled point,
+//! and the final journal and reports are byte-identical to an
+//! uninterrupted run's.
+//!
+//! Exit codes: `0` — queue drained (rejected lines and failed jobs are
+//! journaled outcomes, not daemon errors); `1` — infrastructure error
+//! (IO, corrupt journal, queue changed under the journal); `2` — usage
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flexray_serve::{run_serve, JobStatus, ServeConfig, ServeOutcome};
+
+const USAGE: &str = "usage: flexray-serve queue=FILE journal=FILE reports=DIR \
+                     [threads=N] [poll=SECS]\n\
+                     \n\
+                     queue=FILE    JSONL job queue (append-only; '#' comments, blank lines ok)\n\
+                     journal=FILE  append-only progress journal (created if absent)\n\
+                     reports=DIR   per-job report directory (created if absent)\n\
+                     threads=N     worker threads for unit dispatch (0 = all cores; default 0)\n\
+                     poll=SECS     keep polling the queue every SECS seconds until the stop\n\
+                     \x20             file <journal>.stop exists (default: drain once)";
+
+struct Cli {
+    serve: ServeConfig,
+    poll: Option<u64>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut queue: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut reports: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut poll: Option<u64> = None;
+    for arg in args {
+        let Some((key, value)) = arg.split_once('=') else {
+            return Err(format!("expected key=value, got '{arg}'"));
+        };
+        match key {
+            "queue" => queue = Some(PathBuf::from(value)),
+            "journal" => journal = Some(PathBuf::from(value)),
+            "reports" => reports = Some(PathBuf::from(value)),
+            "threads" => {
+                threads = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count '{value}'"))?;
+            }
+            "poll" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid poll interval '{value}'"))?;
+                poll = Some(secs);
+            }
+            _ => return Err(format!("unknown option '{key}'")),
+        }
+    }
+    let serve = ServeConfig {
+        queue: queue.ok_or("missing required option queue=FILE")?,
+        journal: journal.ok_or("missing required option journal=FILE")?,
+        reports: reports.ok_or("missing required option reports=DIR")?,
+        threads,
+    };
+    Ok(Cli { serve, poll })
+}
+
+fn report(outcome: &ServeOutcome) {
+    for (line, error) in &outcome.rejected {
+        eprintln!("serve: line {line} rejected: {error}");
+    }
+    for job in &outcome.jobs {
+        let status = match &job.status {
+            JobStatus::Done { .. } => "done".to_owned(),
+            JobStatus::Failed { error } => format!("failed ({error})"),
+        };
+        eprintln!(
+            "serve: job {}: kind={} recovered={} computed={} evaluations={} status={status}",
+            job.id, job.kind, job.recovered, job.computed, job.evaluations
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("flexray-serve: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let stop_file = {
+        let mut name = cli.serve.journal.as_os_str().to_owned();
+        name.push(".stop");
+        PathBuf::from(name)
+    };
+    loop {
+        match run_serve(&cli.serve) {
+            Ok(outcome) => report(&outcome),
+            Err(e) => {
+                eprintln!("flexray-serve: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        let Some(secs) = cli.poll else {
+            return ExitCode::SUCCESS;
+        };
+        if stop_file.exists() {
+            eprintln!("serve: stop file {} found, exiting", stop_file.display());
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+}

@@ -1,0 +1,453 @@
+//! The `flexray-serve-job` JSONL job-spec schema (v1).
+//!
+//! One job per queue line:
+//!
+//! ```json
+//! {"schema":"flexray-serve-job","version":1,"id":"g1","kind":"grid","args":["nodes=2,3","apps=1","mode=smoke"]}
+//! ```
+//!
+//! `kind` selects the harness and `args` reuses the `key=value`
+//! grammar of the corresponding `flexray-bench` binary (`grid`,
+//! `sweep`, `fig9`, `fuzz`), parsed by the same strict helpers
+//! ([`parse_algo_set`], [`parse_thread_count`], [`search_mode`]) —
+//! every malformed token is rejected with an error *naming the token*,
+//! and the daemon journals the rejection instead of crashing.
+//!
+//! Keys the daemon owns — `threads` (unit dispatch is the daemon's),
+//! `out`/`csv` (reports live under the daemon's report directory) and
+//! `resume` (the journal is the resume mechanism) — are rejected.
+//! `eval_threads` *is* allowed: it sizes the warm multi-session
+//! `Evaluator` pool each unit's candidate evaluations fan out across,
+//! and is bit-identical for any value.
+//!
+//! `sweep` and `fig9` jobs desugar to grid configurations exactly like
+//! their binaries do (a single-axis grid, and the node-count grid with
+//! the historical per-node-count seed offsets, respectively), so all
+//! four kinds reduce to two execution plans: [`JobKind::Grid`] and
+//! [`JobKind::Fuzz`].
+
+use flexray_bench::fuzz::FuzzConfig;
+use flexray_bench::grid::{GridConfig, SeedPolicy};
+use flexray_bench::report::{arr_field, malformed, num_field, str_field, Json};
+use flexray_bench::sweep::{parse_algo_set, parse_thread_count, search_mode, Algo, SweepAxis};
+use flexray_gen::GeneratorConfig;
+use flexray_model::ModelError;
+
+/// Schema identifier carried by every job-spec line.
+pub const JOB_SCHEMA: &str = "flexray-serve-job";
+/// Version of the job-spec layout; bump on any schema change (the
+/// golden test enforces the pairing).
+pub const JOB_SCHEMA_VERSION: u32 = 1;
+
+/// The execution plan a job desugars to.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// A factorial grid (also the plan of `sweep` and `fig9` jobs).
+    Grid(GridConfig),
+    /// An execution-order fuzz campaign.
+    Fuzz(FuzzConfig),
+}
+
+/// One parsed job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique job identifier (also the report file stem); restricted
+    /// to `[A-Za-z0-9._-]`.
+    pub id: String,
+    /// The `kind` token as spelled in the spec
+    /// (`grid`/`sweep`/`fig9`/`fuzz`).
+    pub kind_name: String,
+    /// The raw `key=value` argument tokens, in spec order.
+    pub args: Vec<String>,
+    /// The desugared execution plan.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// Serialises the spec as one canonical queue line (no newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(JOB_SCHEMA.into())),
+            ("version".into(), Json::Num(f64::from(JOB_SCHEMA_VERSION))),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("kind".into(), Json::Str(self.kind_name.clone())),
+            (
+                "args".into(),
+                Json::Arr(self.args.iter().map(|a| Json::Str(a.clone())).collect()),
+            ),
+        ])
+        .write()
+    }
+
+    /// Number of points the job will journal.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        match &self.kind {
+            JobKind::Grid(cfg) => cfg.total_points(),
+            JobKind::Fuzz(cfg) => cfg.total_points(),
+        }
+    }
+}
+
+/// Parses and desugars one job-spec line.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] naming the offending token on
+/// malformed JSON, a wrong schema or version, a missing or invalid
+/// `id`, an unknown top-level member, an unknown `kind`, or any bad
+/// `args` token (unknown key, bad value, daemon-managed key,
+/// inconsistent resulting configuration).
+pub fn parse_job(line: &str) -> Result<JobSpec, ModelError> {
+    let json = Json::parse(line)?;
+    let Json::Obj(members) = &json else {
+        return Err(malformed("job spec is not a JSON object"));
+    };
+    for (key, _) in members {
+        if !matches!(key.as_str(), "schema" | "version" | "id" | "kind" | "args") {
+            return Err(malformed(&format!("unknown job-spec key '{key}'")));
+        }
+    }
+    let schema = str_field(&json, "schema")?;
+    if schema != JOB_SCHEMA {
+        return Err(malformed(&format!(
+            "job schema is '{schema}', expected '{JOB_SCHEMA}'"
+        )));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let version = num_field(&json, "version")? as u32;
+    if version != JOB_SCHEMA_VERSION {
+        return Err(malformed(&format!(
+            "job schema version {version} unsupported (this build reads {JOB_SCHEMA_VERSION})"
+        )));
+    }
+    let id = str_field(&json, "id")?.to_owned();
+    if id.is_empty()
+        || !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        return Err(malformed(&format!(
+            "job id '{id}' is not a non-empty [A-Za-z0-9._-] name"
+        )));
+    }
+    let kind_name = str_field(&json, "kind")?.to_owned();
+    let args: Vec<String> = arr_field(&json, "args")?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| malformed("job arg is not a string"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let kind = match kind_name.as_str() {
+        "grid" => JobKind::Grid(parse_grid_args(&args, false)?),
+        "sweep" => JobKind::Grid(parse_grid_args(&args, true)?),
+        "fig9" => JobKind::Grid(parse_fig9_args(&args)?),
+        "fuzz" => JobKind::Fuzz(parse_fuzz_args(&args)?),
+        other => {
+            return Err(malformed(&format!(
+                "unknown job kind '{other}' (expected grid, sweep, fig9 or fuzz)"
+            )))
+        }
+    };
+    match &kind {
+        JobKind::Grid(cfg) => cfg.validate()?,
+        JobKind::Fuzz(cfg) => cfg.validate()?,
+    }
+    Ok(JobSpec {
+        id,
+        kind_name,
+        args,
+        kind,
+    })
+}
+
+/// Splits one `key=value` token; errors name the token.
+fn key_value(arg: &str) -> Result<(&str, &str), ModelError> {
+    arg.split_once('=')
+        .ok_or_else(|| malformed(&format!("expected key=value, got '{arg}'")))
+        .and_then(|(key, value)| {
+            if matches!(key, "threads" | "out" | "csv" | "resume") {
+                Err(malformed(&format!(
+                    "daemon-managed key '{key}' is not allowed in a job spec"
+                )))
+            } else {
+                Ok((key, value))
+            }
+        })
+}
+
+/// Parses a non-empty comma-separated value list; errors name the key.
+fn parse_values<T: std::str::FromStr>(key: &str, s: &str) -> Result<Vec<T>, ModelError> {
+    let values: Result<Vec<T>, _> = s.split(',').map(str::parse).collect();
+    match values {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(malformed(&format!(
+            "invalid value list '{s}' for key '{key}'"
+        ))),
+    }
+}
+
+fn bad_value(key: &str, value: &str) -> ModelError {
+    malformed(&format!("invalid value '{value}' for key '{key}'"))
+}
+
+/// The `grid` (and, with `single_axis`, `sweep`) argument grammar —
+/// the `grid` binary's options minus the daemon-managed keys.
+fn parse_grid_args(args: &[String], single_axis: bool) -> Result<GridConfig, ModelError> {
+    let mut cfg = GridConfig {
+        axes: Vec::new(),
+        threads: 1,
+        ..GridConfig::default()
+    };
+    let mut eval_threads: Option<usize> = None;
+    for arg in args {
+        let (key, value) = key_value(arg)?;
+        match key {
+            "nodes" => cfg
+                .axes
+                .push(SweepAxis::NodeCount(parse_values(key, value)?)),
+            "depth" => cfg
+                .axes
+                .push(SweepAxis::GraphDepth(parse_values(key, value)?)),
+            "gateway" => cfg
+                .axes
+                .push(SweepAxis::GatewayFraction(parse_values(key, value)?)),
+            "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value)?)),
+            "apps" => cfg.apps_per_point = value.parse().map_err(|_| bad_value(key, value))?,
+            "mode" => match search_mode(value) {
+                Some((params, sa)) => {
+                    cfg.params = params;
+                    cfg.sa = sa;
+                }
+                None => return Err(bad_value(key, value)),
+            },
+            "eval_threads" => eval_threads = Some(parse_thread_count(value)?),
+            "seed0" => cfg.seed0 = value.parse().map_err(|_| bad_value(key, value))?,
+            "algos" => cfg.algos = parse_algo_set(value)?,
+            _ => return Err(malformed(&format!("unknown grid key '{key}'"))),
+        }
+    }
+    if let Some(threads) = eval_threads {
+        cfg.params.eval_threads = threads;
+    }
+    if cfg.axes.is_empty() {
+        return Err(malformed("a grid job needs at least one axis"));
+    }
+    if single_axis && cfg.axes.len() != 1 {
+        return Err(malformed(&format!(
+            "a sweep job takes exactly one axis, got {}",
+            cfg.axes.len()
+        )));
+    }
+    Ok(cfg)
+}
+
+/// The `fig9` argument grammar, desugared exactly like
+/// `fig9::run_experiment`: a node-count grid over the paper base with
+/// the historical `seed0 + 1000·n + i` seed schedule.
+fn parse_fig9_args(args: &[String]) -> Result<GridConfig, ModelError> {
+    let mut node_counts: Vec<usize> = vec![2, 3, 4, 5];
+    let mut apps_per_point = 5usize;
+    let mut params = flexray_opt::OptParams::default();
+    let mut sa = flexray_opt::SaParams::default();
+    let mut seed0 = 42u64;
+    let mut eval_threads: Option<usize> = None;
+    for arg in args {
+        let (key, value) = key_value(arg)?;
+        match key {
+            "nodes" => node_counts = parse_values(key, value)?,
+            "apps" => apps_per_point = value.parse().map_err(|_| bad_value(key, value))?,
+            "mode" => match search_mode(value) {
+                Some((p, s)) => {
+                    params = p;
+                    sa = s;
+                }
+                None => return Err(bad_value(key, value)),
+            },
+            "eval_threads" => eval_threads = Some(parse_thread_count(value)?),
+            "seed0" => seed0 = value.parse().map_err(|_| bad_value(key, value))?,
+            _ => return Err(malformed(&format!("unknown fig9 key '{key}'"))),
+        }
+    }
+    if let Some(threads) = eval_threads {
+        params.eval_threads = threads;
+    }
+    Ok(GridConfig {
+        base: GeneratorConfig::paper(2),
+        axes: vec![SweepAxis::NodeCount(node_counts.clone())],
+        apps_per_point,
+        algos: Algo::ALL.to_vec(),
+        params,
+        sa,
+        seed0,
+        seed_policy: SeedPolicy::PointOffsets(
+            node_counts.iter().map(|&n| 1000 * n as u64).collect(),
+        ),
+        threads: 1,
+    })
+}
+
+/// The `fuzz` argument grammar — the `fuzz` binary's options minus the
+/// daemon-managed keys.
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzConfig, ModelError> {
+    let mut cfg = FuzzConfig {
+        axes: Vec::new(),
+        threads: 1,
+        ..FuzzConfig::default()
+    };
+    let mut eval_threads: Option<usize> = None;
+    for arg in args {
+        let (key, value) = key_value(arg)?;
+        match key {
+            "nodes" => cfg
+                .axes
+                .push(SweepAxis::NodeCount(parse_values(key, value)?)),
+            "depth" => cfg
+                .axes
+                .push(SweepAxis::GraphDepth(parse_values(key, value)?)),
+            "gateway" => cfg
+                .axes
+                .push(SweepAxis::GatewayFraction(parse_values(key, value)?)),
+            "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value)?)),
+            "apps" => cfg.apps_per_point = value.parse().map_err(|_| bad_value(key, value))?,
+            "orders" => cfg.order_seeds = parse_values(key, value)?,
+            "reps" => cfg.reps = value.parse().map_err(|_| bad_value(key, value))?,
+            "compress" => match value {
+                "on" => cfg.compress = true,
+                "off" => cfg.compress = false,
+                _ => return Err(bad_value(key, value)),
+            },
+            "mode" => match search_mode(value) {
+                Some((params, _)) => cfg.params = params,
+                None => return Err(bad_value(key, value)),
+            },
+            "eval_threads" => eval_threads = Some(parse_thread_count(value)?),
+            "seed0" => cfg.seed0 = value.parse().map_err(|_| bad_value(key, value))?,
+            _ => return Err(malformed(&format!("unknown fuzz key '{key}'"))),
+        }
+    }
+    if let Some(threads) = eval_threads {
+        cfg.params.eval_threads = threads;
+    }
+    if cfg.axes.is_empty() {
+        return Err(malformed("a fuzz job needs at least one axis"));
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(id: &str, kind: &str, args: &[&str]) -> String {
+        let args = args
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"{JOB_SCHEMA}\",\"version\":{JOB_SCHEMA_VERSION},\
+             \"id\":\"{id}\",\"kind\":\"{kind}\",\"args\":[{args}]}}"
+        )
+    }
+
+    #[test]
+    fn grid_job_round_trips_through_the_canonical_line() {
+        let spec =
+            parse_job(&line("g1", "grid", &["nodes=2,3", "apps=1", "mode=smoke"])).expect("parses");
+        assert_eq!(spec.id, "g1");
+        assert_eq!(spec.total_points(), 2);
+        let JobKind::Grid(cfg) = &spec.kind else {
+            panic!("grid plan expected")
+        };
+        assert_eq!(cfg.apps_per_point, 1);
+        assert_eq!(cfg.threads, 1, "unit dispatch belongs to the daemon");
+        let reparsed = parse_job(&spec.to_line()).expect("canonical line parses");
+        assert_eq!(reparsed.to_line(), spec.to_line());
+    }
+
+    #[test]
+    fn sweep_and_fig9_desugar_to_grids() {
+        let sweep = parse_job(&line("s1", "sweep", &["depth=3,5", "mode=smoke"])).expect("parses");
+        assert!(matches!(&sweep.kind, JobKind::Grid(cfg) if cfg.axes.len() == 1));
+        assert!(parse_job(&line("s2", "sweep", &["depth=3", "nodes=2", "mode=smoke"])).is_err());
+
+        let fig9 =
+            parse_job(&line("f1", "fig9", &["nodes=2,3", "apps=1", "mode=smoke"])).expect("parses");
+        let JobKind::Grid(cfg) = &fig9.kind else {
+            panic!("grid plan expected")
+        };
+        assert_eq!(cfg.algos.len(), 4);
+        assert_eq!(
+            cfg.seed_policy,
+            SeedPolicy::PointOffsets(vec![2000, 3000]),
+            "fig9 keeps its historical node-count seed schedule"
+        );
+    }
+
+    #[test]
+    fn fuzz_jobs_parse_their_own_grammar() {
+        let spec = parse_job(&line(
+            "z1",
+            "fuzz",
+            &[
+                "nodes=2",
+                "orders=1,2",
+                "reps=2",
+                "compress=off",
+                "mode=smoke",
+            ],
+        ))
+        .expect("parses");
+        let JobKind::Fuzz(cfg) = &spec.kind else {
+            panic!("fuzz plan expected")
+        };
+        assert_eq!(cfg.order_seeds, vec![1, 2]);
+        assert!(!cfg.compress);
+    }
+
+    #[test]
+    fn rejections_name_the_offending_token() {
+        let cases: Vec<(String, &str)> = vec![
+            ("not json".into(), "JSON"),
+            (
+                line("g", "grid", &["nodes=2"]).replace("flexray-serve-job", "mystery"),
+                "'mystery'",
+            ),
+            (
+                line("g", "grid", &["nodes=2"]).replace(":1,", ":9,"),
+                "version 9",
+            ),
+            (line("bad id!", "grid", &["nodes=2"]), "'bad id!'"),
+            (line("g", "mystery", &["nodes=2"]), "'mystery'"),
+            (line("g", "grid", &["nodes=2", "bogus=1"]), "'bogus'"),
+            (line("g", "grid", &["nodes=zero"]), "'zero'"),
+            (line("g", "grid", &["nodes=2", "mode=warp"]), "'warp'"),
+            (line("g", "grid", &["nodes=2", "threads=4"]), "'threads'"),
+            (line("g", "grid", &["nodes=2", "out=x"]), "'out'"),
+            (line("g", "grid", &["nodes=2", "resume=x"]), "'resume'"),
+            (line("g", "grid", &["apps=1"]), "axis"),
+            (line("g", "grid", &["nodes=2", "algos=bbc,warp"]), "warp"),
+            (
+                line("z", "fuzz", &["nodes=2", "orders=1,1"]),
+                "order seed 1",
+            ),
+            (line("z", "fuzz", &["nodes=2", "csv=x"]), "'csv'"),
+            (
+                line("g", "grid", &["nodes=2"]).replace("\"args\"", "\"junk\""),
+                "'junk'",
+            ),
+        ];
+        for (bad, token) in cases {
+            let err = parse_job(&bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(
+                err.to_string().contains(token),
+                "error for {bad:?} does not name {token:?}: {err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the journal semantics, driven in-process
+//! through [`run_serve`]:
+//!
+//! * **torn-tail recovery** — truncating a real journal at *every*
+//!   byte offset recovers a valid record prefix;
+//! * **replay idempotence** — draining an already-drained queue
+//!   changes nothing and computes nothing;
+//! * **completion monotonicity** — restarting from any record-boundary
+//!   prefix never re-computes a point the prefix already holds, and
+//!   always converges to the byte-identical final journal;
+//! * **corruption detection** — a malformed record *before* the tail
+//!   is a hard error, not a silent skip.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use flexray_serve::{read_journal, run_serve, JobStatus, Record, ServeConfig, ServeOutcome};
+
+const QUEUE: &str = concat!(
+    r#"{"schema":"flexray-serve-job","version":1,"id":"g1","kind":"grid","args":["nodes=2","apps=1","mode=smoke","algos=bbc"]}"#,
+    "\n",
+    "garbage line\n",
+    r#"{"schema":"flexray-serve-job","version":1,"id":"z1","kind":"fuzz","args":["nodes=2","apps=1","orders=1","reps=2","mode=smoke"]}"#,
+    "\n",
+);
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale workdir");
+    }
+    fs::create_dir_all(&dir).expect("create workdir");
+    fs::write(dir.join("jobs.jsonl"), QUEUE).expect("write queue");
+    dir
+}
+
+fn config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        queue: dir.join("jobs.jsonl"),
+        journal: dir.join("serve.journal"),
+        reports: dir.join("out"),
+        threads: 1,
+    }
+}
+
+fn drain(cfg: &ServeConfig) -> ServeOutcome {
+    run_serve(cfg).expect("drain succeeds")
+}
+
+fn journal(dir: &Path) -> String {
+    fs::read_to_string(dir.join("serve.journal")).expect("read journal")
+}
+
+#[test]
+fn torn_tails_recover_to_a_valid_record_prefix_at_every_byte_offset() {
+    let dir = workdir("props_torn");
+    let cfg = config(&dir);
+    drain(&cfg);
+    let reference = journal(&dir);
+    let (all, full_len) = read_journal(&reference).expect("reference journal reads");
+    assert_eq!(full_len, reference.len());
+    for cut in 0..reference.len() {
+        let (records, valid_len) = read_journal(&reference[..cut])
+            .unwrap_or_else(|e| panic!("cut {cut}: torn tail must recover, got {e}"));
+        assert!(valid_len <= cut, "cut {cut}: valid_len past the content");
+        assert_eq!(
+            records,
+            all[..records.len()],
+            "cut {cut}: recovered records are not a prefix"
+        );
+        assert_eq!(
+            reference[..valid_len].matches('\n').count(),
+            records.len(),
+            "cut {cut}: valid_len and record count disagree"
+        );
+    }
+}
+
+#[test]
+fn replay_is_idempotent_and_completion_is_monotone() {
+    let dir = workdir("props_monotone");
+    let cfg = config(&dir);
+    let first = drain(&cfg);
+    assert!(
+        first.jobs.iter().all(|j| j.computed > 0),
+        "reference drain must compute"
+    );
+    let reference = journal(&dir);
+    let reports: Vec<(String, String)> = first
+        .jobs
+        .iter()
+        .map(|j| {
+            let path = dir.join("out").join(format!("{}.jsonl", j.id));
+            (j.id.clone(), fs::read_to_string(path).expect("report"))
+        })
+        .collect();
+
+    // Idempotence: a second drain recovers everything and appends
+    // nothing.
+    let second = drain(&cfg);
+    assert_eq!(
+        journal(&dir),
+        reference,
+        "idempotent drain grew the journal"
+    );
+    for job in &second.jobs {
+        assert_eq!(job.computed, 0, "{}: re-entered the queue", job.id);
+        assert_eq!(job.evaluations, 0, "{}: re-evaluated", job.id);
+        assert!(matches!(job.status, JobStatus::Done { .. }));
+    }
+
+    // Monotonicity: from every record-boundary prefix, a drain
+    // converges to the byte-identical journal and reports, and jobs
+    // whose end record the prefix holds are never recomputed.
+    let boundaries: Vec<usize> = reference
+        .char_indices()
+        .filter(|&(_, c)| c == '\n')
+        .map(|(k, _)| k + 1)
+        .collect();
+    for &cut in std::iter::once(&0usize).chain(&boundaries) {
+        fs::write(dir.join("serve.journal"), &reference[..cut]).expect("write prefix");
+        fs::remove_dir_all(dir.join("out")).ok();
+        let (records, _) = read_journal(&reference[..cut]).expect("prefix reads");
+        let ended: Vec<&str> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::End { job, .. } => Some(job.as_str()),
+                _ => None,
+            })
+            .collect();
+        let outcome = drain(&cfg);
+        assert_eq!(journal(&dir), reference, "prefix {cut}: journal diverged");
+        for (id, data) in &reports {
+            let path = dir.join("out").join(format!("{id}.jsonl"));
+            assert_eq!(
+                &fs::read_to_string(path).expect("report"),
+                data,
+                "prefix {cut}: report {id} diverged"
+            );
+        }
+        for job in &outcome.jobs {
+            if ended.contains(&job.id.as_str()) {
+                assert_eq!(
+                    (job.computed, job.evaluations),
+                    (0, 0),
+                    "prefix {cut}: completed job {} re-entered the queue",
+                    job.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_records_before_the_tail_are_hard_errors() {
+    let dir = workdir("props_corrupt");
+    let cfg = config(&dir);
+    drain(&cfg);
+    let reference = journal(&dir);
+
+    // Corrupting a mid-journal record must fail the drain loudly.
+    let corrupted = reference.replacen("\"rec\":\"start\"", "\"rec\":\"sturt\"", 1);
+    assert_ne!(corrupted, reference, "workload journaled no start record");
+    fs::write(dir.join("serve.journal"), &corrupted).expect("write corrupted");
+    let err = run_serve(&cfg).expect_err("corrupt journal must not drain");
+    assert!(
+        err.to_string().contains("corrupt record"),
+        "unexpected error: {err}"
+    );
+
+    // Changing a journaled queue line is caught by its fingerprint.
+    fs::write(dir.join("serve.journal"), &reference).expect("restore journal");
+    fs::write(
+        dir.join("jobs.jsonl"),
+        QUEUE.replacen("nodes=2", "nodes=3", 1),
+    )
+    .expect("tamper with queue");
+    let err = run_serve(&cfg).expect_err("tampered queue must not drain");
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+}

@@ -2,12 +2,14 @@
 //!
 //! Dependency-free plumbing shared across the workspace: the scoped
 //! work-stealing worker pool that drives the `fig9`, `sweep`, `grid`
-//! and `fuzz` harnesses of `flexray-bench`, plus the per-worker-state
+//! and `fuzz` harnesses of `flexray-bench`, the per-worker-state
 //! variant ([`scoped_map_with`]) behind the multi-session `Evaluator`
-//! pool of `flexray-opt`.
+//! pool of `flexray-opt`, and the streaming per-worker-state form
+//! ([`scoped_consume_with`]) behind the `flexray-serve` job
+//! dispatcher. All three are projections of one primitive:
+//! [`scoped_consume_with`].
 //!
-//! The pool lived in `flexray_bench::sweep` originally; deprecated
-//! wrappers remain there for back-compat.
+//! The pool lived in `flexray_bench::sweep` originally.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -39,16 +41,53 @@ where
 /// hook the grid engine uses to aggregate points and emit report
 /// records while later units are still being solved, without holding a
 /// second copy of the results.
-pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, mut consume: C)
+pub fn scoped_consume<T, F, C>(n_items: usize, threads: usize, f: F, consume: C)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
     C: FnMut(usize, T),
 {
     let threads = threads.max(1).min(n_items.max(1));
-    if threads <= 1 {
+    let mut states = vec![(); threads];
+    scoped_consume_with(&mut states, n_items, |(), i| f(i), consume);
+}
+
+/// The most general form of the pool: per-worker owned *state*
+/// ([`scoped_map_with`]) combined with streaming completion
+/// ([`scoped_consume`]). One scoped thread is spawned per element of
+/// `states` (capped at `n_items`; a single state runs serially on the
+/// calling thread); workers steal indices from a shared atomic cursor,
+/// and `consume(i, result)` runs on the calling thread in completion
+/// order, owning each result as it lands.
+///
+/// This is the dispatcher primitive of the `flexray-serve` daemon: work
+/// units stream into the journal the moment they complete while every
+/// worker keeps its own warm state.
+///
+/// Does nothing when `n_items == 0`.
+///
+/// # Panics
+///
+/// Panics if `states` is empty while `n_items > 0`: there would be no
+/// worker to run the items on.
+pub fn scoped_consume_with<S, T, F, C>(states: &mut [S], n_items: usize, f: F, mut consume: C)
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    if n_items == 0 {
+        return;
+    }
+    assert!(
+        !states.is_empty(),
+        "scoped_consume_with needs at least one worker state"
+    );
+    if states.len() == 1 {
+        let state = &mut states[0];
         for i in 0..n_items {
-            consume(i, f(i));
+            consume(i, f(state, i));
         }
         return;
     }
@@ -57,14 +96,14 @@ where
     let f = &f;
     let cursor = &cursor;
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for state in states.iter_mut().take(n_items) {
             let tx = tx.clone();
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n_items {
                     break;
                 }
-                if tx.send((i, f(i))).is_err() {
+                if tx.send((i, f(state, i))).is_err() {
                     break;
                 }
             });
@@ -100,40 +139,8 @@ where
     T: Send,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    if n_items == 0 {
-        return Vec::new();
-    }
-    assert!(
-        !states.is_empty(),
-        "scoped_map_with needs at least one worker state"
-    );
-    if states.len() == 1 {
-        let state = &mut states[0];
-        return (0..n_items).map(|i| f(state, i)).collect();
-    }
     let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
-    let f = &f;
-    let cursor = &cursor;
-    std::thread::scope(|scope| {
-        for state in states.iter_mut().take(n_items) {
-            let tx = tx.clone();
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_items {
-                    break;
-                }
-                if tx.send((i, f(state, i))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, item) in rx {
-            slots[i] = Some(item);
-        }
-    });
+    scoped_consume_with(states, n_items, f, |i, item| slots[i] = Some(item));
     slots
         .into_iter()
         .map(|slot| slot.expect("every index is claimed by exactly one worker"))
@@ -198,5 +205,33 @@ mod tests {
     fn scoped_map_with_empty_items_needs_no_workers() {
         let mut none: Vec<u8> = Vec::new();
         assert!(scoped_map_with(&mut none, 0, |_, i| i).is_empty());
+    }
+
+    #[test]
+    fn scoped_consume_with_streams_every_item_with_worker_state() {
+        for workers in [1usize, 2, 5] {
+            let mut states: Vec<usize> = vec![0; workers];
+            let mut seen = [0usize; 13];
+            scoped_consume_with(
+                &mut states,
+                13,
+                |claimed, i| {
+                    *claimed += 1;
+                    i * 7
+                },
+                |i, item| {
+                    assert_eq!(item, i * 7, "consumer owns the right item");
+                    seen[i] += 1;
+                },
+            );
+            assert!(seen.iter().all(|&count| count == 1), "workers {workers}");
+            assert_eq!(states.iter().sum::<usize>(), 13, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn scoped_consume_with_empty_items_is_a_no_op() {
+        let mut none: Vec<u8> = Vec::new();
+        scoped_consume_with(&mut none, 0, |_, i| i, |_, _| panic!("no items"));
     }
 }

@@ -4,7 +4,7 @@
 //! Access Optimisation for FlexRay-based Distributed Embedded Systems",
 //! DATE 2007*.
 //!
-//! The implementation is split over five crates, re-exported here as
+//! The implementation is split over six crates, re-exported here as
 //! modules:
 //!
 //! * [`model`] — system/application/bus-configuration model (Sections
@@ -16,7 +16,10 @@
 //! * [`gen`] — seeded benchmark generation (Section 7's synthetic sets,
 //!   the cruise-controller case study and the Fig. 7 workload);
 //! * [`opt`] — the paper's contribution: BBC, OBCCF, OBCEE and the SA
-//!   baseline (Section 6).
+//!   baseline (Section 6);
+//! * [`serve`] — the crash-safe analysis-as-a-service daemon behind the
+//!   `flexray-serve` binary (file-based job queue, append-only
+//!   replayable journal).
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -45,6 +48,7 @@ pub use flexray_analysis as analysis;
 pub use flexray_gen as gen;
 pub use flexray_model as model;
 pub use flexray_opt as opt;
+pub use flexray_serve as serve;
 pub use flexray_sim as sim;
 
 pub use flexray_analysis::{
