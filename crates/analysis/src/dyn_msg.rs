@@ -44,7 +44,7 @@ pub enum DynAnalysisMode {
 /// (the set `hp(m)` — e.g. `hp(m_g) = {m_f}` in Fig. 1.a).
 #[must_use]
 pub fn hp_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<ActivityId> {
-    let sys = sys.into();
+    let sys = sys.into().focused(m);
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return Vec::new();
     };
@@ -64,7 +64,7 @@ pub fn hp_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<Act
 /// `m` (the set `lf(m)` — e.g. `lf(m_g) = {m_d, m_e}` in Fig. 1.a).
 #[must_use]
 pub fn lf_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<ActivityId> {
-    let sys = sys.into();
+    let sys = sys.into().focused(m);
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return Vec::new();
     };
@@ -79,7 +79,7 @@ pub fn lf_messages<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> Vec<Act
 /// carry messages contribute through `lf(m)` instead.
 #[must_use]
 pub fn unused_lower_slots<'a>(sys: impl Into<SystemView<'a>>, m: ActivityId) -> u32 {
-    let sys = sys.into();
+    let sys = sys.into().focused(m);
     let Some(fid) = sys.bus.frame_id_of(m) else {
         return 0;
     };
@@ -101,7 +101,7 @@ pub fn latest_tx_bound<'a>(
     m: ActivityId,
     policy: LatestTxPolicy,
 ) -> u32 {
-    let sys = sys.into();
+    let sys = sys.into().focused(m);
     match policy {
         LatestTxPolicy::PerMessage => {
             let lm = sys.bus.minislots_of(sys.app, m);
@@ -733,6 +733,7 @@ pub(crate) fn dyn_delay_with(
     limit: Time,
     scratch: &mut DynScratch,
 ) -> Option<Time> {
+    let sys = sys.focused(m);
     let fid = sys.bus.frame_id_of(m).expect("validated dyn message");
     let gd_cycle = sys.bus.gd_cycle();
     let st_bus = sys.bus.st_bus();

@@ -74,7 +74,7 @@ pub(crate) struct ScheduleBuilder {
     // ---- per-build scratch ----
     ready: Vec<Time>,
     node_busy: Vec<Vec<(Time, Time)>>,
-    slot_usage: HashMap<(i64, SlotId), Time>,
+    slot_usage: HashMap<(u16, i64, SlotId), Time>,
 }
 
 impl ScheduleBuilder {
@@ -218,12 +218,6 @@ impl ScheduleBuilder {
             busy.clear();
         }
         self.slot_usage.clear();
-        let gd_cycle = sys.bus.gd_cycle();
-        let n_cycles = if gd_cycle > Time::ZERO {
-            horizon.div_ceil(gd_cycle)
-        } else {
-            0
-        };
 
         for oi in 0..self.order.len() {
             let job = self.order[oi];
@@ -239,15 +233,7 @@ impl ScheduleBuilder {
                     horizon,
                     placement,
                 ),
-                None => place_message(
-                    sys,
-                    table,
-                    &mut self.slot_usage,
-                    job,
-                    asap,
-                    horizon,
-                    n_cycles,
-                )?,
+                None => place_message(sys, table, &mut self.slot_usage, job, asap, horizon)?,
             };
             for &s in sys.app.succs(job.activity) {
                 if !sys.app.activity(s).is_time_triggered() {
@@ -452,16 +438,19 @@ fn first_gap(busy: &[(Time, Time)], from: Time, len: Time, wall: Time) -> Option
 
 /// Places one ST message instance in the earliest slot instance of its
 /// sender node with room left in the frame; returns the delivery time
-/// (slot end).
+/// (slot end). The cycle geometry is that of the message's home
+/// cluster (slot instances of different clusters never collide: the
+/// usage map is keyed by cluster).
 fn place_message(
     sys: SystemView<'_>,
     table: &mut ScheduleTable,
-    slot_usage: &mut HashMap<(i64, SlotId), Time>,
+    slot_usage: &mut HashMap<(u16, i64, SlotId), Time>,
     job: Job,
     ready: Time,
     horizon: Time,
-    n_cycles: i64,
 ) -> Result<Time, ModelError> {
+    let cluster = sys.cluster_of(job.activity);
+    let sys = sys.focused(job.activity);
     let cm = sys.comm_time(job.activity);
     let sender = sys.app.sender_of(job.activity).ok_or_else(|| {
         ModelError::MalformedGraph(format!(
@@ -472,6 +461,11 @@ fn place_message(
     let slots = sys.bus.slots_of(sender);
     let gd_cycle = sys.bus.gd_cycle();
     let slot_len = sys.bus.static_slot_len;
+    let n_cycles = if gd_cycle > Time::ZERO {
+        horizon.div_ceil(gd_cycle)
+    } else {
+        0
+    };
 
     if !slots.is_empty() && gd_cycle > Time::ZERO {
         let first_cycle = (ready.max(Time::ZERO)).div_floor(gd_cycle);
@@ -482,7 +476,9 @@ fn place_message(
                 if slot_start < ready || slot_end > horizon {
                     continue;
                 }
-                let used = slot_usage.entry((cycle, slot)).or_insert(Time::ZERO);
+                let used = slot_usage
+                    .entry((cluster, cycle, slot))
+                    .or_insert(Time::ZERO);
                 if *used + cm <= slot_len {
                     let tx_start = slot_start + *used;
                     *used += cm;

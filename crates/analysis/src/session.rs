@@ -528,6 +528,17 @@ pub struct AnalysisSession {
     cfg: AnalysisConfig,
     state: SessionState,
     last_bus: Option<BusConfig>,
+    /// Fixed bus configurations of clusters `1..` when the session
+    /// analyses a multi-cluster network; the *candidate* bus passed to
+    /// [`AnalysisSession::analyse_into`] is always cluster 0. Empty for
+    /// the plain single-bus session. Fixed for the session lifetime —
+    /// every cache inside [`SessionState`] is keyed on the candidate
+    /// bus only, which stays sound precisely because these never
+    /// change.
+    extra_buses: Vec<BusConfig>,
+    /// Home cluster per activity (see
+    /// [`SystemView::with_network`]); empty for single-bus sessions.
+    cluster_map: Vec<u16>,
 }
 
 impl AnalysisSession {
@@ -540,6 +551,31 @@ impl AnalysisSession {
             cfg,
             state: SessionState::default(),
             last_bus: None,
+            extra_buses: Vec::new(),
+            cluster_map: Vec::new(),
+        }
+    }
+
+    /// Creates a session over a multi-cluster network: candidates
+    /// passed to [`AnalysisSession::analyse_into`] replace cluster 0's
+    /// bus, while `extra_buses` (clusters `1..`) and the per-activity
+    /// `cluster_map` stay fixed for the session's lifetime.
+    #[must_use]
+    pub fn with_network(
+        platform: Platform,
+        app: Application,
+        extra_buses: Vec<BusConfig>,
+        cluster_map: Vec<u16>,
+        cfg: AnalysisConfig,
+    ) -> Self {
+        AnalysisSession {
+            platform,
+            app,
+            cfg,
+            state: SessionState::default(),
+            last_bus: None,
+            extra_buses,
+            cluster_map,
         }
     }
 
@@ -588,7 +624,13 @@ impl AnalysisSession {
             Some(prev) => prev.clone_from(bus),
             None => self.last_bus = Some(bus.clone()),
         }
-        let view = SystemView::new(&self.platform, &self.app, bus);
+        let view = SystemView::with_network(
+            &self.platform,
+            &self.app,
+            bus,
+            &self.extra_buses,
+            &self.cluster_map,
+        );
         analyse_core(view, &self.cfg, &mut self.state)?;
         Ok(self.state.cost)
     }
@@ -611,9 +653,29 @@ impl AnalysisSession {
             .as_mut()
             .expect("reanalyse_dyn_length requires a prior analyse_into");
         bus.n_minislots = n_minislots;
-        let view = SystemView::new(&self.platform, &self.app, bus);
+        let view = SystemView::with_network(
+            &self.platform,
+            &self.app,
+            bus,
+            &self.extra_buses,
+            &self.cluster_map,
+        );
         analyse_core(view, &self.cfg, &mut self.state)?;
         Ok(self.state.cost)
+    }
+
+    /// The fixed bus configurations of clusters `1..` (empty for a
+    /// single-bus session).
+    #[must_use]
+    pub fn extra_buses(&self) -> &[BusConfig] {
+        &self.extra_buses
+    }
+
+    /// The per-activity home-cluster map (empty for a single-bus
+    /// session).
+    #[must_use]
+    pub fn cluster_map(&self) -> &[u16] {
+        &self.cluster_map
     }
 
     /// The bus configuration of the last analysis attempt.

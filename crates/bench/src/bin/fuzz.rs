@@ -163,10 +163,14 @@ fn main() {
             fail(&format!("report write failed: {e}"));
         }
     };
-    write_line(sink.as_mut(), &cfg.header_line());
+    let render_line = |line: Result<String, flexray_model::ModelError>| match line {
+        Ok(line) => line,
+        Err(e) => fail(&format!("report encode failed: {e}")),
+    };
+    write_line(sink.as_mut(), &render_line(cfg.header_line()));
 
     let result = run_fuzz(&cfg, |point| {
-        write_line(sink.as_mut(), &point.to_line());
+        write_line(sink.as_mut(), &render_line(point.to_line()));
     });
     let points = match result {
         Ok(points) => points,

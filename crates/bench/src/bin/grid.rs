@@ -9,7 +9,14 @@
 //! * `nodes=2,5,10` — node count;
 //! * `depth=4,8` — graph depth (chain-shaped DAGs);
 //! * `gateway=0.0,0.5` — gateway-relayed traffic fraction;
-//! * `busutil=0.2,0.6` — bus utilisation target.
+//! * `busutil=0.2,0.6` — bus utilisation target;
+//! * `clusters=1,2,3` — FlexRay cluster count (multi-cluster points
+//!   home the last node as the gateway unless the base config names
+//!   gateways).
+//!
+//! Instead of axes, `workload=FILE` imports a hand-written workgraph
+//! (the JSONL interchange format of `flexray-bench::workload`) and
+//! runs it as a single fixed point — the generator axes do not apply.
 //!
 //! Options:
 //!
@@ -32,15 +39,16 @@
 //!   and rewrite FILE in full; implies `out=FILE` unless `out` is
 //!   given. The file's header must match the configured grid.
 
-use flexray_bench::grid::{render, run_grid_resumed, GridConfig, GridPoint};
+use flexray_bench::grid::{render, run_grid_resumed, GridConfig, GridPoint, WorkloadSource};
 use flexray_bench::report::{from_jsonl, point_to_line, to_csv, GridReportHeader};
 use flexray_bench::sweep::{parse_algo_set, parse_thread_count, search_mode, SweepAxis};
+use flexray_bench::workload::Workload;
 use std::io::Write;
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: grid <nodes|depth|gateway|busutil>=<v1,v2,...> [more axes] \
-         [apps=N] [mode=fast|full|smoke] [threads=N] [eval_threads=N] \
+        "usage: grid <nodes|depth|gateway|busutil|clusters>=<v1,v2,...> [more axes] \
+         [workload=FILE] [apps=N] [mode=fast|full|smoke] [threads=N] [eval_threads=N] \
          [seed0=N] [algos=a,b,...] [out=FILE] [csv=FILE] [resume=FILE]"
     );
     std::process::exit(2);
@@ -90,6 +98,21 @@ fn main() {
                 .axes
                 .push(SweepAxis::GatewayFraction(parse_values(key, value))),
             "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value))),
+            "clusters" => cfg.axes.push(SweepAxis::Clusters(parse_values(key, value))),
+            "workload" => {
+                let text = match std::fs::read_to_string(value) {
+                    Ok(text) => text,
+                    Err(e) => fail(&format!("cannot read workload '{value}': {e}")),
+                };
+                let workload = match Workload::import(&text) {
+                    Ok(workload) => workload,
+                    Err(e) => fail(&format!("workload '{value}': {e}")),
+                };
+                let name = std::path::Path::new(value)
+                    .file_stem()
+                    .map_or_else(|| value.to_owned(), |s| s.to_string_lossy().into_owned());
+                cfg.workload = Some(WorkloadSource { name, workload });
+            }
             "apps" => match value.parse() {
                 Ok(apps) => cfg.apps_per_point = apps,
                 Err(_) => usage_exit(),
@@ -138,8 +161,8 @@ fn main() {
     if let Some(threads) = eval_threads {
         cfg.params.eval_threads = threads;
     }
-    if cfg.axes.is_empty() {
-        eprintln!("grid: at least one axis is required");
+    if cfg.axes.is_empty() && cfg.workload.is_none() {
+        eprintln!("grid: at least one axis (or a workload) is required");
         usage_exit()
     }
     if let Err(e) = cfg.validate() {
@@ -225,10 +248,14 @@ fn main() {
             fail(&format!("report write failed: {e}"));
         }
     };
-    write_line(sink.as_mut(), &header.to_line());
+    let render_line = |line: Result<String, flexray_model::ModelError>| match line {
+        Ok(line) => line,
+        Err(e) => fail(&format!("report encode failed: {e}")),
+    };
+    write_line(sink.as_mut(), &render_line(header.to_line()));
 
     let result = run_grid_resumed(&cfg, done, |point| {
-        write_line(sink.as_mut(), &point_to_line(point));
+        write_line(sink.as_mut(), &render_line(point_to_line(point)));
     });
     let points = match result {
         Ok(points) => points,

@@ -3,11 +3,11 @@
 //! Usage: sweep [axis] [values] [apps] [fast|full|smoke] [threads] [seed0]
 //!        [algos] [eval_threads]
 //!
-//! * `axis` — `nodes`, `depth`, `gateway` or `busutil` (default
-//!   `nodes`);
+//! * `axis` — `nodes`, `depth`, `gateway`, `busutil` or `clusters`
+//!   (default `nodes`);
 //! * `values` — comma-separated axis points, e.g. `2,8,12,20` for
 //!   `nodes`, `4,8,12` for `depth` (chain length), `0.0,0.25,0.5` for
-//!   `gateway`, `0.2,0.4,0.6` for `busutil`;
+//!   `gateway`, `0.2,0.4,0.6` for `busutil`, `1,2,3` for `clusters`;
 //! * `apps` — applications (seeds) per point (default 3);
 //! * `fast` shrinks the search caps for a quick qualitative run and
 //!   `smoke` shrinks them further for CI; `full` keeps the defaults;
@@ -33,7 +33,7 @@ fn parse_values<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: sweep [nodes|depth|gateway|busutil] [v1,v2,...] [apps] \
+        "usage: sweep [nodes|depth|gateway|busutil|clusters] [v1,v2,...] [apps] \
          [fast|full|smoke] [threads] [seed0] [algos] [eval_threads]"
     );
     std::process::exit(2);
@@ -48,6 +48,7 @@ fn main() {
         "depth" => parse_values(values).map(SweepAxis::GraphDepth),
         "gateway" => parse_values(values).map(SweepAxis::GatewayFraction),
         "busutil" => parse_values(values).map(SweepAxis::BusUtil),
+        "clusters" => parse_values(values).map(SweepAxis::Clusters),
         _ => None,
     };
     let Some(axis) = axis else { usage_exit() };

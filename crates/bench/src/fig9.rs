@@ -134,6 +134,7 @@ pub fn run_experiment(cfg: &Fig9Config) -> Result<Vec<PointStats>, ModelError> {
             cfg.node_counts.iter().map(|&n| 1000 * n as u64).collect(),
         ),
         threads: cfg.threads,
+        workload: None,
     };
     Ok(crate::grid::run_grid(&grid)?
         .into_iter()

@@ -98,6 +98,7 @@ impl FuzzConfig {
             seed0: self.seed0,
             seed_policy: SeedPolicy::PointIndex,
             threads: self.threads,
+            workload: None,
         }
     }
 
@@ -138,8 +139,11 @@ impl FuzzConfig {
 
     /// Serialises the campaign header as the first report line (no
     /// newline).
-    #[must_use]
-    pub fn header_line(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the non-finite-number error of [`Json::write`].
+    pub fn header_line(&self) -> Result<String, ModelError> {
         Json::Obj(vec![
             ("schema".into(), Json::Str(FUZZ_SCHEMA.into())),
             ("version".into(), Json::Num(f64::from(FUZZ_SCHEMA_VERSION))),
@@ -215,8 +219,12 @@ pub struct FuzzPoint {
 
 impl FuzzPoint {
     /// Serialises the point as one report line (no newline).
-    #[must_use]
-    pub fn to_line(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the non-finite-number error of [`Json::write`] (a
+    /// NaN margin would be a campaign bug, surfaced here).
+    pub fn to_line(&self) -> Result<String, ModelError> {
         self.to_json().write()
     }
 
@@ -673,9 +681,9 @@ mod tests {
         assert!(any_schedulable, "campaign never simulated anything");
         let text = render(&points);
         assert!(text.contains("order-sensitive"));
-        let header = cfg.header_line();
+        let header = cfg.header_line().expect("finite header");
         assert!(header.contains("\"schema\":\"flexray-fuzz\""));
-        let line = points[0].to_line();
+        let line = points[0].to_line().expect("finite point");
         assert!(line.contains("\"divergences\":[]"));
     }
 
@@ -690,7 +698,10 @@ mod tests {
         let p = run_fuzz(&parallel, |_| {}).expect("parallel");
         assert_eq!(s.len(), p.len());
         for (a, b) in s.iter().zip(&p) {
-            assert_eq!(a.to_line(), b.to_line());
+            assert_eq!(
+                a.to_line().expect("finite point"),
+                b.to_line().expect("finite point")
+            );
         }
     }
 }

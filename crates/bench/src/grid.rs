@@ -39,9 +39,10 @@
 //! killed-and-resumed run equals a full run's.
 
 use crate::sweep::{aggregate_algos, Algo, AlgoStats, SweepAxis};
+use crate::workload::Workload;
 use flexray_gen::{generate, AggregatedGenStats, GenStats, GeneratorConfig};
 use flexray_model::ModelError;
-use flexray_opt::{OptParams, OptResult, SaParams};
+use flexray_opt::{NetworkTopology, OptParams, OptResult, SaParams};
 use flexray_util::scoped_consume;
 
 /// How the base seed of a grid point is derived.
@@ -56,6 +57,18 @@ pub enum SeedPolicy {
     PointOffsets(Vec<u64>),
 }
 
+/// A fixed, imported workload a grid runs instead of generated
+/// scenarios — the ingestion path of the workgraph interchange format
+/// ([`crate::workload`]).
+#[derive(Debug, Clone)]
+pub struct WorkloadSource {
+    /// Display name (usually the file stem), carried in the report
+    /// header alongside the workload fingerprint.
+    pub name: String,
+    /// The imported workload.
+    pub workload: Workload,
+}
+
 /// Scale and scope of one factorial experiment.
 #[derive(Debug, Clone)]
 pub struct GridConfig {
@@ -64,6 +77,11 @@ pub struct GridConfig {
     /// The factorial axes; the grid is their cartesian product, first
     /// axis slowest. An empty list yields the single base point.
     pub axes: Vec<SweepAxis>,
+    /// When set, the grid runs this imported workload instead of
+    /// generating scenarios: the grid collapses to a single point
+    /// (axes must be empty) and [`GridConfig::base`] contributes only
+    /// its physical-layer parameters.
+    pub workload: Option<WorkloadSource>,
     /// Applications (seeds) per grid point.
     pub apps_per_point: usize,
     /// Algorithms to run on every application.
@@ -89,6 +107,7 @@ impl Default for GridConfig {
                 SweepAxis::NodeCount(vec![2, 5]),
                 SweepAxis::BusUtil(vec![0.2, 0.5]),
             ],
+            workload: None,
             apps_per_point: 3,
             algos: Algo::ALL.to_vec(),
             params: OptParams::default(),
@@ -188,6 +207,8 @@ impl GridConfig {
             SweepAxis::GraphDepth(_) => 1,
             SweepAxis::BusUtil(_) => 2,
             SweepAxis::GatewayFraction(_) => 3,
+            // last: the gateway fallback must see the final node count
+            SweepAxis::Clusters(_) => 4,
         };
         let mut order: Vec<usize> = (0..self.axes.len()).collect();
         order.sort_by_key(|&k| apply_rank(&self.axes[k]));
@@ -235,6 +256,12 @@ impl GridConfig {
     /// point, or a seed-offset table of the wrong length.
     pub fn validate(&self) -> Result<(), ModelError> {
         let fail = |msg: String| Err(ModelError::InvalidConfig(msg));
+        if self.workload.is_some() && !self.axes.is_empty() {
+            return fail(format!(
+                "a workload grid runs one fixed scenario; remove the {} configured axes",
+                self.axes.len()
+            ));
+        }
         for (k, axis) in self.axes.iter().enumerate() {
             if axis.is_empty() {
                 return fail(format!("grid axis {k} ({}) has no points", axis.name()));
@@ -309,25 +336,51 @@ pub type AppRun = (Vec<OptResult>, GenStats);
 /// (the `flexray-serve` daemon) can drive grid jobs on their own worker
 /// pool. The seed follows [`GridConfig::seed`].
 ///
+/// With a [`GridConfig::workload`] the fixed imported scenario is
+/// solved instead of a generated one; either way a multi-cluster
+/// topology routes through [`Algo::solve_on`].
+///
 /// # Errors
 ///
-/// Propagates generation errors ([`ModelError`]).
+/// Propagates generation errors and multi-cluster topology errors
+/// ([`ModelError`]).
 pub fn solve_app(cfg: &GridConfig, spec: &PointSpec, app: usize) -> Result<AppRun, ModelError> {
-    let generated = generate(&spec.config, cfg.seed(spec.index, app))?;
-    let stats = generated.stats(&spec.config.phy)?;
+    let (platform, application, topo, stats);
+    if let Some(source) = &cfg.workload {
+        let w = &source.workload;
+        platform = w.platform.clone();
+        application = w.app.clone();
+        topo = w.topology();
+        stats = GenStats {
+            seed: cfg.seed(spec.index, app),
+            relay_tasks: 0,
+            workload: w.stats(&spec.config.phy)?,
+        };
+    } else {
+        let generated = generate(&spec.config, cfg.seed(spec.index, app))?;
+        stats = generated.stats(&spec.config.phy)?;
+        topo = NetworkTopology {
+            clusters: generated.clusters,
+            node_cluster: generated.node_cluster,
+            gateways: generated.gateways,
+        };
+        platform = generated.platform;
+        application = generated.app;
+    }
     let results = cfg
         .algos
         .iter()
         .map(|a| {
-            a.solve(
-                &generated.platform,
-                &generated.app,
+            a.solve_on(
+                &platform,
+                &application,
+                &topo,
                 spec.config.phy,
                 &cfg.params,
                 &cfg.sa,
             )
         })
-        .collect();
+        .collect::<Result<Vec<OptResult>, ModelError>>()?;
     Ok((results, stats))
 }
 
@@ -596,6 +649,7 @@ mod tests {
             seed0: 7,
             seed_policy: SeedPolicy::PointIndex,
             threads: 1,
+            workload: None,
         }
     }
 

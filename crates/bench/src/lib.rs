@@ -17,6 +17,9 @@
 //!   the simulator's execution order of simultaneous events across
 //!   generator corners and audits every run against the analysis;
 //! * [`report`] — the schema-versioned grid report codec;
+//! * [`workload`] — the workgraph interchange format: hand-written
+//!   (or exported) benchmark scenarios the grid, sweep and serve
+//!   harnesses can ingest instead of generating;
 //! * [`cruise`] — the vehicle cruise-controller case study;
 //! * [`ablation`] — ablations of the reproduction's design choices.
 //!
@@ -39,5 +42,6 @@ pub mod grid;
 pub mod report;
 pub mod sweep;
 mod table;
+pub mod workload;
 
 pub use table::render_table;

@@ -93,25 +93,32 @@ impl Json {
     }
 
     /// Serialises the value on one line (no insignificant whitespace).
-    #[must_use]
-    pub fn write(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when the value contains a
+    /// non-finite number: JSON has no NaN/Infinity literal, and writing
+    /// `null` in its place would silently break the parse→write
+    /// round-trip invariant. Producers must keep their numbers finite.
+    pub fn write(&self) -> Result<String, ModelError> {
         let mut out = String::new();
-        self.write_into(&mut out);
-        out
+        self.write_into(&mut out)?;
+        Ok(out)
     }
 
-    fn write_into(&self, out: &mut String) {
+    fn write_into(&self, out: &mut String) -> Result<(), ModelError> {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
-                if n.is_finite() {
-                    // `{}` prints the shortest string that parses back
-                    // to the same f64, so parse→write round-trips.
-                    out.push_str(&format!("{n}"));
-                } else {
-                    out.push_str("null");
+                if !n.is_finite() {
+                    return Err(ModelError::InvalidConfig(format!(
+                        "non-finite number {n} cannot be written as JSON"
+                    )));
                 }
+                // `{}` prints the shortest string that parses back
+                // to the same f64, so parse→write round-trips.
+                out.push_str(&format!("{n}"));
             }
             Json::Str(s) => {
                 out.push('"');
@@ -136,7 +143,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write_into(out);
+                    item.write_into(out)?;
                 }
                 out.push(']');
             }
@@ -146,13 +153,16 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    Json::Str(key.clone()).write_into(out);
+                    Json::Str(key.clone())
+                        .write_into(out)
+                        .expect("strings are always writable");
                     out.push(':');
-                    value.write_into(out);
+                    value.write_into(out)?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
     }
 
     /// Parses one JSON document (trailing whitespace allowed).
@@ -268,9 +278,15 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ModelError> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number chars");
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| syntax(start, &format!("invalid number '{text}'")))
+    let n: f64 = text
+        .parse()
+        .map_err(|_| syntax(start, &format!("invalid number '{text}'")))?;
+    // Overflowing literals like `1e999` parse to infinity, which the
+    // writer (rightly) refuses — reject them at the door instead.
+    if !n.is_finite() {
+        return Err(syntax(start, &format!("number '{text}' overflows f64")));
+    }
+    Ok(Json::Num(n))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ModelError> {
@@ -373,17 +389,34 @@ impl GridReportHeader {
             apps_per_point: cfg.apps_per_point,
             algos: cfg.algos.iter().map(|a| a.name().to_owned()).collect(),
             seed0: cfg.seed0,
-            params: format!(
-                "{:?} | {:?} | {:?} | base={:?}",
-                cfg.params, cfg.sa, cfg.seed_policy, cfg.base
-            ),
+            params: {
+                let mut params = format!(
+                    "{:?} | {:?} | {:?} | base={:?}",
+                    cfg.params, cfg.sa, cfg.seed_policy, cfg.base
+                );
+                if let Some(source) = &cfg.workload {
+                    // fingerprint, not content: resume only needs to
+                    // detect that the workload changed
+                    params.push_str(&format!(
+                        " | workload={}:{}",
+                        source.name,
+                        source.workload.fingerprint()
+                    ));
+                }
+                params
+            },
             total_points: cfg.total_points(),
         }
     }
 
     /// Serialises the header as the first report line (no newline).
-    #[must_use]
-    pub fn to_line(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the non-finite-number error of [`Json::write`] (the
+    /// header's numeric fields are all counts, so in practice this is
+    /// infallible).
+    pub fn to_line(&self) -> Result<String, ModelError> {
         Json::Obj(vec![
             ("schema".into(), Json::Str(GRID_SCHEMA.into())),
             ("version".into(), Json::Num(f64::from(self.version))),
@@ -540,8 +573,13 @@ pub fn arr_field<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], ModelError
 // ---------------------------------------------------------------------
 
 /// Serialises one grid point as a report line (no newline).
-#[must_use]
-pub fn point_to_line(point: &GridPoint) -> String {
+///
+/// # Errors
+///
+/// Propagates the non-finite-number error of [`Json::write`]: a NaN or
+/// infinite statistic (e.g. an average over zero samples) is a producer
+/// bug surfaced here rather than silently written as `null`.
+pub fn point_to_line(point: &GridPoint) -> Result<String, ModelError> {
     point_to_json(point).write()
 }
 
@@ -700,15 +738,18 @@ pub fn point_from_json(json: &Json) -> Result<GridPoint, ModelError> {
 
 /// Renders a complete report: header line plus one line per point,
 /// each newline-terminated.
-#[must_use]
-pub fn to_jsonl(header: &GridReportHeader, points: &[GridPoint]) -> String {
-    let mut out = header.to_line();
+///
+/// # Errors
+///
+/// Propagates the non-finite-number error of [`Json::write`].
+pub fn to_jsonl(header: &GridReportHeader, points: &[GridPoint]) -> Result<String, ModelError> {
+    let mut out = header.to_line()?;
     out.push('\n');
     for point in points {
-        out.push_str(&point_to_line(point));
+        out.push_str(&point_to_line(point)?);
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Recovers `(header, completed points)` from a (possibly truncated)
@@ -841,11 +882,11 @@ mod tests {
             ("empty_obj".into(), Json::Obj(vec![])),
             ("unicode".into(), Json::Str("µs — grüße".into())),
         ]);
-        let text = value.write();
+        let text = value.write().expect("finite values");
         let back = Json::parse(&text).expect("parses");
         assert_eq!(back, value);
         // and the rendering is stable through a second cycle
-        assert_eq!(back.write(), text);
+        assert_eq!(back.write().expect("finite values"), text);
     }
 
     #[test]
@@ -882,9 +923,41 @@ mod tests {
     #[test]
     fn float_display_round_trips_through_parse() {
         for v in [0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 123_456.789, 1e-12] {
-            let text = Json::Num(v).write();
+            let text = Json::Num(v).write().expect("finite values");
             let back = Json::parse(&text).expect("parses").as_f64().expect("num");
             assert_eq!(back.to_bits(), v.to_bits(), "{v} → {text}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_write_errors_not_null() {
+        // Regression: these used to serialise as `null`, silently
+        // breaking the parse→write round-trip invariant.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::Num(v).write().expect_err("non-finite must fail");
+            assert!(
+                err.to_string().contains("non-finite"),
+                "error names the cause: {err}"
+            );
+            // nested occurrences are caught too
+            let nested = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::Num(v)]))]);
+            assert!(nested.write().is_err());
+        }
+    }
+
+    #[test]
+    fn parser_cannot_produce_non_finite_numbers() {
+        // The write-time guard is sufficient because no parsed document
+        // can contain a non-finite number: the lexer only consumes
+        // number characters, and `NaN`/`Infinity` literals are rejected.
+        for bad in ["NaN", "Infinity", "-Infinity", "[nan]", "{\"a\":inf}"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // `1e999` overflows f64 to +inf in from_str — the one lexable
+        // spelling of an infinite value — and must not slip through.
+        assert!(
+            Json::parse("1e999").is_err(),
+            "overflowing literal must not parse to infinity"
+        );
     }
 }

@@ -24,7 +24,10 @@
 
 use flexray_gen::{GeneratorConfig, GraphShape};
 use flexray_model::{Application, ModelError, PhyParams, Platform};
-use flexray_opt::{bbc, obc, simulated_annealing, DynSearch, OptParams, OptResult, SaParams};
+use flexray_opt::{
+    bbc, obc, optimise_network, simulated_annealing, DynSearch, NetworkTopology, OptParams,
+    OptResult, SaParams,
+};
 
 // The scoped work-stealing pool lived here originally and moved to
 // `flexray-util` so non-bench consumers (the multi-session `Evaluator`,
@@ -159,6 +162,38 @@ impl Algo {
             Algo::Sa => simulated_annealing(platform, app, phy, params, sa),
         }
     }
+
+    /// Runs the algorithm on an application with an explicit cluster
+    /// topology. Single-cluster topologies dispatch to [`Algo::solve`]
+    /// unchanged; multi-cluster ones run
+    /// [`optimise_network`](flexray_opt::optimise_network) — one
+    /// skeleton-building round for [`Algo::Bbc`] (the BBC treatment
+    /// lifted to N clusters), a coordinate descent over the per-cluster
+    /// dynamic-segment lengths for the optimising algorithms — and
+    /// report the network result through its cluster-0 representative.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation errors of `optimise_network`.
+    pub fn solve_on(
+        self,
+        platform: &Platform,
+        app: &Application,
+        topo: &NetworkTopology,
+        phy: PhyParams,
+        params: &OptParams,
+        sa: &SaParams,
+    ) -> Result<OptResult, ModelError> {
+        if topo.clusters <= 1 {
+            return Ok(self.solve(platform, app, phy, params, sa));
+        }
+        let max_rounds = match self {
+            Algo::Bbc => 1,
+            Algo::ObcCf | Algo::ObcEe | Algo::Sa => 8,
+        };
+        optimise_network(platform, app, topo, phy, params, max_rounds)
+            .map(|network| network.representative())
+    }
 }
 
 /// Parses a comma-separated algorithm subset (`bbc,obccf,obcee,sa`,
@@ -267,6 +302,9 @@ pub enum SweepAxis {
     GatewayFraction(Vec<f64>),
     /// Bus utilisation target (the range collapses onto the value).
     BusUtil(Vec<f64>),
+    /// Number of FlexRay clusters (1 = single bus; more partition the
+    /// non-gateway nodes and join the parts through the gateways).
+    Clusters(Vec<usize>),
 }
 
 impl SweepAxis {
@@ -278,6 +316,7 @@ impl SweepAxis {
             SweepAxis::GraphDepth(_) => "depth",
             SweepAxis::GatewayFraction(_) => "gateway",
             SweepAxis::BusUtil(_) => "busutil",
+            SweepAxis::Clusters(_) => "clusters",
         }
     }
 
@@ -285,8 +324,7 @@ impl SweepAxis {
     #[must_use]
     pub fn len(&self) -> usize {
         match self {
-            SweepAxis::NodeCount(v) => v.len(),
-            SweepAxis::GraphDepth(v) => v.len(),
+            SweepAxis::NodeCount(v) | SweepAxis::GraphDepth(v) | SweepAxis::Clusters(v) => v.len(),
             SweepAxis::GatewayFraction(v) | SweepAxis::BusUtil(v) => v.len(),
         }
     }
@@ -307,8 +345,9 @@ impl SweepAxis {
     #[must_use]
     pub fn value(&self, idx: usize) -> String {
         match self {
-            SweepAxis::NodeCount(v) => v[idx].to_string(),
-            SweepAxis::GraphDepth(v) => v[idx].to_string(),
+            SweepAxis::NodeCount(v) | SweepAxis::GraphDepth(v) | SweepAxis::Clusters(v) => {
+                v[idx].to_string()
+            }
             SweepAxis::GatewayFraction(v) | SweepAxis::BusUtil(v) => format!("{:.2}", v[idx]),
         }
     }
@@ -364,6 +403,17 @@ impl SweepAxis {
                     ..base.clone()
                 };
                 (format!("busutil={}", self.value(idx)), cfg)
+            }
+            SweepAxis::Clusters(v) => {
+                let k = v[idx];
+                let mut cfg = GeneratorConfig {
+                    clusters: k,
+                    ..base.clone()
+                };
+                if k > 1 && cfg.gateways.is_empty() {
+                    cfg.gateways = vec![cfg.n_nodes.saturating_sub(1)];
+                }
+                (format!("clusters={}", self.value(idx)), cfg)
             }
         }
     }
@@ -486,6 +536,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepPoint>, ModelError> {
         seed0: cfg.seed0,
         seed_policy: crate::grid::SeedPolicy::PointIndex,
         threads: cfg.threads,
+        workload: None,
     };
     Ok(crate::grid::run_grid(&grid)?
         .into_iter()

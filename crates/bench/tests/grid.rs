@@ -45,6 +45,7 @@ fn smoke_grid(axes: Vec<SweepAxis>) -> GridConfig {
         seed0: 7,
         seed_policy: SeedPolicy::PointIndex,
         threads: 1,
+        workload: None,
     }
 }
 
@@ -174,6 +175,7 @@ fn degenerate_grid_equals_single_axis_sweep_bit_for_bit() {
             seed0: cfg.seed0,
             seed_policy: SeedPolicy::PointIndex,
             threads: cfg.threads,
+            workload: None,
         };
         let grid = run_grid(&grid_cfg).expect("grid");
         assert_eq!(sweep.len(), grid.len());
@@ -346,7 +348,7 @@ fn jsonl_report_round_trips_exactly() {
     ]);
     let points = run_grid(&cfg).expect("grid");
     let header = GridReportHeader::of(&cfg);
-    let text = to_jsonl(&header, &points);
+    let text = to_jsonl(&header, &points).expect("finite report");
     let (back_header, back_points) = from_jsonl(&text).expect("parses");
     assert_eq!(back_header, header);
     assert_eq!(back_points.len(), points.len());
@@ -354,7 +356,10 @@ fn jsonl_report_round_trips_exactly() {
         assert!(fully_eq(a, b), "{a:?} vs {b:?} diverged through the codec");
     }
     // a second write is byte-identical (stable float rendering)
-    assert_eq!(to_jsonl(&back_header, &back_points), text);
+    assert_eq!(
+        to_jsonl(&back_header, &back_points).expect("finite report"),
+        text
+    );
 }
 
 #[test]
@@ -362,7 +367,7 @@ fn torn_tail_is_recovered_and_mid_file_corruption_is_rejected() {
     let cfg = smoke_grid(vec![SweepAxis::NodeCount(vec![2, 3])]);
     let points = run_grid(&cfg).expect("grid");
     let header = GridReportHeader::of(&cfg);
-    let text = to_jsonl(&header, &points);
+    let text = to_jsonl(&header, &points).expect("finite report");
 
     // kill mid-write: drop the trailing half of the last line
     let torn = &text[..text.len() - 40];
@@ -428,7 +433,7 @@ fn header_seeds_beyond_f64_precision_round_trip_exactly() {
         ..smoke_grid(vec![SweepAxis::NodeCount(vec![2])])
     };
     let header = GridReportHeader::of(&cfg);
-    let back = GridReportHeader::parse(&header.to_line()).expect("parses");
+    let back = GridReportHeader::parse(&header.to_line().expect("finite header")).expect("parses");
     assert_eq!(back.seed0, (1u64 << 53) + 1);
     assert_eq!(back, header, "resume must accept the identical grid");
 }
@@ -502,7 +507,7 @@ fn report_schema_matches_the_golden_files() {
         std::fs::create_dir_all(dir).expect("golden dir");
         std::fs::write(
             format!("{dir}/grid_report.jsonl"),
-            to_jsonl(&header, &points),
+            to_jsonl(&header, &points).expect("finite report"),
         )
         .expect("write jsonl golden");
         std::fs::write(format!("{dir}/grid_report.csv"), to_csv(&header, &points))
@@ -510,7 +515,7 @@ fn report_schema_matches_the_golden_files() {
         return;
     }
     assert_eq!(
-        to_jsonl(&header, &points),
+        to_jsonl(&header, &points).expect("finite report"),
         include_str!("golden/grid_report.jsonl"),
         "JSONL schema drifted: bump GRID_SCHEMA_VERSION and regenerate the golden file"
     );
@@ -518,5 +523,134 @@ fn report_schema_matches_the_golden_files() {
         to_csv(&header, &points),
         include_str!("golden/grid_report.csv"),
         "CSV schema drifted: bump GRID_SCHEMA_VERSION and regenerate the golden file"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Multi-cluster axis and imported-workload grids
+// ---------------------------------------------------------------------
+
+#[test]
+fn clusters_axis_derives_multi_cluster_points_with_a_gateway_fallback() {
+    let cfg = smoke_grid(vec![SweepAxis::Clusters(vec![1, 2])]);
+    cfg.validate().expect("grid validates");
+    assert_eq!(cfg.total_points(), 2);
+
+    let single = cfg.point(0);
+    assert_eq!(single.label, "clusters=1");
+    assert_eq!(single.config.clusters, 1);
+    assert_eq!(
+        single.config.gateways, cfg.base.gateways,
+        "a single-cluster point must not grow a gateway"
+    );
+
+    let dual = cfg.point(1);
+    assert_eq!(dual.label, "clusters=2");
+    assert_eq!(dual.config.clusters, 2);
+    assert_eq!(
+        dual.config.gateways,
+        vec![cfg.base.n_nodes - 1],
+        "without configured gateways the last node bridges the clusters"
+    );
+
+    let points = run_grid(&cfg).expect("grid runs");
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert_eq!(p.gen.apps, cfg.apps_per_point);
+        assert_eq!(p.algos.len(), cfg.algos.len());
+    }
+}
+
+#[test]
+fn clusters_one_point_is_bit_identical_to_the_plain_base_run() {
+    // The clusters axis must be RNG-neutral at clusters=1: the same
+    // seeds on the same base configuration must reproduce a grid that
+    // never heard of the axis.
+    let with_axis = smoke_grid(vec![SweepAxis::Clusters(vec![1])]);
+    let plain = smoke_grid(vec![SweepAxis::NodeCount(vec![with_axis.base.n_nodes])]);
+    let a = run_grid(&with_axis).expect("clusters=1 run");
+    let b = run_grid(&plain).expect("plain run");
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].gen, b[0].gen, "generator output drifted");
+    for ((name_a, stats_a), (name_b, stats_b)) in a[0].algos.iter().zip(&b[0].algos) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(stats_a.schedulable, stats_b.schedulable);
+        assert_eq!(stats_a.total, stats_b.total);
+        assert_eq!(stats_a.avg_deviation_pct, stats_b.avg_deviation_pct);
+        assert_eq!(stats_a.avg_evaluations, stats_b.avg_evaluations);
+    }
+}
+
+#[test]
+fn workload_grid_runs_the_imported_scenario_and_pins_its_fingerprint() {
+    use flexray_bench::grid::WorkloadSource;
+    use flexray_bench::workload::Workload;
+
+    let gen_cfg = GeneratorConfig::clustered(5, 2);
+    let generated = generate(&gen_cfg, 3).expect("clustered scenario");
+    let original = Workload::of_generated(&generated);
+    let workload = Workload::import(&original.export().expect("export")).expect("import");
+    assert_eq!(
+        workload.stats(&gen_cfg.phy).expect("stats"),
+        original.stats(&gen_cfg.phy).expect("stats"),
+        "round-tripped workload statistics must be bit-identical"
+    );
+
+    let cfg = GridConfig {
+        axes: Vec::new(),
+        workload: Some(WorkloadSource {
+            name: "hand".into(),
+            workload: workload.clone(),
+        }),
+        apps_per_point: 1,
+        algos: vec![Algo::Bbc],
+        ..smoke_grid(Vec::new())
+    };
+    cfg.validate().expect("workload grid validates");
+    assert_eq!(cfg.total_points(), 1);
+
+    let header = GridReportHeader::of(&cfg);
+    assert!(
+        header
+            .params
+            .contains(&format!("workload=hand:{}", workload.fingerprint())),
+        "header must pin the workload fingerprint: {}",
+        header.params
+    );
+
+    let points = run_grid(&cfg).expect("workload grid runs");
+    assert_eq!(points.len(), 1);
+    assert_eq!(points[0].label, "base");
+    assert_eq!(points[0].gen.apps, 1);
+    let stats = workload.stats(&gen_cfg.phy).expect("stats");
+    assert!(
+        (points[0].gen.avg_bus_util - stats.bus_util).abs() < 1e-12,
+        "the point must report the imported workload's own statistics"
+    );
+
+    // two runs of the same imported workload are bit-identical
+    let again = run_grid(&cfg).expect("second run");
+    assert!(points[0].deterministic_eq(&again[0]));
+}
+
+#[test]
+fn workload_grids_reject_configured_axes() {
+    use flexray_bench::grid::WorkloadSource;
+    use flexray_bench::workload::Workload;
+
+    let generated = generate(&GeneratorConfig::small(3), 1).expect("scenario");
+    let cfg = GridConfig {
+        workload: Some(WorkloadSource {
+            name: "w".into(),
+            workload: Workload::of_generated(&generated),
+        }),
+        ..smoke_grid(vec![SweepAxis::NodeCount(vec![2, 3])])
+    };
+    let err = cfg
+        .validate()
+        .expect_err("axes with a workload must be rejected");
+    assert!(
+        err.to_string().contains("axes"),
+        "error must explain the conflict: {err}"
     );
 }

@@ -1,0 +1,105 @@
+//! Golden-file test pinning the workgraph interchange schema
+//! (`flexray_bench::workload`, version 1): the exported text of a
+//! hand-built two-cluster fixture must stay byte-identical, so any
+//! record-layout drift breaks loudly and forces a version bump.
+//! `GOLDEN_REGEN=1 cargo test -p flexray-bench --test workgraph`
+//! regenerates the golden file.
+
+use flexray_bench::workload::{Workload, WORKGRAPH_VERSION};
+use flexray_model::{Application, MessageClass, NodeId, Platform, SchedPolicy, Time};
+
+/// A fixed two-cluster workload exercising every record feature: both
+/// policies, both message classes, a gateway relay chain, and the
+/// optional per-activity release and deadline.
+fn fixture() -> Workload {
+    let mut app = Application::new();
+    let g = app.add_graph("pipeline", Time::from_us(10_000.0), Time::from_us(9_000.0));
+    let t0 = app.add_task(
+        g,
+        "sense",
+        NodeId::new(0),
+        Time::from_us(40.0),
+        SchedPolicy::Scs,
+        0,
+    );
+    let relay = app.add_task(
+        g,
+        "relay",
+        NodeId::new(4),
+        Time::from_us(20.0),
+        SchedPolicy::Scs,
+        0,
+    );
+    let t1 = app.add_task(
+        g,
+        "act",
+        NodeId::new(2),
+        Time::from_us(40.0),
+        SchedPolicy::Scs,
+        0,
+    );
+    let st0 = app.add_message(g, "st0", 8, MessageClass::Static, 0);
+    let st1 = app.add_message(g, "st1", 8, MessageClass::Static, 0);
+    app.connect_relayed(t0, st0, relay, st1, t1).expect("chain");
+    app.set_release(t0, Time::from_us(100.0));
+    app.set_deadline(t1, Time::from_us(8_000.0));
+
+    let h = app.add_graph("burst", Time::from_us(5_000.0), Time::from_us(4_000.0));
+    let a = app.add_task(
+        h,
+        "poll",
+        NodeId::new(2),
+        Time::from_us(10.0),
+        SchedPolicy::Fps,
+        3,
+    );
+    let b = app.add_task(
+        h,
+        "react",
+        NodeId::new(3),
+        Time::from_us(15.0),
+        SchedPolicy::Fps,
+        2,
+    );
+    let dy = app.add_message(h, "dy", 12, MessageClass::Dynamic, 1);
+    app.connect(a, dy, b).expect("edge");
+
+    Workload {
+        platform: Platform::with_nodes(5),
+        app,
+        clusters: 2,
+        node_cluster: vec![0, 0, 1, 1, 0],
+        gateways: vec![NodeId::new(4)],
+    }
+}
+
+#[test]
+fn workgraph_schema_matches_the_golden_file() {
+    assert_eq!(
+        WORKGRAPH_VERSION, 1,
+        "schema version changed: regenerate tests/golden/workgraph.jsonl and \
+         update this assertion together with the version bump"
+    );
+    let text = fixture().export().expect("fixture exports");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+        std::fs::create_dir_all(dir).expect("golden dir");
+        std::fs::write(format!("{dir}/workgraph.jsonl"), &text).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        text,
+        include_str!("golden/workgraph.jsonl"),
+        "workgraph schema drifted: bump WORKGRAPH_VERSION and regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_file_imports_back_to_the_fixture() {
+    let back = Workload::import(include_str!("golden/workgraph.jsonl")).expect("golden imports");
+    let fixture = fixture();
+    assert_eq!(back.fingerprint(), fixture.fingerprint());
+    assert_eq!(back.app.activities(), fixture.app.activities());
+    assert_eq!(back.node_cluster, fixture.node_cluster);
+    assert_eq!(back.gateways, fixture.gateways);
+}

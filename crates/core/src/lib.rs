@@ -44,6 +44,7 @@ mod bbc;
 mod dyn_search;
 mod evaluator;
 mod frame_assign;
+mod network;
 mod newton;
 mod obc;
 mod params;
@@ -53,6 +54,7 @@ pub use bbc::{bbc, bbc_skeleton};
 pub use dyn_search::{determine_dyn_length, dyn_sweep_grid, DynChoice, DynSearch};
 pub use evaluator::Evaluator;
 pub use frame_assign::assign_frame_ids_by_criticality;
+pub use network::{optimise_network, NetworkOptResult, NetworkTopology};
 pub use newton::NewtonPoly;
 pub use obc::{assign_slots_round_robin, obc};
 pub use params::{OptParams, OptResult};

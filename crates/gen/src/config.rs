@@ -99,9 +99,18 @@ pub struct GeneratorConfig {
     /// `sender → msg → relay task on the gateway → msg → receiver`, so
     /// the existing analysis and simulator apply unchanged.
     pub gateway_fraction: f64,
-    /// Indices of the designated gateway nodes. Must be non-empty and
-    /// in range when [`GeneratorConfig::gateway_fraction`] is positive.
+    /// Indices of the designated gateway nodes. Indices must be unique
+    /// and in range; the list must be non-empty when
+    /// [`GeneratorConfig::gateway_fraction`] is positive or
+    /// [`GeneratorConfig::clusters`] exceeds one.
     pub gateways: Vec<usize>,
+    /// Number of FlexRay clusters in the generated network (default 1 —
+    /// the paper's single bus). With more than one cluster the
+    /// non-gateway nodes are partitioned into `clusters` contiguous
+    /// groups, gateway nodes attach to every cluster, and each
+    /// cross-cluster dependency is forced through a gateway relay so no
+    /// single message ever needs to span two buses.
+    pub clusters: usize,
     /// Physical layer of the generated cluster.
     pub phy: PhyParams,
 }
@@ -127,6 +136,7 @@ impl GeneratorConfig {
             fan_in_prob: 0.3,
             gateway_fraction: 0.0,
             gateways: Vec::new(),
+            clusters: 1,
             phy: PhyParams::bmw_like(),
         }
     }
@@ -169,6 +179,20 @@ impl GeneratorConfig {
     pub fn gateway(n_nodes: usize, fraction: f64) -> Self {
         GeneratorConfig {
             gateway_fraction: fraction,
+            gateways: vec![n_nodes.saturating_sub(1)],
+            ..GeneratorConfig::paper(n_nodes)
+        }
+    }
+
+    /// Multi-cluster scenarios: `clusters` buses joined by the last
+    /// node acting as the gateway. Cross-cluster dependencies are
+    /// relayed through it automatically; `gateway_fraction` stays at
+    /// the paper's 0.0 and only adds *extra* same-cluster relays when
+    /// raised.
+    #[must_use]
+    pub fn clustered(n_nodes: usize, clusters: usize) -> Self {
+        GeneratorConfig {
+            clusters,
             gateways: vec![n_nodes.saturating_sub(1)],
             ..GeneratorConfig::paper(n_nodes)
         }
@@ -280,14 +304,42 @@ impl GeneratorConfig {
                 self.gateway_fraction
             ));
         }
-        if self.gateway_fraction > 0.0 {
-            if self.gateways.is_empty() {
-                return fail("gateway_fraction > 0 but no gateway nodes designated".into());
-            }
+        if !self.gateways.is_empty() {
             if let Some(&bad) = self.gateways.iter().find(|&&g| g >= self.n_nodes) {
                 return fail(format!(
                     "gateway node {bad} out of range for {} nodes",
                     self.n_nodes
+                ));
+            }
+            // Duplicates would give the repeated node extra weight in
+            // the uniform gateway draw — reject instead of skewing.
+            let mut sorted = self.gateways.clone();
+            sorted.sort_unstable();
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return fail(format!("gateway node {} listed more than once", w[0]));
+            }
+        }
+        if self.gateway_fraction > 0.0 && self.gateways.is_empty() {
+            return fail("gateway_fraction > 0 but no gateway nodes designated".into());
+        }
+        if self.clusters == 0 {
+            return fail("clusters must be >= 1".into());
+        }
+        if self.clusters > 1 {
+            if self.clusters > usize::from(u16::MAX) {
+                return fail(format!("clusters {} exceeds u16 range", self.clusters));
+            }
+            if self.gateways.is_empty() {
+                return fail(format!(
+                    "{} clusters need at least one gateway node to join them",
+                    self.clusters
+                ));
+            }
+            let plain = self.n_nodes - self.gateways.len();
+            if plain < self.clusters {
+                return fail(format!(
+                    "{} clusters need {} non-gateway nodes, only {plain} available",
+                    self.clusters, self.clusters
                 ));
             }
         }
@@ -410,5 +462,40 @@ mod tests {
         let mut cfg = GeneratorConfig::paper(3);
         cfg.node_util = (0.6, 0.3);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_gateways() {
+        let mut cfg = GeneratorConfig::paper(4);
+        cfg.gateway_fraction = 0.5;
+        cfg.gateways = vec![2, 3, 2];
+        let err = cfg.validate().expect_err("duplicate gateway");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("gateway node 2") && msg.contains("more than once"),
+            "error names the duplicated index: {msg}"
+        );
+        cfg.gateways = vec![2, 3];
+        assert!(cfg.validate().is_ok());
+        // duplicates are rejected even with the relay fraction off:
+        // the list also drives the multi-cluster topology
+        cfg.gateway_fraction = 0.0;
+        cfg.gateways = vec![1, 1];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_checks_cluster_counts() {
+        let mut cfg = GeneratorConfig::clustered(5, 2);
+        assert!(cfg.validate().is_ok());
+        cfg.clusters = 0;
+        assert!(cfg.validate().is_err());
+        cfg.clusters = 2;
+        cfg.gateways.clear(); // clusters need a gateway to join them
+        assert!(cfg.validate().is_err());
+        // 3 nodes, 1 gateway -> 2 plain nodes: not enough for 3 clusters
+        let cfg = GeneratorConfig::clustered(3, 3);
+        assert!(cfg.validate().is_err());
+        assert!(GeneratorConfig::clustered(4, 3).validate().is_ok());
     }
 }

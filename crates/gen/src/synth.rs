@@ -35,7 +35,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// A generated benchmark instance: platform and application (the bus
-/// configuration is left to the optimisers).
+/// configurations are left to the optimisers).
 #[derive(Debug, Clone)]
 pub struct Generated {
     /// The processing nodes.
@@ -47,6 +47,14 @@ pub struct Generated {
     /// Gateway relay tasks inserted during generation (on top of the
     /// configured task count).
     pub relay_tasks: usize,
+    /// Number of FlexRay clusters the scenario targets (1 = single
+    /// bus, the paper's setting).
+    pub clusters: usize,
+    /// Home cluster of each node. Gateway nodes are homed on cluster 0
+    /// but attach to every cluster.
+    pub node_cluster: Vec<u16>,
+    /// Designated gateway nodes (sorted, deduplicated).
+    pub gateways: Vec<NodeId>,
 }
 
 impl Generated {
@@ -85,6 +93,7 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
     cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut app = Application::new();
+    let node_cluster = assign_clusters(cfg);
 
     let plan = cfg.graph_plan()?;
     let n_graphs = plan.len();
@@ -159,7 +168,17 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
             let preds = draw_preds(cfg, &mut rng, ti, ids.len());
             for &pi in &preds {
                 relay_tasks += usize::from(emit_dependency(
-                    &mut app, cfg, &mut rng, g, gi, is_tt, ids[pi], ids[ti], pi, ti,
+                    &mut app,
+                    cfg,
+                    &node_cluster,
+                    &mut rng,
+                    g,
+                    gi,
+                    is_tt,
+                    ids[pi],
+                    ids[ti],
+                    pi,
+                    ti,
                 )?);
             }
         }
@@ -169,12 +188,37 @@ pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Result<Generated, ModelErro
     scale_bus_utilisation(&mut app, cfg, &mut rng);
 
     app.validate()?;
+    let mut gateways: Vec<NodeId> = cfg.gateways.iter().map(|&n| NodeId::new(n)).collect();
+    gateways.sort_unstable();
+    gateways.dedup();
     Ok(Generated {
         platform: Platform::with_nodes(cfg.n_nodes),
         app,
         seed,
         relay_tasks,
+        clusters: cfg.clusters,
+        node_cluster,
+        gateways,
     })
+}
+
+/// Deterministic home clusters: gateway nodes are homed on cluster 0,
+/// the remaining nodes are split into `clusters` contiguous,
+/// near-equal groups in node order. No RNG is consumed, so the
+/// clustering never perturbs the generation stream.
+fn assign_clusters(cfg: &GeneratorConfig) -> Vec<u16> {
+    let mut node_cluster = vec![0u16; cfg.n_nodes];
+    if cfg.clusters <= 1 {
+        return node_cluster;
+    }
+    let members: Vec<usize> = (0..cfg.n_nodes)
+        .filter(|n| !cfg.gateways.contains(n))
+        .collect();
+    for (i, &n) in members.iter().enumerate() {
+        node_cluster[n] =
+            u16::try_from(i * cfg.clusters / members.len()).expect("clusters fit in u16");
+    }
+    node_cluster
 }
 
 /// Predecessor indices of task `ti` under the configured shape. The
@@ -211,12 +255,16 @@ fn draw_preds(cfg: &GeneratorConfig, rng: &mut StdRng, ti: usize, size: usize) -
 /// Realises one precedence `from → to`: a plain edge when both tasks
 /// share a node, otherwise a message — direct, or relayed through a
 /// gateway node for a [`GeneratorConfig::gateway_fraction`] of the
-/// cross-node dependencies. Returns `true` when a relay task was
-/// inserted, so [`generate`] can report the achieved relay count.
+/// cross-node dependencies. With [`GeneratorConfig::clusters`] > 1 a
+/// dependency between two non-gateway nodes homed on different
+/// clusters is *always* relayed (a single frame cannot span two
+/// buses). Returns `true` when a relay task was inserted, so
+/// [`generate`] can report the achieved relay count.
 #[allow(clippy::too_many_arguments)]
 fn emit_dependency(
     app: &mut Application,
     cfg: &GeneratorConfig,
+    node_cluster: &[u16],
     rng: &mut StdRng,
     g: GraphId,
     gi: usize,
@@ -238,8 +286,22 @@ fn emit_dependency(
         return Ok(false);
     }
     // Gateway routing: only consulted (and only consuming random draws)
-    // when the mode is on, keeping paper streams bit-identical.
-    let gateway = if cfg.gateway_fraction > 0.0 && rng.gen_bool(cfg.gateway_fraction) {
+    // when a multi-cluster or relay mode is on, keeping paper streams
+    // bit-identical.
+    let is_gw = |n: NodeId| cfg.gateways.contains(&n.index());
+    let forced = cfg.clusters > 1
+        && !is_gw(node_from)
+        && !is_gw(node_to)
+        && node_cluster[node_from.index()] != node_cluster[node_to.index()];
+    let gateway = if forced {
+        // Any gateway bridges the two clusters (gateways attach to
+        // every bus); neither endpoint is one, so no filtering needed.
+        let eligible: Vec<NodeId> = cfg.gateways.iter().map(|&n| NodeId::new(n)).collect();
+        match eligible.len() {
+            1 => Some(eligible[0]),
+            n => Some(eligible[rng.gen_range(0..n)]),
+        }
+    } else if cfg.gateway_fraction > 0.0 && rng.gen_bool(cfg.gateway_fraction) {
         let eligible: Vec<NodeId> = cfg
             .gateways
             .iter()
@@ -603,6 +665,61 @@ mod tests {
         let a = generate(&paper, 31).expect("generate");
         let b = generate(&off, 31).expect("generate");
         assert_eq!(a.app, b.app);
+    }
+
+    #[test]
+    fn clustered_scenarios_keep_every_message_on_one_bus() {
+        use flexray_model::derive_msg_clusters;
+        let cfg = GeneratorConfig::clustered(7, 3);
+        let g = generate(&cfg, 29).expect("generate");
+        assert_eq!(g.clusters, 3);
+        assert_eq!(g.gateways, vec![NodeId::new(6)]);
+        // contiguous near-equal partition of the 6 non-gateway nodes
+        assert_eq!(g.node_cluster, vec![0, 0, 1, 1, 2, 2, 0]);
+        // the relay invariant: every message's endpoints are attached
+        // to the message's home cluster (home match or gateway)
+        let msg_cluster = derive_msg_clusters(&g.app, &g.node_cluster, &g.gateways);
+        let attached = |n: NodeId, c: u16| g.node_cluster[n.index()] == c || n == NodeId::new(6);
+        let mut cross = 0usize;
+        for id in g.app.ids() {
+            if g.app.activity(id).as_message().is_none() {
+                continue;
+            }
+            let c = msg_cluster[id.index()];
+            let sender = g.app.sender_of(id).expect("sender");
+            assert!(
+                attached(sender, c),
+                "sender of '{}'",
+                g.app.activity(id).name
+            );
+            for r in g.app.receivers_of(id) {
+                assert!(attached(r, c), "receiver of '{}'", g.app.activity(id).name);
+            }
+            if g.node_cluster[sender.index()] != c || sender == NodeId::new(6) {
+                cross += 1;
+            }
+        }
+        assert!(g.relay_tasks > 0, "cross-cluster deps force relays");
+        assert!(cross > 0, "some traffic crosses clusters");
+        g.app.validate().expect("valid application");
+    }
+
+    #[test]
+    fn single_cluster_configs_are_unchanged_by_the_cluster_axis() {
+        // clusters = 1 consumes no extra draws and homes every node on
+        // cluster 0 — the paper stream stays bit-identical.
+        let paper = generate(&GeneratorConfig::paper(4), 31).expect("generate");
+        assert_eq!(paper.clusters, 1);
+        assert_eq!(paper.node_cluster, vec![0; 4]);
+        assert!(paper.gateways.is_empty());
+        let one = GeneratorConfig {
+            clusters: 1,
+            gateways: vec![3],
+            ..GeneratorConfig::paper(4)
+        };
+        let b = generate(&one, 31).expect("generate");
+        assert_eq!(paper.app, b.app);
+        assert_eq!(b.gateways, vec![NodeId::new(3)]);
     }
 
     #[test]

@@ -201,6 +201,30 @@ impl BusConfig {
     ///   missing or cross-node frame identifiers;
     /// * [`ModelError::UnknownNode`] — a slot owner outside the platform.
     pub fn validate_for(&self, app: &Application, n_nodes: usize) -> Result<(), ModelError> {
+        self.validate_for_cluster(app, n_nodes, &[], 0)
+    }
+
+    /// Validates the configuration as the bus of one cluster of a
+    /// multi-cluster network (see [`crate::Network`]): identical to
+    /// [`Self::validate_for`], but only the messages whose
+    /// `msg_cluster` entry equals `cluster` are checked against this
+    /// bus, and every `frame_ids` key must belong to the cluster. An
+    /// empty `msg_cluster` puts every message on cluster 0, which makes
+    /// `validate_for` the single-bus special case.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::validate_for`]; additionally
+    /// [`ModelError::FrameAssignment`] when a `frame_ids` key names a
+    /// message homed on another cluster.
+    pub fn validate_for_cluster(
+        &self,
+        app: &Application,
+        n_nodes: usize,
+        msg_cluster: &[u16],
+        cluster: u16,
+    ) -> Result<(), ModelError> {
+        let cluster_of = |m: ActivityId| msg_cluster.get(m.index()).copied().unwrap_or(0);
         self.phy.validate()?;
         if self.static_slot_count() > usize::from(MAX_STATIC_SLOTS) {
             return Err(ModelError::ProtocolLimit(format!(
@@ -248,6 +272,9 @@ impl BusConfig {
 
         // Static messages: sender owns a slot, frame fits the slot.
         for m in app.messages_of_class(MessageClass::Static) {
+            if cluster_of(m) != cluster {
+                continue;
+            }
             let sender = app.sender_of(m).ok_or_else(|| {
                 ModelError::MalformedGraph(format!(
                     "static message '{}' has no sender",
@@ -268,6 +295,9 @@ impl BusConfig {
         // Dynamic messages: assigned, single node per frame id, fits.
         let mut frame_nodes: BTreeMap<FrameId, NodeId> = BTreeMap::new();
         for m in app.messages_of_class(MessageClass::Dynamic) {
+            if cluster_of(m) != cluster {
+                continue;
+            }
             let fid = self.frame_id_of(m).ok_or_else(|| {
                 ModelError::FrameAssignment(format!(
                     "dynamic message '{}' has no frame identifier",
@@ -312,6 +342,13 @@ impl BusConfig {
             {
                 return Err(ModelError::FrameAssignment(format!(
                     "frame identifier assigned to non-dynamic activity {m}"
+                )));
+            }
+            if cluster_of(m) != cluster {
+                return Err(ModelError::FrameAssignment(format!(
+                    "frame identifier on cluster {cluster} assigned to activity {m} of \
+                     cluster {}",
+                    cluster_of(m)
                 )));
             }
         }

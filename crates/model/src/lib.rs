@@ -53,6 +53,7 @@ mod bus;
 mod error;
 mod fingerprint;
 mod ids;
+mod network;
 mod protocol;
 mod stats;
 mod system;
@@ -67,6 +68,7 @@ pub use bus::BusConfig;
 pub use error::ModelError;
 pub use fingerprint::{mix64, mix_words, Fingerprint, SplitMix64};
 pub use ids::{ActivityId, FrameId, GraphId, NodeId, SlotId};
+pub use network::{derive_msg_clusters, Network};
 pub use protocol::{
     PhyParams, BITS_PER_PAYLOAD_GRANULE, MAX_CYCLE, MAX_MINISLOTS, MAX_STATIC_SLOTS,
     MAX_STATIC_SLOT_MACROTICKS, PAYLOAD_GRANULARITY_BYTES,

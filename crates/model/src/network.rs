@@ -1,0 +1,414 @@
+//! Multi-cluster FlexRay networks: several buses joined by gateways.
+//!
+//! The source paper fixes one FlexRay bus per system. Real automotive
+//! architectures federate several buses ("clusters") through gateway
+//! nodes that are attached to more than one of them and relay frames
+//! between them. A [`Network`] holds one [`BusConfig`] per cluster, a
+//! home cluster per node, and the set of gateway nodes; every message
+//! is routed on its *home cluster*, derived from its endpoints, so the
+//! existing single-bus analysis applies per cluster through
+//! [`SystemView::with_network`](crate::SystemView::with_network).
+
+use crate::{Application, BusConfig, MessageClass, ModelError, NodeId, Platform, SystemView, Time};
+use serde::{Deserialize, Serialize};
+
+/// Derives the home cluster of every activity from the message
+/// endpoints: a message sent by a regular node lives on that node's
+/// cluster; a message sent by a gateway lives on its receivers' common
+/// cluster (falling back to the gateway's own home when the receivers
+/// disagree or are all gateways). Tasks keep the placeholder 0 — tasks
+/// never touch a bus.
+///
+/// `node_cluster[n]` is node `n`'s home cluster; nodes listed in
+/// `gateways` are attached to *every* cluster in addition to their
+/// home.
+#[must_use]
+pub fn derive_msg_clusters(
+    app: &Application,
+    node_cluster: &[u16],
+    gateways: &[NodeId],
+) -> Vec<u16> {
+    let home = |n: NodeId| node_cluster.get(n.index()).copied().unwrap_or(0);
+    let is_gateway = |n: NodeId| gateways.contains(&n);
+    app.ids()
+        .map(|id| {
+            if app.activity(id).as_message().is_none() {
+                return 0;
+            }
+            let Some(sender) = app.sender_of(id) else {
+                return 0;
+            };
+            if !is_gateway(sender) {
+                return home(sender);
+            }
+            let mut receiver_homes = app
+                .receivers_of(id)
+                .into_iter()
+                .filter(|&r| !is_gateway(r))
+                .map(home);
+            match receiver_homes.next() {
+                Some(first) if receiver_homes.all(|c| c == first) => first,
+                _ => home(sender),
+            }
+        })
+        .collect()
+}
+
+/// A multi-cluster FlexRay network: one bus configuration per cluster,
+/// joined by gateway nodes.
+///
+/// Fields are public like [`System`](crate::System)'s; call
+/// [`Network::validate`] after manual edits. [`Network::new`] derives
+/// the per-message cluster map and validates in one step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// The processing nodes (across all clusters).
+    pub platform: Platform,
+    /// The task graphs.
+    pub app: Application,
+    /// Bus configuration of each cluster; index 0 is cluster 0. Never
+    /// empty.
+    pub clusters: Vec<BusConfig>,
+    /// Home cluster of each node, indexed by node.
+    pub node_cluster: Vec<u16>,
+    /// Gateway nodes, attached to every cluster. Sorted, deduplicated.
+    pub gateways: Vec<NodeId>,
+    /// Home cluster of each activity (derived; tasks hold 0).
+    pub msg_cluster: Vec<u16>,
+}
+
+impl Network {
+    /// Builds and validates a network, deriving the message cluster
+    /// map from the endpoints.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::validate`].
+    pub fn new(
+        platform: Platform,
+        app: Application,
+        clusters: Vec<BusConfig>,
+        node_cluster: Vec<u16>,
+        mut gateways: Vec<NodeId>,
+    ) -> Result<Self, ModelError> {
+        gateways.sort_unstable();
+        gateways.dedup();
+        let msg_cluster = derive_msg_clusters(&app, &node_cluster, &gateways);
+        let net = Network {
+            platform,
+            app,
+            clusters,
+            node_cluster,
+            gateways,
+            msg_cluster,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Wraps a single-bus [`System`](crate::System) into the degenerate
+    /// one-cluster network.
+    #[must_use]
+    pub fn single(sys: crate::System) -> Self {
+        let n = sys.platform.len();
+        let msg_cluster = vec![0; sys.app.activities().len()];
+        Network {
+            platform: sys.platform,
+            app: sys.app,
+            clusters: vec![sys.bus],
+            node_cluster: vec![0; n],
+            gateways: Vec::new(),
+            msg_cluster,
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` if `node` is attached to `cluster` (home or gateway).
+    #[must_use]
+    pub fn attached(&self, node: NodeId, cluster: u16) -> bool {
+        self.node_cluster.get(node.index()).copied() == Some(cluster)
+            || self.gateways.contains(&node)
+    }
+
+    /// The borrowed analysis view over this network: cluster 0's bus is
+    /// the view's `bus`, the rest ride as network extensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty (rejected by [`Network::validate`]).
+    #[must_use]
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView::with_network(
+            &self.platform,
+            &self.app,
+            &self.clusters[0],
+            &self.clusters[1..],
+            &self.msg_cluster,
+        )
+    }
+
+    /// Re-derives `msg_cluster` after editing the application or the
+    /// node/gateway maps.
+    pub fn rederive_msg_clusters(&mut self) {
+        self.msg_cluster = derive_msg_clusters(&self.app, &self.node_cluster, &self.gateways);
+    }
+
+    /// The application hyperperiod (LCM of all graph periods).
+    ///
+    /// # Errors
+    ///
+    /// See [`Application::hyperperiod`].
+    pub fn hyperperiod(&self) -> Result<Time, ModelError> {
+        self.app.hyperperiod()
+    }
+
+    /// Validates the whole network: the application, the node/gateway
+    /// maps, message endpoint attachment, and each cluster's bus
+    /// against the messages homed on it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidConfig`] — no clusters, a cluster map of
+    ///   the wrong length or naming an unknown cluster, or a message
+    ///   whose endpoints are not attached to its home cluster;
+    /// * [`ModelError::UnknownNode`] — a gateway outside the platform;
+    /// * everything [`Application::validate`] and
+    ///   [`BusConfig::validate_for_cluster`] report.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.app.validate()?;
+        if self.clusters.is_empty() {
+            return Err(ModelError::InvalidConfig("network has no clusters".into()));
+        }
+        let n_clusters = u16::try_from(self.clusters.len()).map_err(|_| {
+            ModelError::InvalidConfig(format!("{} clusters exceed u16", self.clusters.len()))
+        })?;
+        if self.node_cluster.len() != self.platform.len() {
+            return Err(ModelError::InvalidConfig(format!(
+                "node_cluster has {} entries for {} nodes",
+                self.node_cluster.len(),
+                self.platform.len()
+            )));
+        }
+        for (n, &c) in self.node_cluster.iter().enumerate() {
+            if c >= n_clusters {
+                return Err(ModelError::InvalidConfig(format!(
+                    "node {n} homed on unknown cluster {c} (of {n_clusters})"
+                )));
+            }
+        }
+        for w in self.gateways.windows(2) {
+            if w[0] == w[1] {
+                return Err(ModelError::InvalidConfig(format!(
+                    "duplicate gateway node {}",
+                    w[0]
+                )));
+            }
+        }
+        for &g in &self.gateways {
+            if g.index() >= self.platform.len() {
+                return Err(ModelError::UnknownNode(g));
+            }
+        }
+        if self.msg_cluster.len() != self.app.activities().len() {
+            return Err(ModelError::InvalidConfig(format!(
+                "msg_cluster has {} entries for {} activities",
+                self.msg_cluster.len(),
+                self.app.activities().len()
+            )));
+        }
+        // Every message's endpoints must be attached to its home
+        // cluster — a frame is only visible on the bus it is sent on.
+        for m in self
+            .app
+            .messages_of_class(MessageClass::Static)
+            .chain(self.app.messages_of_class(MessageClass::Dynamic))
+        {
+            let c = self.msg_cluster[m.index()];
+            if c >= n_clusters {
+                return Err(ModelError::InvalidConfig(format!(
+                    "message '{}' homed on unknown cluster {c}",
+                    self.app.activity(m).name
+                )));
+            }
+            if let Some(sender) = self.app.sender_of(m) {
+                if !self.attached(sender, c) {
+                    return Err(ModelError::InvalidConfig(format!(
+                        "message '{}' on cluster {c} sent from node {sender} of cluster {}",
+                        self.app.activity(m).name,
+                        self.node_cluster[sender.index()]
+                    )));
+                }
+            }
+            for r in self.app.receivers_of(m) {
+                if !self.attached(r, c) {
+                    return Err(ModelError::InvalidConfig(format!(
+                        "message '{}' on cluster {c} received by node {r} of cluster {}",
+                        self.app.activity(m).name,
+                        self.node_cluster[r.index()]
+                    )));
+                }
+            }
+        }
+        for (c, bus) in self.clusters.iter().enumerate() {
+            bus.validate_for_cluster(
+                &self.app,
+                self.platform.len(),
+                &self.msg_cluster,
+                u16::try_from(c).expect("checked above"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActivityId, FrameId, PhyParams, SchedPolicy};
+
+    /// Two clusters of two nodes each, joined by gateway node 4:
+    /// `t0 (N0, c0) --st0--> gw_in (N4) --dy1--> t1 (N2, c1)`.
+    fn two_cluster_net() -> Network {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(1000.0), Time::from_us(1000.0));
+        let t0 = app.add_task(
+            g,
+            "t0",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let relay = app.add_task(
+            g,
+            "relay",
+            NodeId::new(4),
+            Time::from_us(2.0),
+            SchedPolicy::Fps,
+            3,
+        );
+        let t1 = app.add_task(
+            g,
+            "t1",
+            NodeId::new(2),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            2,
+        );
+        let st0 = app.add_message(g, "st0", 4, MessageClass::Static, 0);
+        let dy1 = app.add_message(g, "dy1", 4, MessageClass::Dynamic, 1);
+        app.connect(t0, st0, relay).expect("edges");
+        app.connect(relay, dy1, t1).expect("edges");
+
+        let mut bus0 = BusConfig::new(PhyParams::unit());
+        bus0.static_slot_len = Time::from_us(8.0);
+        bus0.static_slot_owners = vec![NodeId::new(0)];
+        bus0.n_minislots = 0;
+        let mut bus1 = BusConfig::new(PhyParams::unit());
+        bus1.n_minislots = 10;
+        bus1.frame_ids.insert(dy1, FrameId::new(1));
+
+        Network::new(
+            Platform::with_nodes(5),
+            app,
+            vec![bus0, bus1],
+            vec![0, 0, 1, 1, 0],
+            vec![NodeId::new(4)],
+        )
+        .expect("valid network")
+    }
+
+    #[test]
+    fn clusters_derive_from_endpoints() {
+        let net = two_cluster_net();
+        let st0 = net.app.find("st0").expect("st0");
+        let dy1 = net.app.find("dy1").expect("dy1");
+        assert_eq!(net.msg_cluster[st0.index()], 0);
+        // sent by the gateway, received on cluster 1
+        assert_eq!(net.msg_cluster[dy1.index()], 1);
+    }
+
+    #[test]
+    fn view_routes_per_cluster() {
+        let net = two_cluster_net();
+        let view = net.view();
+        let st0 = net.app.find("st0").expect("st0");
+        let dy1 = net.app.find("dy1").expect("dy1");
+        assert_eq!(view.n_clusters(), 2);
+        assert_eq!(view.cluster_of(st0), 0);
+        assert_eq!(view.cluster_of(dy1), 1);
+        assert!(std::ptr::eq(view.bus_of(st0), &net.clusters[0]));
+        assert!(std::ptr::eq(view.bus_of(dy1), &net.clusters[1]));
+        // focusing clears the network extensions
+        let f = view.focused(dy1);
+        assert_eq!(f.n_clusters(), 1);
+        assert!(std::ptr::eq(f.bus, &net.clusters[1]));
+        assert_eq!(f.comm_time(dy1), view.comm_time(dy1));
+    }
+
+    #[test]
+    fn unattached_endpoint_is_rejected() {
+        let mut net = two_cluster_net();
+        // strip the gateway: the relay task on N4 (cluster 0) now
+        // receives st0 fine but sends dy1 across without attachment
+        net.gateways.clear();
+        net.rederive_msg_clusters();
+        let err = net.validate().expect_err("must reject");
+        assert!(matches!(err, ModelError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn frame_id_on_foreign_cluster_is_rejected() {
+        let mut net = two_cluster_net();
+        let dy1 = net.app.find("dy1").expect("dy1");
+        // cluster 0's bus claims cluster 1's message
+        net.clusters[0].n_minislots = 10;
+        net.clusters[0].frame_ids.insert(dy1, FrameId::new(1));
+        let err = net.validate().expect_err("must reject");
+        assert!(matches!(err, ModelError::FrameAssignment(_)));
+    }
+
+    #[test]
+    fn wrong_cluster_map_length_is_rejected() {
+        let mut net = two_cluster_net();
+        net.node_cluster.pop();
+        assert!(matches!(net.validate(), Err(ModelError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn single_wraps_a_system() {
+        let mut app = Application::new();
+        let g = app.add_graph("g", Time::from_us(100.0), Time::from_us(100.0));
+        let t0 = app.add_task(
+            g,
+            "a",
+            NodeId::new(0),
+            Time::from_us(5.0),
+            SchedPolicy::Scs,
+            0,
+        );
+        let t1 = app.add_task(
+            g,
+            "b",
+            NodeId::new(1),
+            Time::from_us(5.0),
+            SchedPolicy::Fps,
+            1,
+        );
+        let st = app.add_message(g, "m", 4, MessageClass::Static, 0);
+        app.connect(t0, st, t1).expect("edges");
+        let mut bus = BusConfig::new(PhyParams::unit());
+        bus.static_slot_len = Time::from_us(8.0);
+        bus.static_slot_owners = vec![NodeId::new(0)];
+        let sys = crate::System::validated(Platform::with_nodes(2), app, bus).expect("valid");
+        let net = Network::single(sys);
+        assert_eq!(net.n_clusters(), 1);
+        net.validate().expect("stays valid");
+        assert_eq!(net.view().cluster_of(ActivityId::new(0)), 0);
+    }
+}

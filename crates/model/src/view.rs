@@ -21,14 +21,27 @@ use crate::{
 /// Obtain one from [`System::view`] or directly from borrowed parts via
 /// [`SystemView::new`]; every analysis entry point accepts either a
 /// `&System` or a `SystemView` through `impl Into<SystemView>`.
+///
+/// A view may additionally describe a **multi-cluster network** (see
+/// [`crate::Network`]): `bus` is cluster 0's configuration, further
+/// clusters ride in a private slice, and a per-activity cluster map
+/// routes every message to its home bus. Both extensions default to
+/// empty, in which case the view is exactly the single-bus triple it
+/// always was.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemView<'a> {
     /// The processing nodes.
     pub platform: &'a Platform,
     /// The task graphs.
     pub app: &'a Application,
-    /// The bus configuration under evaluation.
+    /// The bus configuration under evaluation (cluster 0).
     pub bus: &'a BusConfig,
+    /// Bus configurations of clusters `1..` (empty for a single bus).
+    extra: &'a [BusConfig],
+    /// Home cluster of each activity, indexed by activity id (empty
+    /// means everything lives on cluster 0). Only message entries are
+    /// meaningful; tasks keep the placeholder 0.
+    msg_cluster: &'a [u16],
 }
 
 impl<'a> From<&'a System> for SystemView<'a> {
@@ -37,6 +50,8 @@ impl<'a> From<&'a System> for SystemView<'a> {
             platform: &sys.platform,
             app: &sys.app,
             bus: &sys.bus,
+            extra: &[],
+            msg_cluster: &[],
         }
     }
 }
@@ -51,7 +66,83 @@ impl<'a> SystemView<'a> {
     /// Assembles a view from borrowed parts.
     #[must_use]
     pub fn new(platform: &'a Platform, app: &'a Application, bus: &'a BusConfig) -> Self {
-        SystemView { platform, app, bus }
+        SystemView {
+            platform,
+            app,
+            bus,
+            extra: &[],
+            msg_cluster: &[],
+        }
+    }
+
+    /// Assembles a multi-cluster view: `bus` is cluster 0, `extra`
+    /// holds clusters `1..`, and `msg_cluster[activity]` names each
+    /// message's home cluster (tasks keep 0).
+    #[must_use]
+    pub fn with_network(
+        platform: &'a Platform,
+        app: &'a Application,
+        bus: &'a BusConfig,
+        extra: &'a [BusConfig],
+        msg_cluster: &'a [u16],
+    ) -> Self {
+        SystemView {
+            platform,
+            app,
+            bus,
+            extra,
+            msg_cluster,
+        }
+    }
+
+    /// Number of clusters in the network (1 for a plain view).
+    #[must_use]
+    pub fn n_clusters(&self) -> usize {
+        1 + self.extra.len()
+    }
+
+    /// Home cluster of an activity (0 when no cluster map is present).
+    #[must_use]
+    pub fn cluster_of(&self, id: ActivityId) -> u16 {
+        self.msg_cluster.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The bus configuration an activity's home cluster runs on.
+    #[must_use]
+    pub fn bus_of(&self, id: ActivityId) -> &'a BusConfig {
+        self.bus_of_cluster(self.cluster_of(id))
+    }
+
+    /// The bus configuration of cluster `c`.
+    #[must_use]
+    pub fn bus_of_cluster(&self, c: u16) -> &'a BusConfig {
+        match c.checked_sub(1) {
+            None => self.bus,
+            Some(i) => &self.extra[i as usize],
+        }
+    }
+
+    /// A single-bus view focused on the home cluster of `id`: `bus` is
+    /// `bus_of(id)` and the network extensions are cleared. The
+    /// identity on single-cluster views; idempotent. Safe because each
+    /// cluster's `frame_ids` map only names that cluster's own dynamic
+    /// messages (enforced by [`crate::Network::validate`]), so every
+    /// per-bus iteration stays within the cluster.
+    #[must_use]
+    pub fn focused(&self, id: ActivityId) -> SystemView<'a> {
+        self.focused_cluster(self.cluster_of(id))
+    }
+
+    /// A single-bus view focused on cluster `c` (see [`Self::focused`]).
+    #[must_use]
+    pub fn focused_cluster(&self, c: u16) -> SystemView<'a> {
+        SystemView {
+            platform: self.platform,
+            app: self.app,
+            bus: self.bus_of_cluster(c),
+            extra: &[],
+            msg_cluster: &[],
+        }
     }
 
     /// The application hyperperiod (LCM of all graph periods).
@@ -63,10 +154,11 @@ impl<'a> SystemView<'a> {
         self.app.hyperperiod()
     }
 
-    /// Transmission time `C_m` of a message (Eq. (1)).
+    /// Transmission time `C_m` of a message (Eq. (1)), measured on the
+    /// message's home cluster.
     #[must_use]
     pub fn comm_time(&self, message: ActivityId) -> Time {
-        self.bus.comm_time(self.app, message)
+        self.bus_of(message).comm_time(self.app, message)
     }
 
     /// Worst-case execution/transmission time of any activity: task WCET
@@ -102,15 +194,19 @@ impl<'a> SystemView<'a> {
         crate::WorkloadStats::collect(self.platform, self.app, &self.bus.phy)
     }
 
-    /// Dynamic messages sorted by frame identifier (then priority,
-    /// descending) — the order the dynamic slot counter serves them.
+    /// Dynamic messages sorted by home cluster, then frame identifier,
+    /// then priority (descending) — the order each cluster's dynamic
+    /// slot counter serves them.
     #[must_use]
     pub fn dyn_messages_by_frame(&self) -> Vec<ActivityId> {
         let mut msgs: Vec<ActivityId> = self.app.messages_of_class(MessageClass::Dynamic).collect();
         msgs.sort_by_key(|&m| {
-            let fid = self.bus.frame_id_of(m).map_or(u16::MAX, |f| f.number());
+            let fid = self
+                .bus_of(m)
+                .frame_id_of(m)
+                .map_or(u16::MAX, |f| f.number());
             let prio = self.app.activity(m).as_message().map_or(0, |s| s.priority);
-            (fid, core::cmp::Reverse(prio))
+            (self.cluster_of(m), fid, core::cmp::Reverse(prio))
         });
         msgs
     }

@@ -93,7 +93,7 @@ struct JournalWriter {
 
 impl JournalWriter {
     fn append(&mut self, record: &Record) -> Result<(), ModelError> {
-        let mut line = record.to_line();
+        let mut line = record.to_line()?;
         line.push('\n');
         self.file
             .write_all(line.as_bytes())
@@ -278,12 +278,12 @@ fn write_report<'a>(
     points: impl Iterator<Item = &'a Json>,
 ) -> Result<(), ModelError> {
     let mut out = match &spec.kind {
-        JobKind::Grid(cfg) => GridReportHeader::of(cfg).to_line(),
-        JobKind::Fuzz(cfg) => cfg.header_line(),
+        JobKind::Grid(cfg) => GridReportHeader::of(cfg).to_line()?,
+        JobKind::Fuzz(cfg) => cfg.header_line()?,
     };
     out.push('\n');
     for data in points {
-        out.push_str(&data.write());
+        out.push_str(&data.write()?);
         out.push('\n');
     }
     let path = reports.join(format!("{}.jsonl", spec.id));

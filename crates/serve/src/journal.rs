@@ -115,8 +115,13 @@ pub enum Record {
 
 impl Record {
     /// Serialises the record as one journal line (no newline).
-    #[must_use]
-    pub fn to_line(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when the record carries a
+    /// non-finite number (e.g. a point payload with a NaN statistic),
+    /// which has no JSON representation.
+    pub fn to_line(&self) -> Result<String, ModelError> {
         match self {
             Record::Header { version } => Json::Obj(vec![
                 ("schema".into(), Json::Str(SERVE_SCHEMA.into())),
@@ -408,7 +413,7 @@ mod tests {
     fn journal_text(records: &[Record]) -> String {
         records
             .iter()
-            .map(|r| r.to_line() + "\n")
+            .map(|r| r.to_line().expect("finite record") + "\n")
             .collect::<String>()
     }
 
@@ -440,7 +445,7 @@ mod tests {
     #[test]
     fn records_round_trip_through_their_lines() {
         for record in well_formed() {
-            let line = record.to_line();
+            let line = record.to_line().expect("finite record");
             assert_eq!(Record::parse(&line).expect("parses"), record, "{line}");
         }
         let failed = Record::End {
@@ -449,7 +454,10 @@ mod tests {
                 error: "boom \"quoted\"".into(),
             },
         };
-        assert_eq!(Record::parse(&failed.to_line()).expect("parses"), failed);
+        assert_eq!(
+            Record::parse(&failed.to_line().expect("finite record")).expect("parses"),
+            failed
+        );
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! every malformed token is rejected with an error *naming the token*,
 //! and the daemon journals the rejection instead of crashing.
 //!
+//! Grid jobs also take `clusters=…` (the multi-cluster axis) and
+//! `workload=FILE`, which imports a workgraph interchange file
+//! ([`flexray_bench::workload`]) as the job's single fixed scenario —
+//! the file is read when the spec line is parsed, and the report
+//! header pins the workload's fingerprint.
+//!
 //! Keys the daemon owns — `threads` (unit dispatch is the daemon's),
 //! `out`/`csv` (reports live under the daemon's report directory) and
 //! `resume` (the journal is the resume mechanism) — are rejected.
@@ -27,9 +33,10 @@
 //! [`JobKind::Fuzz`].
 
 use flexray_bench::fuzz::FuzzConfig;
-use flexray_bench::grid::{GridConfig, SeedPolicy};
+use flexray_bench::grid::{GridConfig, SeedPolicy, WorkloadSource};
 use flexray_bench::report::{arr_field, malformed, num_field, str_field, Json};
 use flexray_bench::sweep::{parse_algo_set, parse_thread_count, search_mode, Algo, SweepAxis};
+use flexray_bench::workload::Workload;
 use flexray_gen::GeneratorConfig;
 use flexray_model::ModelError;
 
@@ -43,9 +50,11 @@ pub const JOB_SCHEMA_VERSION: u32 = 1;
 #[derive(Debug, Clone)]
 pub enum JobKind {
     /// A factorial grid (also the plan of `sweep` and `fig9` jobs).
-    Grid(GridConfig),
+    /// Boxed (like `Fuzz`) to keep the enum small: an imported
+    /// workload makes a grid configuration arbitrarily large.
+    Grid(Box<GridConfig>),
     /// An execution-order fuzz campaign.
-    Fuzz(FuzzConfig),
+    Fuzz(Box<FuzzConfig>),
 }
 
 /// One parsed job.
@@ -78,6 +87,7 @@ impl JobSpec {
             ),
         ])
         .write()
+        .expect("spec lines hold only strings and a small integer version")
     }
 
     /// Number of points the job will journal.
@@ -143,10 +153,10 @@ pub fn parse_job(line: &str) -> Result<JobSpec, ModelError> {
         .collect::<Result<Vec<_>, _>>()?;
 
     let kind = match kind_name.as_str() {
-        "grid" => JobKind::Grid(parse_grid_args(&args, false)?),
-        "sweep" => JobKind::Grid(parse_grid_args(&args, true)?),
-        "fig9" => JobKind::Grid(parse_fig9_args(&args)?),
-        "fuzz" => JobKind::Fuzz(parse_fuzz_args(&args)?),
+        "grid" => JobKind::Grid(Box::new(parse_grid_args(&args, false)?)),
+        "sweep" => JobKind::Grid(Box::new(parse_grid_args(&args, true)?)),
+        "fig9" => JobKind::Grid(Box::new(parse_fig9_args(&args)?)),
+        "fuzz" => JobKind::Fuzz(Box::new(parse_fuzz_args(&args)?)),
         other => {
             return Err(malformed(&format!(
                 "unknown job kind '{other}' (expected grid, sweep, fig9 or fuzz)"
@@ -217,6 +227,19 @@ fn parse_grid_args(args: &[String], single_axis: bool) -> Result<GridConfig, Mod
                 .axes
                 .push(SweepAxis::GatewayFraction(parse_values(key, value)?)),
             "busutil" => cfg.axes.push(SweepAxis::BusUtil(parse_values(key, value)?)),
+            "clusters" => cfg
+                .axes
+                .push(SweepAxis::Clusters(parse_values(key, value)?)),
+            "workload" => {
+                let text = std::fs::read_to_string(value)
+                    .map_err(|e| malformed(&format!("cannot read workload file '{value}': {e}")))?;
+                let workload = Workload::import(&text)
+                    .map_err(|e| malformed(&format!("workload file '{value}': {e}")))?;
+                let name = std::path::Path::new(value)
+                    .file_stem()
+                    .map_or_else(|| value.to_owned(), |s| s.to_string_lossy().into_owned());
+                cfg.workload = Some(WorkloadSource { name, workload });
+            }
             "apps" => cfg.apps_per_point = value.parse().map_err(|_| bad_value(key, value))?,
             "mode" => match search_mode(value) {
                 Some((params, sa)) => {
@@ -234,7 +257,7 @@ fn parse_grid_args(args: &[String], single_axis: bool) -> Result<GridConfig, Mod
     if let Some(threads) = eval_threads {
         cfg.params.eval_threads = threads;
     }
-    if cfg.axes.is_empty() {
+    if cfg.axes.is_empty() && cfg.workload.is_none() {
         return Err(malformed("a grid job needs at least one axis"));
     }
     if single_axis && cfg.axes.len() != 1 {
@@ -288,6 +311,7 @@ fn parse_fig9_args(args: &[String]) -> Result<GridConfig, ModelError> {
             node_counts.iter().map(|&n| 1000 * n as u64).collect(),
         ),
         threads: 1,
+        workload: None,
     })
 }
 
@@ -386,6 +410,46 @@ mod tests {
             cfg.seed_policy,
             SeedPolicy::PointOffsets(vec![2000, 3000]),
             "fig9 keeps its historical node-count seed schedule"
+        );
+    }
+
+    #[test]
+    fn grid_jobs_take_the_clusters_axis_and_workload_files() {
+        let spec = parse_job(&line(
+            "c1",
+            "grid",
+            &["clusters=1,2", "apps=1", "mode=smoke"],
+        ))
+        .expect("parses");
+        assert_eq!(spec.total_points(), 2);
+        let JobKind::Grid(cfg) = &spec.kind else {
+            panic!("grid plan expected")
+        };
+        assert!(matches!(cfg.axes[0], SweepAxis::Clusters(_)));
+
+        let generated = flexray_gen::generate(&GeneratorConfig::clustered(5, 2), 3)
+            .expect("clustered scenario");
+        let dir = std::env::temp_dir().join("flexray-serve-spec-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("hand.jsonl");
+        std::fs::write(
+            &path,
+            Workload::of_generated(&generated).export().expect("export"),
+        )
+        .expect("write workgraph");
+        let arg = format!("workload={}", path.display());
+        let spec = parse_job(&line("w1", "grid", &[&arg, "apps=1", "mode=smoke"])).expect("parses");
+        assert_eq!(spec.total_points(), 1, "a workload job is one fixed point");
+        let JobKind::Grid(cfg) = &spec.kind else {
+            panic!("grid plan expected")
+        };
+        assert_eq!(cfg.workload.as_ref().expect("workload source").name, "hand");
+
+        let err = parse_job(&line("w2", "grid", &["workload=/no/such/file.jsonl"]))
+            .expect_err("missing file rejected");
+        assert!(
+            err.to_string().contains("/no/such/file.jsonl"),
+            "error must name the file: {err}"
         );
     }
 

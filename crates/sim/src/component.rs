@@ -11,7 +11,7 @@ use crate::cpu::Cpu;
 use crate::event::{ComponentId, JobRef, Signal};
 use crate::kernel::Kernel;
 use flexray_analysis::LatestTxPolicy;
-use flexray_model::{ActivityId, Fingerprint, NodeId, System, Time};
+use flexray_model::{ActivityId, Fingerprint, NodeId, SystemView, Time};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap};
 
@@ -179,9 +179,11 @@ struct ChiFrame {
 
 /// The dynamic-segment arbiter: CHI send buffers plus the dynamic
 /// slot / minislot counters of FlexRay dynamic arbitration (Section 3
-/// of the paper).
+/// of the paper). One arbiter per cluster: `sys` is a view focused on
+/// the arbiter's own bus, so `sys.bus.frame_ids` names exactly the
+/// messages this cluster carries.
 pub(crate) struct DynSegment<'a> {
-    sys: &'a System,
+    sys: SystemView<'a>,
     id: ComponentId,
     latest_tx: LatestTxPolicy,
     /// Owner node of each assigned frame identifier.
@@ -197,7 +199,7 @@ pub(crate) struct DynSegment<'a> {
 
 impl<'a> DynSegment<'a> {
     pub(crate) fn new(
-        sys: &'a System,
+        sys: SystemView<'a>,
         id: ComponentId,
         latest_tx: LatestTxPolicy,
         cycle_info: Vec<(Time, u32)>,
@@ -250,7 +252,7 @@ impl<'a> DynSegment<'a> {
         });
         if let Some((qi, frame)) = pick {
             let msg = ActivityId::new(frame.job.act as usize);
-            let lm = self.sys.bus.minislots_of(&self.sys.app, msg);
+            let lm = self.sys.bus.minislots_of(self.sys.app, msg);
             let bound = match self.latest_tx {
                 LatestTxPolicy::PerMessage => eff.saturating_sub(lm) + 1,
                 LatestTxPolicy::PerNode => {
@@ -262,7 +264,7 @@ impl<'a> DynSegment<'a> {
                         .frame_ids
                         .keys()
                         .filter(|&&m| self.sys.app.sender_of(m) == Some(node))
-                        .map(|&m| self.sys.bus.minislots_of(&self.sys.app, m))
+                        .map(|&m| self.sys.bus.minislots_of(self.sys.app, m))
                         .max()
                         .unwrap_or(1);
                     eff.saturating_sub(largest) + 1

@@ -32,7 +32,7 @@ use crate::cpu::Cpu;
 use crate::event::{Entry, JobRef, Signal};
 use crate::kernel::{JobStore, Kernel};
 use flexray_analysis::{Availability, LatestTxPolicy, ScheduleTable};
-use flexray_model::{mix_words, ActivityId, Fingerprint, ModelError, SplitMix64, System, Time};
+use flexray_model::{mix_words, ActivityId, Fingerprint, ModelError, SplitMix64, SystemView, Time};
 use std::collections::HashMap;
 
 /// How same-instant, same-phase wake-ups are ordered.
@@ -112,18 +112,20 @@ impl SimReport {
     }
 }
 
-/// Runs the simulation.
+/// Runs the simulation. Accepts a `&System`, a [`SystemView`] or a
+/// multi-cluster network view (one dynamic-segment arbiter is spawned
+/// per cluster).
 ///
 /// # Errors
 ///
 /// Propagates model errors (hyperperiod overflow, malformed graphs,
 /// job-index overflow).
-pub fn simulate(
-    sys: &System,
-    table: &ScheduleTable,
+pub fn simulate<'a>(
+    sys: impl Into<SystemView<'a>>,
+    table: &'a ScheduleTable,
     cfg: &SimConfig,
 ) -> Result<SimReport, ModelError> {
-    Engine::new(sys, table, *cfg)?.run()
+    Engine::new(sys.into(), table, *cfg)?.run()
 }
 
 /// Convenience: builds the static schedule first (with duration bounds
@@ -133,7 +135,11 @@ pub fn simulate(
 /// # Errors
 ///
 /// Propagates model errors.
-pub fn simulate_configured(sys: &System, cfg: &SimConfig) -> Result<SimReport, ModelError> {
+pub fn simulate_configured<'a>(
+    sys: impl Into<SystemView<'a>>,
+    cfg: &SimConfig,
+) -> Result<SimReport, ModelError> {
+    let sys = sys.into();
     let bounds: Vec<Time> = sys.app.ids().map(|id| sys.duration_of(id)).collect();
     let table = flexray_analysis::build_schedule(sys, &bounds)?;
     simulate(sys, &table, cfg)
@@ -144,7 +150,7 @@ pub fn simulate_configured(sys: &System, cfg: &SimConfig) -> Result<SimReport, M
 /// # Errors
 ///
 /// Propagates model errors.
-pub fn simulate_default(sys: &System) -> Result<SimReport, ModelError> {
+pub fn simulate_default<'a>(sys: impl Into<SystemView<'a>>) -> Result<SimReport, ModelError> {
     simulate_configured(sys, &SimConfig::default())
 }
 
@@ -157,48 +163,59 @@ struct Engine<'a> {
     table: &'a ScheduleTable,
     kernel: Kernel<'a>,
     components: Vec<Box<dyn Component + 'a>>,
-    /// Per-cycle (dynamic-segment start, effective minislot budget),
-    /// hyperperiod-relative (mirrors the dynamic segment's copy; the
-    /// engine needs it to seed the per-cycle slot chains).
-    cycle_info: Vec<(Time, u32)>,
+    /// Per cluster, per cycle: (dynamic-segment start, effective
+    /// minislot budget), hyperperiod-relative (mirrors each dynamic
+    /// segment's copy; the engine needs it to seed the per-cycle slot
+    /// chains).
+    cycle_infos: Vec<Vec<(Time, u32)>>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(sys: &'a System, table: &'a ScheduleTable, cfg: SimConfig) -> Result<Self, ModelError> {
+    fn new(
+        sys: SystemView<'a>,
+        table: &'a ScheduleTable,
+        cfg: SimConfig,
+    ) -> Result<Self, ModelError> {
         let horizon = sys.hyperperiod()?;
         let limit = horizon.saturating_mul(cfg.reps.max(1).saturating_mul(cfg.limit_factor.max(1)));
         let jobs = JobStore::new(sys, horizon)?;
         let kernel = Kernel::new(sys, horizon, limit, jobs);
 
-        // Cycle layout over one hyperperiod: start of the dynamic
-        // segment and its effective minislot budget (the final cycle
-        // may be truncated by the hyperperiod boundary).
-        let gd_cycle = sys.bus.gd_cycle();
-        let st_bus = sys.bus.st_bus();
-        let ms = sys.bus.phy.gd_minislot;
-        let mut cycle_info = Vec::new();
-        if gd_cycle > Time::ZERO && sys.bus.n_minislots > 0 {
-            let n_cycles = horizon.div_ceil(gd_cycle);
-            for c in 0..n_cycles {
-                let cycle_start = gd_cycle * c;
-                let dyn_start = cycle_start + st_bus;
-                let boundary = (cycle_start + gd_cycle).min(horizon);
-                if dyn_start >= boundary {
-                    continue;
+        // Per-cluster cycle layout over one hyperperiod: start of the
+        // dynamic segment and its effective minislot budget (the final
+        // cycle may be truncated by the hyperperiod boundary).
+        let mut cycle_infos = Vec::with_capacity(sys.n_clusters());
+        for c in 0..sys.n_clusters() {
+            #[allow(clippy::cast_possible_truncation)] // n_clusters bounded by u16
+            let bus = sys.bus_of_cluster(c as u16);
+            let gd_cycle = bus.gd_cycle();
+            let st_bus = bus.st_bus();
+            let ms = bus.phy.gd_minislot;
+            let mut cycle_info = Vec::new();
+            if gd_cycle > Time::ZERO && bus.n_minislots > 0 {
+                let n_cycles = horizon.div_ceil(gd_cycle);
+                for c in 0..n_cycles {
+                    let cycle_start = gd_cycle * c;
+                    let dyn_start = cycle_start + st_bus;
+                    let boundary = (cycle_start + gd_cycle).min(horizon);
+                    if dyn_start >= boundary {
+                        continue;
+                    }
+                    let budget = (boundary - dyn_start) / ms;
+                    let eff = u32::try_from(budget.max(0))
+                        .unwrap_or(u32::MAX)
+                        .min(bus.n_minislots);
+                    cycle_info.push((dyn_start, eff));
                 }
-                let budget = (boundary - dyn_start) / ms;
-                let eff = u32::try_from(budget.max(0))
-                    .unwrap_or(u32::MAX)
-                    .min(sys.bus.n_minislots);
-                cycle_info.push((dyn_start, eff));
             }
+            u32::try_from(cycle_info.len()).map_err(|_| {
+                ModelError::InvalidConfig(format!(
+                    "{} communication cycles per hyperperiod — too many to simulate",
+                    cycle_info.len()
+                ))
+            })?;
+            cycle_infos.push(cycle_info);
         }
-        u32::try_from(cycle_info.len()).map_err(|_| {
-            ModelError::InvalidConfig(format!(
-                "{} communication cycles per hyperperiod — too many to simulate",
-                cycle_info.len()
-            ))
-        })?;
 
         let mut components: Vec<Box<dyn Component + 'a>> = Vec::new();
         for node in sys.platform.nodes() {
@@ -207,12 +224,16 @@ impl<'a> Engine<'a> {
         }
         components.push(Box::new(Releaser::new(kernel.releaser_id())));
         components.push(Box::new(StaticSegment::new(kernel.static_id())));
-        components.push(Box::new(DynSegment::new(
-            sys,
-            kernel.dyn_id(),
-            cfg.latest_tx,
-            cycle_info.clone(),
-        )));
+        for (c, info) in cycle_infos.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)] // n_clusters bounded by u16
+            let c = c as u16;
+            components.push(Box::new(DynSegment::new(
+                sys.focused_cluster(c),
+                kernel.dyn_id(c),
+                cfg.latest_tx,
+                info.clone(),
+            )));
+        }
 
         Ok(Engine {
             cfg,
@@ -220,7 +241,7 @@ impl<'a> Engine<'a> {
             table,
             kernel,
             components,
-            cycle_info,
+            cycle_infos,
         })
     }
 
@@ -263,9 +284,14 @@ impl<'a> Engine<'a> {
                 .queue
                 .push(e.slot_end + off, static_id, Signal::StDelivery { job });
         }
-        let dyn_id = self.kernel.dyn_id();
-        if self.kernel.sys.bus.dyn_slot_count() > 0 {
-            for (c, &(dyn_start, eff)) in self.cycle_info.iter().enumerate() {
+        for (cluster, info) in self.cycle_infos.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)] // n_clusters bounded by u16
+            let cluster = cluster as u16;
+            if sys.bus_of_cluster(cluster).dyn_slot_count() == 0 {
+                continue;
+            }
+            let dyn_id = self.kernel.dyn_id(cluster);
+            for (c, &(dyn_start, eff)) in info.iter().enumerate() {
                 if eff > 0 {
                     #[allow(clippy::cast_possible_truncation)] // length checked in new()
                     let cycle = c as u32;
@@ -589,6 +615,7 @@ mod tests {
     use flexray_analysis::TaskEntry;
     use flexray_model::{
         Application, BusConfig, FrameId, MessageClass, NodeId, PhyParams, Platform, SchedPolicy,
+        System,
     };
 
     /// 50 ns gdBit so that `2·n` bytes last exactly `n` µs; 1 µs

@@ -8,7 +8,7 @@
 
 use crate::event::{ComponentId, EventQueue, JobRef, Signal};
 use flexray_model::{
-    ActivityId, ActivityKind, Fingerprint, MessageClass, ModelError, SchedPolicy, System, Time,
+    ActivityId, ActivityKind, Fingerprint, MessageClass, ModelError, SchedPolicy, SystemView, Time,
 };
 use std::collections::{BTreeSet, VecDeque};
 
@@ -54,7 +54,7 @@ pub(crate) struct JobStore {
 }
 
 impl JobStore {
-    pub(crate) fn new(sys: &System, horizon: Time) -> Result<Self, ModelError> {
+    pub(crate) fn new(sys: SystemView<'_>, horizon: Time) -> Result<Self, ModelError> {
         let n = sys.app.activities().len();
         let mut base = vec![0u32; n];
         let mut iph = vec![0u32; n];
@@ -247,7 +247,7 @@ impl JobStore {
 
 /// The state shared across components, threaded through every wake-up.
 pub(crate) struct Kernel<'a> {
-    pub(crate) sys: &'a System,
+    pub(crate) sys: SystemView<'a>,
     pub(crate) horizon: Time,
     /// CPU-starvation guard (see [`crate::SimConfig::limit_factor`]).
     pub(crate) limit: Time,
@@ -267,7 +267,7 @@ pub(crate) struct Kernel<'a> {
 }
 
 impl<'a> Kernel<'a> {
-    pub(crate) fn new(sys: &'a System, horizon: Time, limit: Time, jobs: JobStore) -> Self {
+    pub(crate) fn new(sys: SystemView<'a>, horizon: Time, limit: Time, jobs: JobStore) -> Self {
         let n = sys.app.activities().len();
         Kernel {
             sys,
@@ -298,9 +298,10 @@ impl<'a> Kernel<'a> {
         ComponentId(self.n_nodes + 1)
     }
 
-    /// Component id of the dynamic segment.
-    pub(crate) fn dyn_id(&self) -> ComponentId {
-        ComponentId(self.n_nodes + 2)
+    /// Component id of cluster `c`'s dynamic-segment arbiter (one per
+    /// cluster; cluster 0 is the single-bus arbiter).
+    pub(crate) fn dyn_id(&self, cluster: u16) -> ComponentId {
+        ComponentId(self.n_nodes + 2 + cluster as usize)
     }
 
     /// One dependency (activation token or predecessor) of `job`
@@ -327,9 +328,9 @@ impl<'a> Kernel<'a> {
                 ));
             }
             ActivityKind::Message(spec) if spec.class == MessageClass::Dynamic => {
-                if let Some(fid) = sys.bus.frame_id_of(id) {
+                if let Some(fid) = sys.bus_of(id).frame_id_of(id) {
                     self.immediates.push_back((
-                        self.dyn_id(),
+                        self.dyn_id(sys.cluster_of(id)),
                         Signal::ChiEnqueue {
                             fid: fid.number(),
                             job,

@@ -205,6 +205,7 @@ fn simulation_cross_validates_the_grid_corner_points() {
         seed0: 1,
         seed_policy: SeedPolicy::PointIndex,
         threads: 1,
+        workload: None,
     };
     grid.validate().expect("grid validates");
     let corner = grid.point(grid.total_points() - 1);
@@ -215,6 +216,68 @@ fn simulation_cross_validates_the_grid_corner_points() {
 
     let checked = cross_validate(&corner.label, &corner.config, &[1, 2, 3, 4]);
     assert!(checked > 0, "no schedulable corner instance sampled");
+}
+
+#[test]
+fn simulation_cross_validates_two_cluster_networks() {
+    // A generated two-cluster scenario crosses the whole multi-cluster
+    // stack: joint network optimisation, holistic analysis with relayed
+    // traffic, and the component simulator routing frames across both
+    // buses — wherever the analysis declares the network schedulable,
+    // the simulator must agree.
+    use flexray::opt::{optimise_network, NetworkTopology};
+
+    let cfg = lighten(GeneratorConfig::clustered(6, 2));
+    let mut checked = 0;
+    for seed in [1u64, 2, 3, 4] {
+        let generated = generate(&cfg, seed).expect("generator");
+        assert_eq!(generated.clusters, 2, "seed {seed}");
+        let topo = NetworkTopology {
+            clusters: generated.clusters,
+            node_cluster: generated.node_cluster.clone(),
+            gateways: generated.gateways.clone(),
+        };
+        let result = optimise_network(
+            &generated.platform,
+            &generated.app,
+            &topo,
+            cfg.phy,
+            &test_params(),
+            4,
+        )
+        .expect("network optimisation runs");
+        if !result.is_schedulable() {
+            continue;
+        }
+        let net = result
+            .into_network(generated.platform.clone(), generated.app.clone(), &topo)
+            .expect("network validates");
+        let analysis = analyse(net.view(), &AnalysisConfig::default()).expect("analysis runs");
+        let report = simulate_default(net.view()).expect("simulation runs");
+        checked += 1;
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
+        for id in net.app.ids() {
+            if let Some(observed) = report.response(id) {
+                assert!(
+                    observed <= analysis.response(id),
+                    "seed {seed}: '{}' observed {} > WCRT {}",
+                    net.app.activity(id).name,
+                    observed,
+                    analysis.response(id)
+                );
+                assert!(
+                    observed <= net.app.deadline_of(id),
+                    "seed {seed}: '{}' misses its deadline in simulation",
+                    net.app.activity(id).name
+                );
+            }
+        }
+    }
+    assert!(checked > 0, "no schedulable two-cluster instance sampled");
 }
 
 #[test]
