@@ -1,0 +1,164 @@
+//! Shared runtime control surface of a serving daemon: the shutdown
+//! flag a socket `shutdown` request sets, the cancellation set a
+//! socket `cancel` request feeds, and the per-job status board the
+//! scheduler publishes for `status` queries.
+//!
+//! One [`ServeControl`] is shared (behind an `Arc`) between the drain
+//! loop, the scheduler's worker pool and the socket listener threads.
+//! It is deliberately *advisory*: the journal stays the single source
+//! of truth for progress; the status board is a best-effort live view.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Externally visible state of one job, published for `status`
+/// queries over the socket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// Job kind (`grid`/`sweep`/`fig9`/`fuzz`).
+    pub kind: String,
+    /// Points journaled so far (recovered + computed).
+    pub points: usize,
+    /// Total points the job will journal.
+    pub total_points: usize,
+    /// `running`, `done` or `failed`.
+    pub state: String,
+    /// The failure error, when `state` is `failed`.
+    pub error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    cancelled: BTreeSet<String>,
+    status: BTreeMap<String, JobView>,
+}
+
+/// The daemon's shared control block: shutdown flag, cancellation set
+/// and job status board. See the module docs.
+#[derive(Debug, Default)]
+pub struct ServeControl {
+    shutdown: AtomicBool,
+    inner: Mutex<ControlInner>,
+}
+
+impl ServeControl {
+    /// Requests a graceful shutdown: workers stop claiming new units,
+    /// in-flight units finish and are journaled, the drain exits.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Whether the drain should stop early: a shutdown request, or the
+    /// stop file existing.
+    #[must_use]
+    pub fn stop_requested(&self, stop_file: Option<&Path>) -> bool {
+        self.is_shutdown() || stop_file.is_some_and(Path::exists)
+    }
+
+    /// Marks job `id` cancelled. Idempotent: returns `false` when the
+    /// job was already cancelled.
+    pub fn cancel(&self, id: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("control lock")
+            .cancelled
+            .insert(id.to_owned())
+    }
+
+    /// Whether job `id` has been cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self, id: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("control lock")
+            .cancelled
+            .contains(id)
+    }
+
+    /// Publishes the live view of job `id` to the status board.
+    pub fn publish(&self, id: &str, view: JobView) {
+        self.inner
+            .lock()
+            .expect("control lock")
+            .status
+            .insert(id.to_owned(), view);
+    }
+
+    /// The published view of job `id`, if any.
+    #[must_use]
+    pub fn view(&self, id: &str) -> Option<JobView> {
+        self.inner
+            .lock()
+            .expect("control lock")
+            .status
+            .get(id)
+            .cloned()
+    }
+}
+
+/// The stop-file path for a journal: `<journal>.stop`. Touching it
+/// makes the daemon finish in-flight units, journal a clean `stopped`
+/// record and exit; deleting it and restarting resumes the drain.
+#[must_use]
+pub fn stop_path(journal: &Path) -> PathBuf {
+    let mut name = journal.as_os_str().to_owned();
+    name.push(".stop");
+    PathBuf::from(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_idempotent_and_queryable() {
+        let control = ServeControl::default();
+        assert!(!control.is_cancelled("g1"));
+        assert!(control.cancel("g1"), "first cancel is new");
+        assert!(!control.cancel("g1"), "second cancel is a repeat");
+        assert!(control.is_cancelled("g1"));
+        assert!(!control.is_cancelled("g2"));
+    }
+
+    #[test]
+    fn shutdown_flag_and_stop_file_both_request_a_stop() {
+        let control = ServeControl::default();
+        assert!(!control.stop_requested(None));
+        let missing = PathBuf::from("/nonexistent/serve.journal.stop");
+        assert!(!control.stop_requested(Some(&missing)));
+        control.request_shutdown();
+        assert!(control.is_shutdown());
+        assert!(control.stop_requested(None));
+    }
+
+    #[test]
+    fn status_board_returns_the_latest_published_view() {
+        let control = ServeControl::default();
+        assert!(control.view("g1").is_none());
+        let view = JobView {
+            kind: "grid".into(),
+            points: 1,
+            total_points: 4,
+            state: "running".into(),
+            error: None,
+        };
+        control.publish("g1", view.clone());
+        assert_eq!(control.view("g1"), Some(view));
+    }
+
+    #[test]
+    fn stop_path_appends_the_stop_suffix() {
+        assert_eq!(
+            stop_path(Path::new("/tmp/serve.journal")),
+            PathBuf::from("/tmp/serve.journal.stop")
+        );
+    }
+}

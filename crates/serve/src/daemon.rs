@@ -1,39 +1,44 @@
 //! The queue-draining engine behind the `flexray-serve` binary.
 //!
-//! [`run_serve`] performs one *drain*: it reads the job queue, replays
-//! the journal (recovering completed and in-flight work), truncates
-//! the journal's torn tail, then processes every queue line in order —
-//! skipping blanks and `#` comments, journaling rejections for
-//! malformed specs, and executing each job's remaining points on a
-//! [`flexray_util::scoped_consume_with`] worker pool. Jobs whose `end`
-//! record is journaled are **never recomputed**: their reports are
-//! rewritten straight from journal data.
+//! [`run_serve_with`] performs one *drain*: it reads the job queue,
+//! replays the journal (recovering completed and in-flight work),
+//! truncates the journal's torn tail, journals a rejection for every
+//! malformed queue line, then hands every job — terminal ones
+//! included — to the static-plan scheduler ([`crate::scheduler`]),
+//! which runs up to [`ServeConfig::jobs`] jobs concurrently over the
+//! shared work-stealing pool. Jobs whose `end` record is journaled are
+//! **never recomputed**: their reports are rewritten straight from
+//! journal data.
 //!
-//! Points stream to the journal the moment they complete, in point
-//! order, via unbuffered `write_all` calls — a SIGKILL can lose at
-//! most the final, newline-less line, which replay drops as the torn
-//! tail. Failures are deterministic: every unit runs to completion
-//! (no abort flag, whose timing a race could observe) and the first
-//! error *in unit order* becomes the job's `failed` status, so a
-//! killed-and-replayed run journals byte-identical records.
+//! Points stream to the journal the moment their plan slot is reached,
+//! via unbuffered `write_all` calls — a SIGKILL can lose at most the
+//! final, newline-less line, which replay drops as the torn tail. The
+//! journal's record order is the scheduler's static plan, a pure
+//! function of `(queue content, jobs)`: a killed-and-replayed run
+//! journals byte-identical records, and per-job reports are identical
+//! for *any* `jobs`/`threads` setting.
+//!
+//! A stop request (the stop file `<journal>.stop`, or a socket
+//! `shutdown`) is honoured *inside* the drain at unit boundaries: the
+//! pool stops claiming units, in-flight units are journaled, and a
+//! clean `stopped` record marks the early exit — resumable on restart.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use flexray_bench::fuzz::{fuzz_app, FuzzPoint};
-use flexray_bench::grid::{solve_app, GridPoint, PointSpec};
-use flexray_bench::report::{point_to_json, GridReportHeader, Json};
+use flexray_bench::report::{GridReportHeader, Json};
 use flexray_model::ModelError;
-use flexray_util::scoped_consume_with;
 
+use crate::control::{stop_path, ServeControl};
 use crate::journal::{
-    line_fp, read_journal, JobStatus, JournalState, Record, SERVE_SCHEMA_VERSION,
+    line_fp, read_journal, JobStatus, JournalSink, JournalState, Record, SERVE_SCHEMA_VERSION,
 };
+use crate::scheduler::{run_schedule, ScheduledJob};
 use crate::spec::{parse_job, JobKind, JobSpec};
 
 /// One drain's inputs: where the queue, journal and reports live, and
-/// how many workers to dispatch units on.
+/// how wide to dispatch.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The JSONL job queue (one job spec per line; `#` comments and
@@ -48,6 +53,10 @@ pub struct ServeConfig {
     /// Worker threads for unit dispatch (0 = all cores). Results are
     /// bit-identical for any value.
     pub threads: usize,
+    /// Jobs scheduled concurrently (clamped to ≥ 1). The journal's
+    /// record order depends on this (it is a pure function of the
+    /// queue *and* this), but per-job reports do not.
+    pub jobs: usize,
 }
 
 /// What one drain did for one job.
@@ -66,8 +75,9 @@ pub struct JobSummary {
     /// would journal only its post-restart share, breaking the
     /// byte-identity contract).
     pub evaluations: u64,
-    /// The job's terminal status.
-    pub status: JobStatus,
+    /// The job's terminal status — `None` when the drain stopped with
+    /// the job still in flight (resumable on restart).
+    pub status: Option<JobStatus>,
 }
 
 /// Everything one drain did.
@@ -78,6 +88,9 @@ pub struct ServeOutcome {
     /// `(queue line number, error)` of rejected lines, in queue order
     /// (journaled rejections included).
     pub rejected: Vec<(usize, String)>,
+    /// Whether a stop request ended the drain before the plan
+    /// completed (a `stopped` record was journaled; restart resumes).
+    pub stopped: bool,
 }
 
 fn infra(what: &str, err: &dyn std::fmt::Display) -> ModelError {
@@ -91,7 +104,7 @@ struct JournalWriter {
     path: PathBuf,
 }
 
-impl JournalWriter {
+impl JournalSink for JournalWriter {
     fn append(&mut self, record: &Record) -> Result<(), ModelError> {
         let mut line = record.to_line()?;
         line.push('\n');
@@ -108,164 +121,6 @@ fn worker_threads(threads: usize) -> usize {
     } else {
         threads
     }
-}
-
-/// Runs `n_points × apps` units on the worker pool and streams each
-/// point's aggregated outcomes to `complete` as soon as every unit of
-/// that point — and of all points before it — has succeeded.
-///
-/// All units run to completion regardless of failures; the first
-/// error *in unit order* is returned as the failure message, so the
-/// journaled prefix and the terminal status are pure functions of the
-/// inputs no matter how the pool interleaves. Returns
-/// `(points completed, evaluations, first failure)`; `complete`'s own
-/// error (journal IO) aborts the drain.
-fn drive_units<U, F, C>(
-    threads: usize,
-    n_points: usize,
-    apps: usize,
-    unit: F,
-    mut complete: C,
-) -> Result<(usize, u64, Option<String>), ModelError>
-where
-    U: Send,
-    F: Fn(usize) -> Result<(U, u64), ModelError> + Sync,
-    C: FnMut(usize, Vec<U>) -> Result<(), ModelError>,
-{
-    let n_units = n_points * apps;
-    if n_units == 0 {
-        return Ok((0, 0, None));
-    }
-    let mut states = vec![(); worker_threads(threads).clamp(1, n_units)];
-    let mut buffer: Vec<Option<Result<(U, u64), ModelError>>> =
-        (0..n_units).map(|_| None).collect();
-    let mut next = 0usize;
-    let mut current: Vec<U> = Vec::with_capacity(apps);
-    let mut points_done = 0usize;
-    let mut evaluations = 0u64;
-    let mut failure: Option<String> = None;
-    let mut sink_err: Option<ModelError> = None;
-    scoped_consume_with(
-        &mut states,
-        n_units,
-        |(), u| unit(u),
-        |u, result| {
-            buffer[u] = Some(result);
-            while next < n_units {
-                let Some(slot) = buffer[next].take() else {
-                    break;
-                };
-                match slot {
-                    Ok((outcome, evals)) => {
-                        evaluations += evals;
-                        if failure.is_none() {
-                            current.push(outcome);
-                            if current.len() == apps {
-                                let outcomes = std::mem::take(&mut current);
-                                if sink_err.is_none() {
-                                    if let Err(e) = complete(points_done, outcomes) {
-                                        sink_err = Some(e);
-                                    }
-                                }
-                                points_done += 1;
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        if failure.is_none() {
-                            failure = Some(e.to_string());
-                        }
-                    }
-                }
-                next += 1;
-            }
-        },
-    );
-    if let Some(e) = sink_err {
-        return Err(e);
-    }
-    Ok((points_done, evaluations, failure))
-}
-
-/// Executes a job's points `skip..total`, journaling each as it lands.
-/// Returns `(new point data, points computed, evaluations, status)`.
-fn execute(
-    spec: &JobSpec,
-    skip: usize,
-    threads: usize,
-    journal: &mut JournalWriter,
-) -> Result<(Vec<Json>, usize, u64, JobStatus), ModelError> {
-    let total = spec.total_points();
-    let mut new_points: Vec<Json> = Vec::new();
-    let (computed, evaluations, failure) = match &spec.kind {
-        JobKind::Grid(cfg) => {
-            let specs: Vec<PointSpec> = (skip..total).map(|p| cfg.point(p)).collect();
-            let apps = cfg.apps_per_point;
-            drive_units(
-                threads,
-                total - skip,
-                apps,
-                |u| {
-                    solve_app(cfg, &specs[u / apps], u % apps).map(|run| {
-                        let evals: u64 = run.0.iter().map(|r| r.evaluations as u64).sum();
-                        (run, evals)
-                    })
-                },
-                |rel, runs| {
-                    let mut point = GridPoint::from_apps(cfg, &specs[rel], runs);
-                    for (_, stats) in &mut point.algos {
-                        // Deterministic projection: wall-clock is the
-                        // one field of a point that is not a function
-                        // of the queue, so the journal zeroes it.
-                        stats.avg_time_s = 0.0;
-                    }
-                    let data = point_to_json(&point);
-                    journal.append(&Record::Point {
-                        job: spec.id.clone(),
-                        data: data.clone(),
-                    })?;
-                    new_points.push(data);
-                    Ok(())
-                },
-            )?
-        }
-        JobKind::Fuzz(cfg) => {
-            let grid = cfg.grid();
-            let specs: Vec<PointSpec> = (skip..total).map(|p| grid.point(p)).collect();
-            let apps = cfg.apps_per_point;
-            drive_units(
-                threads,
-                total - skip,
-                apps,
-                |u| {
-                    let spec = &specs[u / apps];
-                    let app = u % apps;
-                    fuzz_app(cfg, spec, app, grid.seed(spec.index, app)).map(|o| {
-                        let evals = o.evaluations as u64;
-                        (o, evals)
-                    })
-                },
-                |rel, outcomes| {
-                    let data = FuzzPoint::from_apps(&specs[rel], outcomes).to_json();
-                    journal.append(&Record::Point {
-                        job: spec.id.clone(),
-                        data: data.clone(),
-                    })?;
-                    new_points.push(data);
-                    Ok(())
-                },
-            )?
-        }
-    };
-    let status = match failure {
-        None => JobStatus::Done { points: total },
-        Some(error) => JobStatus::Failed { error },
-    };
-    journal.append(&Record::End {
-        job: spec.id.clone(),
-        status: status.clone(),
-    })?;
-    Ok((new_points, computed, evaluations, status))
 }
 
 /// Writes `reports/<id>.jsonl` — the job's schema header followed by
@@ -290,17 +145,113 @@ fn write_report<'a>(
     fs::write(&path, out).map_err(|e| infra(&format!("write report {}", path.display()), &e))
 }
 
-/// Performs one drain of the queue. See the module docs for the
-/// crash-safety and determinism contract.
+/// Parses the queue against the replayed journal state: journals a
+/// rejection for every *new* malformed line (all of them up front,
+/// before any job starts), verifies fingerprints of already-journaled
+/// lines, and assembles the scheduler's job list.
+fn parse_queue(
+    queue: &str,
+    state: &JournalState,
+    journal: &mut dyn JournalSink,
+    outcome: &mut ServeOutcome,
+) -> Result<Vec<ScheduledJob>, ModelError> {
+    let mut jobs: Vec<ScheduledJob> = Vec::new();
+    for (n, raw) in queue.lines().enumerate() {
+        let lineno = n + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fp = line_fp(raw);
+        if let Some((_, journaled_fp, error)) = state.rejected.iter().find(|(l, _, _)| *l == lineno)
+        {
+            if *journaled_fp != fp {
+                return Err(infra(
+                    &format!("queue line {lineno}"),
+                    &"line changed under the journal (rejected-record fingerprint mismatch)",
+                ));
+            }
+            outcome.rejected.push((lineno, error.clone()));
+            continue;
+        }
+        let spec = match parse_job(raw).and_then(|spec| {
+            if jobs.iter().any(|job| job.spec.id == spec.id) {
+                Err(ModelError::InvalidConfig(format!(
+                    "duplicate job id '{}'",
+                    spec.id
+                )))
+            } else {
+                Ok(spec)
+            }
+        }) {
+            Ok(spec) => spec,
+            Err(e) => {
+                let error = e.to_string();
+                journal.append(&Record::Rejected {
+                    line: lineno,
+                    fp,
+                    error: error.clone(),
+                })?;
+                outcome.rejected.push((lineno, error));
+                continue;
+            }
+        };
+        let (recovered, start_journaled, terminal) = match state.job(&spec.id) {
+            Some(progress) => {
+                if progress.fp != fp {
+                    return Err(infra(
+                        &format!("job '{}'", spec.id),
+                        &"queue line changed under the journal (fingerprint mismatch)",
+                    ));
+                }
+                if progress.kind != spec.kind_name || progress.total_points != spec.total_points() {
+                    return Err(infra(
+                        &format!("job '{}'", spec.id),
+                        &"journal start record disagrees with the parsed spec",
+                    ));
+                }
+                (progress.points.clone(), true, progress.status.clone())
+            }
+            None => (Vec::new(), false, None),
+        };
+        jobs.push(ScheduledJob {
+            spec,
+            fp,
+            recovered,
+            start_journaled,
+            terminal,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Performs one drain of the queue with a default (inert) control
+/// block. See [`run_serve_with`].
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::InvalidConfig`] on IO failures, a corrupt
-/// journal (a malformed record *before* the torn tail), or a queue
-/// line that changed under the journal (fingerprint mismatch). Job
-/// failures and rejected queue lines are *not* errors — they are
-/// journaled and reported in the [`ServeOutcome`].
+/// See [`run_serve_with`].
 pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, ModelError> {
+    run_serve_with(cfg, &ServeControl::default())
+}
+
+/// Performs one drain of the queue. See the module docs for the
+/// crash-safety and determinism contract. `control` carries shutdown,
+/// cancellation and status-board state shared with a socket front-end.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] on IO failures (including a
+/// journal append failing mid-drain — e.g. a full disk — with the
+/// journal path named), a corrupt journal (a malformed record *before*
+/// the torn tail), or a queue line that changed under the journal
+/// (fingerprint mismatch). Job failures and rejected queue lines are
+/// *not* errors — they are journaled and reported in the
+/// [`ServeOutcome`].
+pub fn run_serve_with(
+    cfg: &ServeConfig,
+    control: &ServeControl,
+) -> Result<ServeOutcome, ModelError> {
     let queue = fs::read_to_string(&cfg.queue)
         .map_err(|e| infra(&format!("read queue {}", cfg.queue.display()), &e))?;
     let content = match fs::read_to_string(&cfg.journal) {
@@ -343,102 +294,34 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, ModelError> {
     }
 
     let mut outcome = ServeOutcome::default();
-    let mut seen: Vec<String> = Vec::new();
-    for (n, raw) in queue.lines().enumerate() {
-        let lineno = n + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let fp = line_fp(raw);
-        if let Some((_, journaled_fp, error)) = state.rejected.iter().find(|(l, _, _)| *l == lineno)
-        {
-            if *journaled_fp != fp {
-                return Err(infra(
-                    &format!("queue line {lineno}"),
-                    &"line changed under the journal (rejected-record fingerprint mismatch)",
-                ));
-            }
-            outcome.rejected.push((lineno, error.clone()));
-            continue;
-        }
-        let spec = match parse_job(raw).and_then(|spec| {
-            if seen.contains(&spec.id) {
-                Err(ModelError::InvalidConfig(format!(
-                    "duplicate job id '{}'",
-                    spec.id
-                )))
-            } else {
-                Ok(spec)
-            }
-        }) {
-            Ok(spec) => spec,
-            Err(e) => {
-                let error = e.to_string();
-                journal.append(&Record::Rejected {
-                    line: lineno,
-                    fp,
-                    error: error.clone(),
-                })?;
-                outcome.rejected.push((lineno, error));
-                continue;
-            }
-        };
-        seen.push(spec.id.clone());
+    let jobs = parse_queue(&queue, &state, &mut journal, &mut outcome)?;
 
-        let total = spec.total_points();
-        let (prior, status) = match state.job(&spec.id) {
-            Some(progress) => {
-                if progress.fp != fp {
-                    return Err(infra(
-                        &format!("job '{}'", spec.id),
-                        &"queue line changed under the journal (fingerprint mismatch)",
-                    ));
-                }
-                if progress.kind != spec.kind_name || progress.total_points != total {
-                    return Err(infra(
-                        &format!("job '{}'", spec.id),
-                        &"journal start record disagrees with the parsed spec",
-                    ));
-                }
-                (progress.points.clone(), progress.status.clone())
-            }
-            None => {
-                journal.append(&Record::Start {
-                    job: spec.id.clone(),
-                    kind: spec.kind_name.clone(),
-                    fp,
-                    total_points: total,
-                })?;
-                (Vec::new(), None)
-            }
-        };
-        let recovered = prior.len();
-        let (summary_status, computed, evaluations) = match status {
-            Some(status) => {
-                // Terminal in the journal: never recomputed. Done jobs
-                // get their report rewritten from journal data.
-                if let JobStatus::Done { .. } = &status {
-                    write_report(&cfg.reports, &spec, prior.iter())?;
-                }
-                (status, 0, 0)
-            }
-            None => {
-                let (new_points, computed, evaluations, status) =
-                    execute(&spec, recovered, cfg.threads, &mut journal)?;
-                if let JobStatus::Done { .. } = &status {
-                    write_report(&cfg.reports, &spec, prior.iter().chain(new_points.iter()))?;
-                }
-                (status, computed, evaluations)
-            }
-        };
+    let stop_file = stop_path(&cfg.journal);
+    let (results, stopped) = run_schedule(
+        &jobs,
+        cfg.jobs.max(1),
+        worker_threads(cfg.threads),
+        control,
+        Some(&stop_file),
+        &mut journal,
+    )?;
+    outcome.stopped = stopped;
+
+    for (job, result) in jobs.iter().zip(&results) {
+        if let Some(JobStatus::Done { .. }) = &result.status {
+            write_report(
+                &cfg.reports,
+                &job.spec,
+                job.recovered.iter().chain(result.new_points.iter()),
+            )?;
+        }
         outcome.jobs.push(JobSummary {
-            id: spec.id,
-            kind: spec.kind_name,
-            recovered,
-            computed,
-            evaluations,
-            status: summary_status,
+            id: job.spec.id.clone(),
+            kind: job.spec.kind_name.clone(),
+            recovered: job.recovered.len(),
+            computed: result.new_points.len(),
+            evaluations: result.evaluations,
+            status: result.status.clone(),
         });
     }
     Ok(outcome)
@@ -448,71 +331,33 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, ModelError> {
 mod tests {
     use super::*;
 
-    type Landed = Vec<(usize, Vec<usize>)>;
-
-    fn run(threads: usize) -> (Landed, usize, u64, Option<String>) {
-        let mut landed = Vec::new();
-        let (points, evals, failure) = drive_units(
-            threads,
-            3,
-            2,
-            |u| {
-                if u == 3 {
-                    Err(ModelError::InvalidConfig(format!("unit {u} exploded")))
-                } else {
-                    Ok((u, 1))
-                }
-            },
-            |rel, outcomes| {
-                landed.push((rel, outcomes));
-                Ok(())
-            },
-        )
-        .expect("sink never fails here");
-        (landed, points, evals, failure)
+    #[test]
+    fn worker_threads_resolves_zero_to_all_cores() {
+        assert!(worker_threads(0) >= 1);
+        assert_eq!(worker_threads(3), 3);
     }
 
     #[test]
-    fn drive_units_streams_a_contiguous_prefix_and_fails_deterministically() {
-        for threads in [1, 4] {
-            let (landed, points, evals, failure) = run(threads);
-            // Units 0,1 complete point 0; unit 3 fails, so point 1
-            // never lands and point 2 is suppressed — regardless of
-            // pool interleaving.
-            assert_eq!(landed, vec![(0, vec![0, 1])], "threads={threads}");
-            assert_eq!(points, 1, "threads={threads}");
-            assert_eq!(evals, 5, "all five successful units count");
-            assert_eq!(
-                failure.as_deref(),
-                Some("invalid configuration: unit 3 exploded"),
-                "threads={threads}: first failure in unit order"
-            );
-        }
-    }
-
-    #[test]
-    fn drive_units_handles_the_empty_job() {
-        let (points, evals, failure) = drive_units(
-            4,
-            0,
-            3,
-            |_| -> Result<((), u64), ModelError> { unreachable!("no units") },
-            |_, _| Ok(()),
-        )
-        .expect("empty drive succeeds");
-        assert_eq!((points, evals, failure), (0, 0, None));
-    }
-
-    #[test]
-    fn sink_errors_abort_the_drain() {
-        let err = drive_units(
-            1,
-            1,
-            1,
-            |u| Ok((u, 0)),
-            |_, _| Err(ModelError::InvalidConfig("journal io".into())),
-        )
-        .expect_err("sink error propagates");
-        assert!(err.to_string().contains("journal io"));
+    fn journal_writer_errors_name_the_journal_path() {
+        // A directory cannot be written as a file: the append must
+        // surface an error naming the journal path, never panic.
+        let dir = std::env::temp_dir();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&dir)
+            .expect("open dir read-only");
+        let mut writer = JournalWriter {
+            file,
+            path: dir.clone(),
+        };
+        let err = writer
+            .append(&Record::Header {
+                version: SERVE_SCHEMA_VERSION,
+            })
+            .expect_err("writing a read-only handle fails");
+        assert!(
+            err.to_string().contains(&dir.display().to_string()),
+            "error must name the journal path: {err}"
+        );
     }
 }

@@ -1,8 +1,8 @@
-//! The `flexray-serve` JSONL journal schema (v1).
+//! The `flexray-serve` JSONL journal schema (v2).
 //!
 //! The journal is an append-only file of one JSON record per line:
 //!
-//! * a header — `{"schema":"flexray-serve","version":1}`;
+//! * a header — `{"schema":"flexray-serve","version":2}`;
 //! * `{"rec":"rejected","line":N,"fp":"…","error":"…"}` — queue line
 //!   `N` (1-based) failed to parse and was skipped;
 //! * `{"rec":"start","job":ID,"kind":K,"fp":"…","total_points":N}` —
@@ -12,7 +12,11 @@
 //!   schema (`flexray-grid` point or `flexray-fuzz` point), in the
 //!   *deterministic projection* (wall-clock fields zeroed);
 //! * `{"rec":"end","job":ID,"status":"done","points":N}` or
-//!   `{"rec":"end","job":ID,"status":"failed","error":"…"}`.
+//!   `{"rec":"end","job":ID,"status":"failed","error":"…"}`;
+//! * `{"rec":"stopped"}` — the daemon exited a drain early and cleanly
+//!   (stop file or `shutdown` request); every record before it is
+//!   intact and the run is resumable. Replay ignores it: it marks *the
+//!   journal stopped short*, not any change of job state.
 //!
 //! `fp` fingerprints the raw queue line ([`line_fp`]); replay refuses
 //! a journal whose fingerprints disagree with the queue, so a journal
@@ -32,8 +36,9 @@ use flexray_model::{mix_words, ModelError};
 /// Schema identifier carried by the journal header.
 pub const SERVE_SCHEMA: &str = "flexray-serve";
 /// Version of the journal record layout; bump on any schema change
-/// (the golden test enforces the pairing).
-pub const SERVE_SCHEMA_VERSION: u32 = 1;
+/// (the golden test enforces the pairing). v2 added the `stopped`
+/// record for clean early exits.
+pub const SERVE_SCHEMA_VERSION: u32 = 2;
 
 /// Fingerprint of one raw queue line, as the 16-hex-digit string
 /// journal records carry: a [`mix_words`] fold over the line's bytes
@@ -111,6 +116,10 @@ pub enum Record {
         /// Terminal status.
         status: JobStatus,
     },
+    /// The daemon exited this drain early and cleanly (stop file or
+    /// socket `shutdown`); the run is resumable. Carries no state:
+    /// replay skips it.
+    Stopped,
 }
 
 impl Record {
@@ -167,6 +176,7 @@ impl Record {
                 }
                 Json::Obj(members)
             }
+            Record::Stopped => Json::Obj(vec![("rec".into(), Json::Str("stopped".into()))]),
         }
         .write()
     }
@@ -232,6 +242,7 @@ impl Record {
                 };
                 Ok(Record::End { job, status })
             }
+            "stopped" => Ok(Record::Stopped),
             other => Err(malformed(&format!("unknown journal record '{other}'"))),
         }
     }
@@ -270,6 +281,24 @@ pub fn read_journal(content: &str) -> Result<(Vec<Record>, usize), ModelError> {
         valid_len = offset;
     }
     Ok((records, valid_len))
+}
+
+/// Where journal records go as they are produced.
+///
+/// The daemon's sink appends to the journal file (fsync'd per record);
+/// tests substitute in-memory or failing sinks. An `Err` from
+/// [`append`](JournalSink::append) must abort the drain — the scheduler
+/// propagates it and the daemon exits with code 1 naming the journal
+/// path, never panicking.
+pub trait JournalSink {
+    /// Durably appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when the record cannot be
+    /// serialised or the underlying medium refuses the write (e.g. a
+    /// full disk); the message names the journal path.
+    fn append(&mut self, record: &Record) -> Result<(), ModelError>;
 }
 
 /// Per-job progress recovered from the journal.
@@ -393,6 +422,10 @@ impl JournalState {
                     }
                     progress.status = Some(status.clone());
                 }
+                // A stopped marker only says the drain exited early; it
+                // changes no job state and may appear any number of
+                // times (one per interrupted drain).
+                Record::Stopped => {}
             }
         }
         Ok(state)
@@ -458,6 +491,25 @@ mod tests {
             Record::parse(&failed.to_line().expect("finite record")).expect("parses"),
             failed
         );
+        let stopped = Record::Stopped;
+        let line = stopped.to_line().expect("finite record");
+        assert_eq!(line, "{\"rec\":\"stopped\"}");
+        assert_eq!(Record::parse(&line).expect("parses"), stopped);
+    }
+
+    #[test]
+    fn replay_ignores_stopped_markers_anywhere_after_the_header() {
+        let mut records = well_formed();
+        // One per interrupted drain: between jobs, mid-job, trailing.
+        records.insert(2, Record::Stopped);
+        records.insert(5, Record::Stopped);
+        records.push(Record::Stopped);
+        let state = JournalState::replay(&records).expect("stopped markers are transparent");
+        let progress = state.job("g1").expect("job recovered");
+        assert_eq!(progress.points.len(), 2);
+        assert_eq!(progress.status, Some(JobStatus::Done { points: 2 }));
+        // But not *before* the header: the header-first invariant wins.
+        assert!(JournalState::replay(&[Record::Stopped]).is_err());
     }
 
     #[test]

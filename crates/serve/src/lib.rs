@@ -28,19 +28,30 @@
 //!
 //! [`spec`] defines the job-spec line format (`flexray-serve-job`
 //! schema v1), [`journal`] the journal record format (`flexray-serve`
-//! schema v1), and [`daemon`] the queue-draining engine behind the
-//! `flexray-serve` binary.
+//! schema v2), [`scheduler`] the static-plan concurrent job scheduler
+//! (up to `jobs=K` jobs share the pool while the journal stays a
+//! deterministic function of `(queue, K)`), [`control`] the shared
+//! shutdown/cancel/status surface, [`socket`] the line-oriented JSONL
+//! TCP front-end (`submit`/`status`/`cancel`/`drain`/`shutdown`), and
+//! [`daemon`] the queue-draining engine behind the `flexray-serve`
+//! binary.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 #![deny(deprecated)]
 
+pub mod control;
 pub mod daemon;
 pub mod journal;
+pub mod scheduler;
+pub mod socket;
 pub mod spec;
 
-pub use daemon::{run_serve, JobSummary, ServeConfig, ServeOutcome};
+pub use control::{stop_path, JobView, ServeControl};
+pub use daemon::{run_serve, run_serve_with, JobSummary, ServeConfig, ServeOutcome};
 pub use journal::{
-    read_journal, JobStatus, JournalState, Record, SERVE_SCHEMA, SERVE_SCHEMA_VERSION,
+    read_journal, JobStatus, JournalSink, JournalState, Record, SERVE_SCHEMA, SERVE_SCHEMA_VERSION,
 };
+pub use scheduler::{plan_events, run_schedule, Event, JobResult, PlanShape, ScheduledJob};
+pub use socket::{handle_request, spawn_listener, SocketShared};
 pub use spec::{parse_job, JobKind, JobSpec, JOB_SCHEMA, JOB_SCHEMA_VERSION};

@@ -40,6 +40,7 @@ fn config(dir: &Path) -> ServeConfig {
         journal: dir.join("serve.journal"),
         reports: dir.join("out"),
         threads: 1,
+        jobs: 1,
     }
 }
 
@@ -106,7 +107,7 @@ fn replay_is_idempotent_and_completion_is_monotone() {
     for job in &second.jobs {
         assert_eq!(job.computed, 0, "{}: re-entered the queue", job.id);
         assert_eq!(job.evaluations, 0, "{}: re-evaluated", job.id);
-        assert!(matches!(job.status, JobStatus::Done { .. }));
+        assert!(matches!(job.status, Some(JobStatus::Done { .. })));
     }
 
     // Monotonicity: from every record-boundary prefix, a drain

@@ -35,17 +35,20 @@ fn workdir(name: &str) -> PathBuf {
     dir
 }
 
-fn serve(dir: &Path, threads: usize) -> Command {
+fn serve(dir: &Path, threads: usize, jobs: usize) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_flexray-serve"));
     cmd.arg(format!("queue={}", dir.join("jobs.jsonl").display()))
         .arg(format!("journal={}", dir.join("serve.journal").display()))
         .arg(format!("reports={}", dir.join("out").display()))
-        .arg(format!("threads={threads}"));
+        .arg(format!("threads={threads}"))
+        .arg(format!("jobs={jobs}"));
     cmd
 }
 
-fn drain(dir: &Path, threads: usize) -> Output {
-    let output = serve(dir, threads).output().expect("spawn flexray-serve");
+fn drain(dir: &Path, threads: usize, jobs: usize) -> Output {
+    let output = serve(dir, threads, jobs)
+        .output()
+        .expect("spawn flexray-serve");
     assert!(
         output.status.success(),
         "drain failed: {}",
@@ -82,8 +85,8 @@ fn counters(output: &Output, id: &str) -> (u64, u64) {
 
 /// Runs the workload start-to-finish with no kills and returns the
 /// journal plus all report files.
-fn reference(dir: &Path, threads: usize) -> (Vec<u8>, Vec<(String, Vec<u8>)>) {
-    let output = drain(dir, threads);
+fn reference(dir: &Path, threads: usize, jobs: usize) -> (Vec<u8>, Vec<(String, Vec<u8>)>) {
+    let output = drain(dir, threads, jobs);
     for id in JOB_IDS {
         let (computed, evaluations) = counters(&output, id);
         assert!(computed > 0, "{id}: reference run must compute");
@@ -98,9 +101,11 @@ fn reference(dir: &Path, threads: usize) -> (Vec<u8>, Vec<(String, Vec<u8>)>) {
 
 /// Spawns the daemon and SIGKILLs it once the journal reaches
 /// `offset` bytes. Returns false if the daemon finished first.
-fn kill_at(dir: &Path, threads: usize, offset: usize) -> bool {
+fn kill_at(dir: &Path, threads: usize, jobs: usize, offset: usize) -> bool {
     let journal = dir.join("serve.journal");
-    let mut child = serve(dir, threads).spawn().expect("spawn flexray-serve");
+    let mut child = serve(dir, threads, jobs)
+        .spawn()
+        .expect("spawn flexray-serve");
     let deadline = Instant::now() + Duration::from_secs(300);
     loop {
         let grown = fs::metadata(&journal).map_or(0, |m| m.len() as usize);
@@ -122,7 +127,7 @@ fn kill_at(dir: &Path, threads: usize, offset: usize) -> bool {
 #[test]
 fn killed_and_replayed_runs_are_byte_identical_to_uninterrupted_runs() {
     let dir = workdir("kill_replay");
-    let (ref_journal, ref_reports) = reference(&dir, 1);
+    let (ref_journal, ref_reports) = reference(&dir, 1, 1);
     assert!(ref_journal.len() > 2, "workload journaled nothing");
 
     // Randomized kill offsets from a seeded LCG (deterministic suite),
@@ -147,7 +152,7 @@ fn killed_and_replayed_runs_are_byte_identical_to_uninterrupted_runs() {
         fs::remove_file(dir.join("serve.journal")).ok();
         fs::remove_dir_all(dir.join("out")).ok();
 
-        let killed = kill_at(&dir, 2, offset);
+        let killed = kill_at(&dir, 2, 1, offset);
         let torn = journal_bytes(&dir);
         assert!(
             torn.len() >= ref_journal.len().min(offset) || !killed,
@@ -161,7 +166,7 @@ fn killed_and_replayed_runs_are_byte_identical_to_uninterrupted_runs() {
 
         // Restart: replay + finish. Different thread count on purpose —
         // the journal must not depend on it.
-        drain(&dir, 1);
+        drain(&dir, 1, 1);
         assert_eq!(
             journal_bytes(&dir),
             ref_journal,
@@ -177,15 +182,81 @@ fn killed_and_replayed_runs_are_byte_identical_to_uninterrupted_runs() {
     }
 }
 
+/// The concurrent half of the differential suite: for K∈{2,4} the
+/// journal is a *different* deterministic interleaving (a pure
+/// function of `(queue, K)`), kills + restarts still converge to the
+/// byte-identical per-K journal, and every per-job report is
+/// byte-identical to the serial (K=1) run's.
+#[test]
+fn concurrent_schedules_are_crash_safe_and_report_identical_to_serial() {
+    let dir = workdir("kill_replay_concurrent");
+    let (serial_journal, serial_reports) = reference(&dir, 1, 1);
+
+    let mut state = 0xA076_1D64_78BD_642Fu64;
+    for jobs in [2usize, 4] {
+        fs::remove_file(dir.join("serve.journal")).ok();
+        fs::remove_dir_all(dir.join("out")).ok();
+        let (k_journal, k_reports) = reference(&dir, 2, jobs);
+        assert_ne!(
+            k_journal, serial_journal,
+            "jobs={jobs}: concurrent plan did not interleave the journal"
+        );
+        for (id, data) in &k_reports {
+            let serial = serial_reports
+                .iter()
+                .find(|(s, _)| s == id)
+                .map(|(_, d)| d)
+                .expect("serial report");
+            assert_eq!(
+                data, serial,
+                "jobs={jobs}: report {id} depends on the job concurrency"
+            );
+        }
+
+        for _ in 0..2 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let offset = 1 + (state >> 33) as usize % (k_journal.len() - 1);
+            fs::remove_file(dir.join("serve.journal")).ok();
+            fs::remove_dir_all(dir.join("out")).ok();
+
+            kill_at(&dir, 2, jobs, offset);
+            let torn = journal_bytes(&dir);
+            assert_eq!(
+                torn,
+                k_journal[..torn.len()],
+                "jobs={jobs} offset {offset}: killed journal is not a byte-prefix"
+            );
+
+            // Restart at the same K but a different thread count: the
+            // journal is a function of (queue, K), not of threads.
+            drain(&dir, 1, jobs);
+            assert_eq!(
+                journal_bytes(&dir),
+                k_journal,
+                "jobs={jobs} offset {offset}: replayed journal differs"
+            );
+            for (id, data) in &serial_reports {
+                assert_eq!(
+                    &report_bytes(&dir, id),
+                    data,
+                    "jobs={jobs} offset {offset}: replayed report {id} differs from serial"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn completed_jobs_are_never_recomputed() {
     let dir = workdir("kill_replay_norecompute");
-    let (ref_journal, _) = reference(&dir, 2);
+    let (ref_journal, _) = reference(&dir, 2, 2);
 
     // A drain over a fully-journaled queue must recover everything:
     // zero points computed, zero optimiser evaluations, and not a
     // byte appended to the journal.
-    let output = drain(&dir, 2);
+    let output = drain(&dir, 2, 2);
     for id in JOB_IDS {
         assert_eq!(
             counters(&output, id),
@@ -205,7 +276,7 @@ fn completed_jobs_are_never_recomputed() {
     fs::remove_file(dir.join("serve.journal")).ok();
     fs::remove_dir_all(dir.join("out")).ok();
     let mid = ref_journal.len() / 2;
-    kill_at(&dir, 2, mid);
+    kill_at(&dir, 2, 2, mid);
     let torn = String::from_utf8_lossy(&journal_bytes(&dir)).into_owned();
     // Only newline-terminated lines count — the torn tail is dropped
     // by replay, exactly as read_journal specifies.
@@ -214,7 +285,7 @@ fn completed_jobs_are_never_recomputed() {
         .lines()
         .filter(|l| l.starts_with("{\"rec\":\"point\""))
         .count() as u64;
-    let output = drain(&dir, 2);
+    let output = drain(&dir, 2, 2);
     let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
     let recovered: u64 = JOB_IDS
         .iter()

@@ -71,6 +71,7 @@ fn journal_of_the_reference_workload_matches_the_golden_file() {
         journal: dir.join("serve.journal"),
         reports: dir.join("out"),
         threads: 1,
+        jobs: 1,
     };
     run_serve(&cfg).expect("drain succeeds");
     let journal = fs::read_to_string(dir.join("serve.journal")).expect("read journal");
@@ -107,6 +108,7 @@ fn malformed_queue_lines_are_journaled_and_skipped_not_fatal() {
         journal: dir.join("serve.journal"),
         reports: dir.join("out"),
         threads: 1,
+        jobs: 1,
     };
     let outcome = run_serve(&cfg).expect("bad lines must not kill the drain");
     assert_eq!(outcome.rejected.len(), 1);
@@ -120,7 +122,7 @@ fn malformed_queue_lines_are_journaled_and_skipped_not_fatal() {
     assert!(outcome
         .jobs
         .iter()
-        .all(|j| matches!(j.status, JobStatus::Done { .. })));
+        .all(|j| matches!(j.status, Some(JobStatus::Done { .. }))));
 
     let journal = fs::read_to_string(dir.join("serve.journal")).expect("read journal");
     let rejected = journal

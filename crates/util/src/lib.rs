@@ -6,8 +6,9 @@
 //! variant ([`scoped_map_with`]) behind the multi-session `Evaluator`
 //! pool of `flexray-opt`, and the streaming per-worker-state form
 //! ([`scoped_consume_with`]) behind the `flexray-serve` job
-//! dispatcher. All three are projections of one primitive:
-//! [`scoped_consume_with`].
+//! dispatcher, and its quit-aware form ([`scoped_consume_until`])
+//! behind the daemon's graceful stop. All are projections of one
+//! primitive: [`scoped_consume_until`].
 //!
 //! The pool lived in `flexray_bench::sweep` originally.
 
@@ -70,23 +71,60 @@ where
 ///
 /// Panics if `states` is empty while `n_items > 0`: there would be no
 /// worker to run the items on.
-pub fn scoped_consume_with<S, T, F, C>(states: &mut [S], n_items: usize, f: F, mut consume: C)
+pub fn scoped_consume_with<S, T, F, C>(states: &mut [S], n_items: usize, f: F, consume: C)
 where
     S: Send,
     T: Send,
     F: Fn(&mut S, usize) -> T + Sync,
     C: FnMut(usize, T),
 {
+    let quit = std::sync::atomic::AtomicBool::new(false);
+    scoped_consume_until(states, n_items, &quit, f, consume);
+}
+
+/// [`scoped_consume_with`] with a cooperative *quit flag*: once `quit`
+/// reads `true`, no worker claims another index. Indices already being
+/// computed run to completion and are still handed to `consume`; the
+/// remaining unclaimed indices are simply never run, leaving the caller
+/// with a gap it can detect (its result buffer stays empty there).
+///
+/// This is the graceful-stop primitive of the `flexray-serve` daemon:
+/// a stop file or a socket `shutdown` request sets the flag, in-flight
+/// units finish and are journaled, and the pool winds down without
+/// abandoning any result it already paid for. The flag is only
+/// *observed* here — the caller decides when to set it (typically from
+/// inside `consume`, which runs on the calling thread).
+///
+/// # Panics
+///
+/// Panics if `states` is empty while `n_items > 0`: there would be no
+/// worker to run the items on.
+pub fn scoped_consume_until<S, T, F, C>(
+    states: &mut [S],
+    n_items: usize,
+    quit: &std::sync::atomic::AtomicBool,
+    f: F,
+    mut consume: C,
+) where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    use std::sync::atomic::Ordering;
     if n_items == 0 {
         return;
     }
     assert!(
         !states.is_empty(),
-        "scoped_consume_with needs at least one worker state"
+        "scoped_consume_until needs at least one worker state"
     );
     if states.len() == 1 {
         let state = &mut states[0];
         for i in 0..n_items {
+            if quit.load(Ordering::Relaxed) {
+                break;
+            }
             consume(i, f(state, i));
         }
         return;
@@ -99,7 +137,10 @@ where
         for state in states.iter_mut().take(n_items) {
             let tx = tx.clone();
             scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if quit.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n_items {
                     break;
                 }
@@ -233,5 +274,75 @@ mod tests {
     fn scoped_consume_with_empty_items_is_a_no_op() {
         let mut none: Vec<u8> = Vec::new();
         scoped_consume_with(&mut none, 0, |_, i| i, |_, _| panic!("no items"));
+    }
+
+    #[test]
+    fn scoped_consume_until_serial_stops_exactly_at_the_quit() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let quit = AtomicBool::new(false);
+        let mut states: Vec<()> = vec![()];
+        let mut landed = 0usize;
+        scoped_consume_until(
+            &mut states,
+            1000,
+            &quit,
+            |(), i| i,
+            |i, item| {
+                assert_eq!(item, i);
+                landed += 1;
+                if landed == 5 {
+                    quit.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        // The serial path checks the flag before every claim, so the
+        // count is exact: the five consumed items, nothing more.
+        assert_eq!(landed, 5);
+    }
+
+    #[test]
+    fn scoped_consume_until_parallel_stops_claiming_once_quit_is_set() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let quit = AtomicBool::new(false);
+        let mut states: Vec<()> = vec![(); 3];
+        let mut seen = vec![false; 300];
+        let mut landed = 0usize;
+        scoped_consume_until(
+            &mut states,
+            300,
+            &quit,
+            |(), i| {
+                // Slow enough that the quit (set after 5 completions)
+                // lands long before the pool could drain all 300.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                i
+            },
+            |i, item| {
+                assert_eq!(item, i);
+                assert!(!seen[i], "index {i} delivered twice");
+                seen[i] = true;
+                landed += 1;
+                if landed == 5 {
+                    quit.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        assert!(landed >= 5, "quit fired before 5 completions");
+        assert!(landed < 300, "quit flag did not stop the pool");
+        assert_eq!(seen.iter().filter(|&&s| s).count(), landed);
+    }
+
+    #[test]
+    fn scoped_consume_until_with_quit_preset_runs_nothing() {
+        use std::sync::atomic::AtomicBool;
+        let quit = AtomicBool::new(true);
+        let mut states: Vec<()> = vec![(); 2];
+        scoped_consume_until(
+            &mut states,
+            9,
+            &quit,
+            |(), i| i,
+            |_, _| panic!("preset quit must not run items"),
+        );
     }
 }
